@@ -1,0 +1,60 @@
+"""E1 — paper Figure 3 + Table 1: RAID and best Tornado Code graphs.
+
+Regenerates the fraction-failure curves and the first-failure /
+average-to-reconstruct table for mirroring, striping, RAID5, RAID6 and
+Tornado graphs 1-3 on a 96-device system.  Expected shape: mirrored
+fails first at 2 and striping at 1, RAID5 at 2, RAID6 at 3, Tornado at
+5; Tornado's curve sits left of (better than) mirroring everywhere.
+
+The timed kernel is the Monte Carlo estimator for one (graph, k) cell —
+the unit the paper spent 34 CPU-days on per graph.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import BENCH_SAMPLES, write_result
+from repro.analysis import ascii_curves, profile_summary_table
+from repro.raid import raid5_system, raid6_system
+from repro.sim import FailureProfile, sample_fail_fraction
+
+TORNADO_LABELS = ["Tornado Graph 1", "Tornado Graph 2", "Tornado Graph 3"]
+
+
+@pytest.fixture(scope="module")
+def e1_profiles(profile_of):
+    profs = [profile_of("Mirrored"), profile_of("Striped")]
+    profs.append(FailureProfile.from_analytic(raid5_system()))
+    profs.append(FailureProfile.from_analytic(raid6_system()))
+    profs.extend(profile_of(lbl) for lbl in TORNADO_LABELS)
+    return profs
+
+
+def test_e1_table1_and_figure3(benchmark, e1_profiles, systems):
+    graph = systems["Tornado Graph 3"]
+    rng = np.random.default_rng(1)
+    benchmark(sample_fail_fraction, graph, 20, 2_000, rng)
+
+    table = profile_summary_table(e1_profiles)
+    figure = ascii_curves(e1_profiles, k_max=60)
+    write_result(
+        "e1_table1_fig3",
+        "E1 (Table 1 / Fig. 3) - 96-device RAID vs Tornado\n"
+        f"samples per point: {BENCH_SAMPLES} (paper: 10-34 million)\n\n"
+        + table
+        + "\n\n"
+        + figure,
+    )
+
+    by_name = {p.system_name: p for p in e1_profiles}
+    assert by_name["Striped"].first_failure() == 1
+    assert by_name["Mirrored"].first_failure() == 2
+    assert by_name["RAID5 8x12"].first_failure() == 2
+    assert by_name["RAID6 8x12"].first_failure() == 3
+    for lbl in TORNADO_LABELS:
+        assert by_name[lbl].first_failure() == 5
+    # Tornado's average failure transition sits below mirroring's.
+    assert (
+        by_name["Tornado Graph 3"].average_nodes_capable()
+        < by_name["Mirrored"].average_nodes_capable()
+    )

@@ -1,0 +1,87 @@
+"""E5 — paper Table 5: theoretical probability of data loss at AFR 1%.
+
+Combines each system's failure profile with the binomial device-failure
+model (Eqs. 2-3).  Paper values: individual disk 0.01, striping 0.61895,
+RAID5 0.04834, RAID6 0.00164, mirrored 0.00479, Tornado graphs
+5.857e-10 .. 1.34e-9.  Exact analytic systems must match to ~1e-5;
+Tornado values depend on the concrete graphs but must sit orders of
+magnitude below mirroring.
+
+The timed kernel is the Eq. 3 reliability combination.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SAMPLES, write_result
+from repro.analysis import format_table
+from repro.raid import (
+    mirrored_system,
+    raid5_system,
+    raid6_system,
+    striped_system,
+)
+from repro.reliability import reliability_table, system_failure_probability
+from repro.sim import FailureProfile
+
+PAPER_VALUES = {
+    "Striped": 0.61895,
+    "RAID5 8x12": 0.04834,
+    "RAID6 8x12": 0.00164,
+    "Mirrored": 0.00479,
+}
+
+
+@pytest.fixture(scope="module")
+def e5_profiles(profile_of):
+    striped = FailureProfile.from_analytic(striped_system())
+    return [
+        FailureProfile(
+            system_name="Striped",
+            num_devices=striped.num_devices,
+            num_data=striped.num_data,
+            fail_fraction=striped.fail_fraction,
+            samples=striped.samples,
+        ),
+        FailureProfile.from_analytic(raid5_system()),
+        FailureProfile.from_analytic(raid6_system()),
+        profile_of("Mirrored"),
+        profile_of("Tornado Graph 1"),
+        profile_of("Tornado Graph 2"),
+        profile_of("Tornado Graph 3"),
+    ]
+
+
+def test_e5_table5(benchmark, e5_profiles):
+    benchmark(system_failure_probability, e5_profiles[-1], 0.01)
+
+    entries = reliability_table(e5_profiles, afr=0.01)
+    rows = [
+        [
+            e.system_name,
+            e.data_devices,
+            e.parity_devices,
+            f"{e.p_fail:.4g}",
+            (
+                f"{PAPER_VALUES[e.system_name]:.4g}"
+                if e.system_name in PAPER_VALUES
+                else "5.9e-10 .. 1.3e-9"
+            ),
+        ]
+        for e in entries
+    ]
+    table = format_table(
+        ["System", "Data", "Parity", "P(fail) measured", "paper"], rows
+    )
+    write_result(
+        "e5_table5",
+        "E5 (Table 5) - P(data loss), 96 disks, AFR 1%, no repair\n"
+        "individual disk baseline: 0.01 by definition\n\n" + table,
+    )
+
+    by_name = {e.system_name: e for e in entries}
+    for name, expect in PAPER_VALUES.items():
+        assert by_name[name].p_fail == pytest.approx(expect, abs=5e-5)
+    for n in (1, 2, 3):
+        tornado = by_name[f"Tornado Graph {n}"].p_fail
+        assert tornado < 1e-8
+        assert by_name["Mirrored"].p_fail / tornado > 1e5

@@ -1,0 +1,50 @@
+"""E6 — paper Table 6: nodes for 50% reconstruction and overhead.
+
+Regenerates the §5.2 reconstruction-efficiency analysis: the smallest
+online-node count giving a 50% chance of immediate reconstruction, and
+the implied overhead over the 48 data nodes.  Paper values: 62 / 62 / 61
+nodes and overheads 1.29 / 1.29 / 1.27 for Tornado graphs 1-3.
+
+The timed kernel is the metric extraction from a cached profile.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SAMPLES, write_result
+from repro.analysis import format_table
+
+LABELS = ["Tornado Graph 1", "Tornado Graph 2", "Tornado Graph 3"]
+PAPER = {"Tornado Graph 1": 62, "Tornado Graph 2": 62, "Tornado Graph 3": 61}
+
+
+@pytest.fixture(scope="module")
+def e6_profiles(profile_of):
+    return [profile_of(lbl) for lbl in LABELS]
+
+
+def test_e6_table6(benchmark, e6_profiles):
+    benchmark(e6_profiles[0].nodes_for_success_probability, 0.5)
+
+    rows = []
+    for prof in e6_profiles:
+        nodes = prof.nodes_for_success_probability(0.5)
+        rows.append(
+            [
+                prof.system_name,
+                nodes,
+                f"{nodes / prof.num_data:.2f}",
+                PAPER[prof.system_name],
+                f"{PAPER[prof.system_name] / 48:.2f}",
+            ]
+        )
+        # Paper band: 60-64 nodes, overhead ~1.25-1.33.
+        assert 58 <= nodes <= 66
+    table = format_table(
+        ["System", "Nodes@50%", "Overhead", "paper nodes", "paper ovh"],
+        rows,
+    )
+    write_result(
+        "e6_table6",
+        "E6 (Table 6) - nodes for 50% reconstruction probability\n"
+        f"samples per point: {BENCH_SAMPLES}\n\n" + table,
+    )

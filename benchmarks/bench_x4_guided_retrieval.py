@@ -1,0 +1,84 @@
+"""X4 — paper §6 future work: guided retrieval on a MAID shelf.
+
+Compares retrieval planners by devices touched (= spin-ups on an idle
+MAID array) across damage levels on the best catalog graph.  Expected
+shape: naive all-available retrieval touches ~all devices; data-first
+touches 48 plus several checks under damage; guided one-step-lookahead
+search stays at ~the information-theoretic minimum of 48.
+
+The timed kernel is one guided plan under damage.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import write_result
+from repro.analysis import format_table
+from repro.storage import (
+    MAIDPowerModel,
+    plan_all,
+    plan_data_first,
+    plan_guided,
+    rotated_placement,
+)
+
+TRIALS = 12
+DAMAGE = (0, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def setting(systems):
+    graph = systems["Tornado Graph 3"]
+    return graph, rotated_placement(graph, 96, 0)
+
+
+def test_x4_guided_retrieval(benchmark, setting):
+    graph, placement = setting
+    rng = np.random.default_rng(0)
+    avail = np.ones(96, dtype=bool)
+    avail[rng.choice(96, 8, replace=False)] = False
+    benchmark(plan_guided, graph, placement, avail)
+
+    model = MAIDPowerModel()
+    rows = []
+    means = {}
+    for lost in DAMAGE:
+        sums = {p.__name__: [] for p in (plan_all, plan_data_first, plan_guided)}
+        for t in range(TRIALS):
+            trial_rng = np.random.default_rng(100 + t)
+            avail = np.ones(96, dtype=bool)
+            if lost:
+                avail[trial_rng.choice(96, lost, replace=False)] = False
+            for planner in (plan_all, plan_data_first, plan_guided):
+                plan = planner(graph, placement, avail)
+                assert plan.decodable
+                sums[planner.__name__].append(plan.device_count)
+        row = [lost]
+        for planner in (plan_all, plan_data_first, plan_guided):
+            mean = float(np.mean(sums[planner.__name__]))
+            means[(lost, planner.__name__)] = mean
+            energy = model.session_energy(
+                int(round(mean)), int(round(mean)), 60.0, 96
+            )
+            row.append(f"{mean:.1f} ({energy / 1e3:.0f} kJ)")
+        rows.append(row)
+
+    table = format_table(
+        ["devices lost", "all-available", "data-first", "guided"], rows
+    )
+    write_result(
+        "x4_guided_retrieval",
+        "X4 - devices touched per stripe retrieval (mean over "
+        f"{TRIALS} damage patterns; session energy at 60 s)\n\n" + table,
+    )
+
+    for lost in DAMAGE:
+        assert (
+            means[(lost, "plan_guided")]
+            <= means[(lost, "plan_data_first")] + 1e-9
+        )
+        assert (
+            means[(lost, "plan_data_first")]
+            < means[(lost, "plan_all")]
+        )
+    assert means[(8, "plan_guided")] <= 52  # near the 48 floor

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Federated data stewarding with complementary Tornado graphs (§5.3).
+
+Simulates the paper's two-site digital-library scenario: both sites
+replicate the same 48 data blocks, each protected by a *different*
+certified Tornado graph.  The demo shows the three regimes of Table 7:
+
+* a loss pattern that kills site 1 alone is absorbed by site 2;
+* losing the same critical set at both sites of a *duplicated*-graph
+  federation destroys data at 10 devices;
+* with complementary graphs, the detected first failure is far higher —
+  the sites' critical sets cover different data nodes, and the
+  block-exchange protocol converts that diversity into fault tolerance.
+
+Run:  python examples/federated_stewarding.py
+"""
+
+from repro.core import PeelingDecoder, analyze_worst_case
+from repro.federation import FederatedSystem, federated_first_failure
+from repro.graphs import mirrored_graph, tornado_catalog_graph
+
+g1 = tornado_catalog_graph(1)
+g2 = tornado_catalog_graph(2)
+
+# -- regime 1: cross-site rescue ------------------------------------------
+critical_g1 = sorted(next(iter(analyze_worst_case(g1, max_k=5).minimal_sets)))
+print(f"site 1 critical set: {critical_g1}")
+print(f"  site 1 alone recovers? "
+      f"{PeelingDecoder(g1).is_recoverable(critical_g1)}")
+
+fed = FederatedSystem([g1, g2])
+result = fed.decode(critical_g1)  # devices 0..95 are site 1
+print(f"  federated recovery:   {result.success} "
+      f"(site recoveries per round: {result.recovered_per_site})")
+
+# -- regime 2 + 3: first-failure comparison (paper Table 7) ---------------
+print("\ndetected first failure (devices lost across both sites):")
+m = mirrored_graph(48)
+rows = [
+    ("Mirrored (4 copies)", FederatedSystem([m, m]), 3),
+    ("Tornado 1 + Tornado 1", FederatedSystem([g1, g1]), 6),
+    ("Tornado 1 + Tornado 2", FederatedSystem([g1, g2]), 8),
+]
+for label, system, cap in rows:
+    hit = federated_first_failure(system, site_max_size=cap)
+    shown = hit[0] if hit else f"> {2 * cap}"
+    print(f"  {label:<24} {shown}")
+
+print("\npaper Table 7: mirrored=4, duplicated=10, complementary=17-19")
+print("(absolute complementary values depend on the concrete graphs; the")
+print(" ordering mirror << duplicated << complementary is the result)")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Produce a new certified Tornado Code graph (the paper's §3 pipeline).
+
+Walks the whole graph-production workflow the paper describes:
+
+1. random construction from Luby's heavy-tail distribution;
+2. structural defect screening (discard graphs failing at <= 3 losses);
+3. exact worst-case analysis via critical-set search — showing the
+   failure sets the way the paper's §3.2 excerpts do;
+4. feedback adjustment: rewire edges until first failure reaches 5;
+5. export to GraphML for the storage system to use.
+
+Run:  python examples/generate_and_certify_graph.py [seed]
+"""
+
+import sys
+import time
+
+from repro.core import (
+    adjust_graph,
+    analyze_worst_case,
+    generate_certified,
+    render_failure,
+    save_graphml,
+)
+
+seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2006
+
+# -- 1+2. construct with defect screening -------------------------------
+t0 = time.perf_counter()
+report = generate_certified(48, seed=seed)
+print(f"seed {seed}: accepted seed {report.seed_used} after "
+      f"{report.attempts} attempts "
+      f"({len(report.rejected_seeds)} rejected for structural defects)")
+graph = report.graph
+
+# -- 3. worst-case analysis ---------------------------------------------
+wc = analyze_worst_case(graph, max_k=4)
+print(f"\npre-adjustment worst case: first failure at "
+      f"{wc.first_failure} lost nodes")
+for s in wc.minimal_sets:
+    print(f"  critical set {sorted(s)}")
+    # Paper-style rendering of what the failure looks like:
+    print("   ", render_failure(graph, s).replace("\n", "\n    "))
+
+# -- 4. feedback adjustment ---------------------------------------------
+adj = adjust_graph(graph, target_first_failure=5)
+print(f"\nadjustment: {'reached' if adj.achieved_target else 'missed'} "
+      f"first failure 5 in {len(adj.steps)} rewirings")
+for step in adj.steps:
+    print(f"  moved left {step.target_left}: check {step.old_check} -> "
+          f"{step.new_check}  (critical sets {step.sets_before} -> "
+          f"{step.sets_after})")
+
+wc2 = analyze_worst_case(adj.graph, max_k=5)
+fails5, total5 = wc2.failing_counts[5]
+print(f"\npost-adjustment: first failure {wc2.first_failure}; "
+      f"{fails5} failing cases out of {total5:,} five-loss patterns")
+print(f"(the paper's best graph: 14 out of 61,124,064)")
+
+# -- 5. export ------------------------------------------------------------
+out = f"certified-tornado-seed{report.seed_used}.graphml"
+save_graphml(adj.graph, out)
+print(f"\nelapsed {time.perf_counter() - t0:.1f}s; graph written to {out}")
+print("the paper's equivalent search took 21 CPU-hours per graph")

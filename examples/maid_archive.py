@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""MAID archival storage: power-aware retrieval planning (§2.2, §6).
+
+A massive array of idle disks keeps everything spun down; retrieving a
+stripe costs one spin-up per device touched.  Because a Tornado-coded
+stripe is reconstructible from many different subsets, the retrieval
+planner can choose *which* devices to wake.  This demo compares the
+three planners in repro.storage.retrieval on a damaged 96-device MAID
+shelf and prices them with the power model.
+
+Run:  python examples/maid_archive.py
+"""
+
+import numpy as np
+
+from repro.graphs import tornado_catalog_graph
+from repro.storage import (
+    DeviceArray,
+    MAIDPowerModel,
+    SessionMeter,
+    plan_all,
+    plan_data_first,
+    plan_guided,
+    rotated_placement,
+)
+
+rng = np.random.default_rng(7)
+graph = tornado_catalog_graph(3)
+model = MAIDPowerModel()
+
+devices = DeviceArray(96)
+devices.spin_down_all()  # MAID idle state
+placement = rotated_placement(graph, 96, 0)
+
+print(f"96-device MAID shelf, all spun down; graph {graph.name}\n")
+
+for lost_count in (0, 4, 12):
+    # fresh shelf per scenario
+    devices = DeviceArray(96)
+    lost = (
+        devices.fail_random(lost_count, rng) if lost_count else []
+    )
+    devices.spin_down_all()
+    avail = devices.available_mask
+    print(f"--- {lost_count} failed devices {lost or ''}")
+    for planner in (plan_all, plan_data_first, plan_guided):
+        plan = planner(graph, placement, avail)
+        meter = SessionMeter(devices, model)
+        meter.touch_all(plan.devices)
+        report = meter.report(plan.strategy, session_seconds=60.0)
+        status = "ok" if plan.decodable else "UNRECOVERABLE"
+        print(f"  {report}  [{status}]")
+    print()
+
+print("guided retrieval touches the information-theoretic minimum of")
+print("devices, which is what makes Tornado-coded MAID 'highly reliable")
+print("and power efficient' (paper §2.2)")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Reliability comparison across storage organisations (paper Table 5).
+
+Computes the annual probability of data loss for every 96-disk system
+the paper compares — striping, RAID5, RAID6, mirroring, and the three
+catalog Tornado graphs — at the paper's 1% device AFR, plus an AFR
+sensitivity sweep.
+
+Run:  python examples/reliability_report.py [samples_per_k]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.graphs import tornado_catalog_graph
+from repro.raid import (
+    mirrored_system,
+    raid5_system,
+    raid6_system,
+    striped_system,
+)
+from repro.reliability import (
+    afr_sweep,
+    reliability_table,
+    system_failure_probability,
+)
+from repro.sim import FailureProfile, profile_graph
+
+samples = int(sys.argv[1]) if len(sys.argv) > 1 else 3_000
+
+profiles = [
+    FailureProfile.from_analytic(s)
+    for s in (striped_system(), raid5_system(), raid6_system(),
+              mirrored_system())
+]
+for i in (1, 2, 3):
+    g = tornado_catalog_graph(i)
+    print(f"profiling {g.name} ({samples} samples per offline count)...")
+    profiles.append(profile_graph(g, samples_per_k=samples, seed=0))
+
+print("\nTable 5 — P(data loss) for 96-disk systems, AFR = 1%, no repair")
+rows = [
+    [e.system_name, e.data_devices, e.parity_devices, f"{e.p_fail:.3e}"]
+    for e in reliability_table(profiles)
+]
+print(format_table(["System", "Data", "Parity", "P(fail)"], rows))
+
+print("\npaper values: striping 0.61895, RAID5 0.04834, RAID6 0.00164,")
+print("mirrored 0.00479, Tornado graphs 5.9e-10 .. 1.3e-9")
+
+print("\nAFR sensitivity (best Tornado graph vs mirroring):")
+tornado_prof = profiles[-1]
+mirror_prof = profiles[3]
+rows = []
+for afr, p_tornado in afr_sweep(tornado_prof, [0.005, 0.01, 0.02, 0.05]):
+    p_mirror = system_failure_probability(mirror_prof, afr)
+    rows.append(
+        [f"{afr:.1%}", f"{p_mirror:.3e}", f"{p_tornado:.3e}",
+         f"{p_mirror / p_tornado:.1e}x"]
+    )
+print(format_table(
+    ["AFR", "Mirrored", "Tornado 3", "improvement"], rows
+))

@@ -1,0 +1,54 @@
+"""Tornado Codes for archival storage — reproduction library.
+
+Reproduction of Woitaszek & Tufo, "Fault Tolerance of Tornado Codes for
+Archival Storage" (HPDC 2006).  Subpackages:
+
+* :mod:`repro.core` — Tornado graph construction, peeling/ML decoding,
+  critical-set analysis, defect screening, feedback adjustment, codec.
+* :mod:`repro.graphs` — comparison graph families and the precompiled
+  catalog ("Tornado Graph 1/2/3").
+* :mod:`repro.raid` — exact analytic RAID/mirror/striping models.
+* :mod:`repro.sim` — Monte Carlo failure profiles and worst-case search.
+* :mod:`repro.reliability` — AFR-based system reliability (Table 5).
+* :mod:`repro.federation` — multi-site complementary-graph storage.
+* :mod:`repro.storage` — simulated devices, archive, MAID, monitoring,
+  guided retrieval.
+* :mod:`repro.rs` — Reed-Solomon baseline codec.
+* :mod:`repro.analysis` — tables, ASCII figures, profile caching.
+"""
+
+from . import (
+    analysis,
+    core,
+    federation,
+    graphs,
+    raid,
+    reliability,
+    rs,
+    sim,
+    storage,
+)
+from .core import ErasureGraph, TornadoCodec, tornado_graph
+from .graphs import tornado_catalog_graph
+from .sim import FailureProfile, profile_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ErasureGraph",
+    "FailureProfile",
+    "TornadoCodec",
+    "__version__",
+    "analysis",
+    "core",
+    "federation",
+    "graphs",
+    "profile_graph",
+    "raid",
+    "reliability",
+    "rs",
+    "sim",
+    "storage",
+    "tornado_catalog_graph",
+    "tornado_graph",
+]

@@ -1,0 +1,26 @@
+"""Reporting and caching utilities for the experiment harness."""
+
+from .cache import ProfileCache, default_cache
+from .svg import save_svg, svg_curves, svg_failure_graph
+from .stats import GraphStats, LevelStats, graph_stats
+from .report import (
+    ascii_curves,
+    format_table,
+    markdown_table,
+    profile_summary_table,
+)
+
+__all__ = [
+    "save_svg",
+    "svg_curves",
+    "svg_failure_graph",
+    "GraphStats",
+    "LevelStats",
+    "graph_stats",
+    "ProfileCache",
+    "ascii_curves",
+    "default_cache",
+    "format_table",
+    "markdown_table",
+    "profile_summary_table",
+]

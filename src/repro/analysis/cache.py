@@ -1,0 +1,90 @@
+"""Profile caching for the benchmark harness.
+
+Failure profiles are the expensive inputs every experiment shares
+(Tables 1–6 all consume them).  The cache stores profiles as JSON keyed
+by (system name, sample count, seed) so the benchmark suite simulates
+each graph once per configuration and reuses it across experiments —
+the same reason the paper ran its 34-CPU-day suite once per graph and
+analysed the outputs many ways.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+from ..core.graph import ErasureGraph
+from ..sim.montecarlo import profile_graph
+from ..sim.results import FailureProfile
+
+__all__ = ["ProfileCache", "default_cache"]
+
+
+class ProfileCache:
+    """Directory-backed store of :class:`FailureProfile` JSON files."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, graph: ErasureGraph, samples: int, seed: int) -> Path:
+        # The graph's structure participates in the key so a changed
+        # construction invalidates stale profiles with the same name.
+        digest = hashlib.sha256(
+            repr(
+                (graph.num_nodes, graph.data_nodes, graph.constraints)
+            ).encode()
+        ).hexdigest()[:16]
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_" else "_"
+            for ch in graph.name
+        )
+        return self.root / f"{safe}-s{samples}-r{seed}-{digest}.json"
+
+    def get(
+        self,
+        graph: ErasureGraph,
+        *,
+        samples_per_k: int,
+        seed: int = 0,
+        exact_upto: int = 6,
+        n_jobs: int = 1,
+    ) -> FailureProfile:
+        """Load a cached profile or simulate and store it."""
+        path = self._path(graph, samples_per_k, seed)
+        if path.exists():
+            return FailureProfile.load(path)
+        profile = profile_graph(
+            graph,
+            samples_per_k=samples_per_k,
+            seed=seed,
+            exact_upto=exact_upto,
+            n_jobs=n_jobs,
+        )
+        profile.save(path)
+        return profile
+
+    def clear(self) -> int:
+        """Delete every cached profile; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def default_cache() -> ProfileCache:
+    """Cache under the repository's ``benchmarks/data`` (or CWD fallback).
+
+    Override the location with the ``REPRO_CACHE_DIR`` environment
+    variable.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return ProfileCache(env)
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return ProfileCache(parent / "benchmarks" / "data")
+    return ProfileCache(Path.cwd() / ".repro-cache")

@@ -1,0 +1,121 @@
+"""Reporting helpers: text tables and ASCII curves for experiments.
+
+The benchmark harness regenerates every table and figure of the paper;
+since this environment has no plotting stack, figures are rendered as
+ASCII curves (one glyph column per offline-count bucket) and tables as
+aligned monospace text.  Both formats are deterministic so they can be
+diffed across runs and embedded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.results import FailureProfile
+
+__all__ = [
+    "format_table",
+    "ascii_curves",
+    "profile_summary_table",
+    "markdown_table",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(r[i]) for r in cells) for i in range(len(headers))
+    ]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    out = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def ascii_curves(
+    profiles: Sequence[FailureProfile],
+    *,
+    height: int = 16,
+    k_max: int | None = None,
+) -> str:
+    """Fraction-failure-vs-offline-count curves as ASCII art.
+
+    One column per offline count, one letter per system (legend below);
+    reproduces the reading of the paper's Figures 3–6: which curve rises
+    first and how sharp each transition is.
+    """
+    if not profiles:
+        raise ValueError("need at least one profile")
+    n = profiles[0].num_devices
+    if k_max is None:
+        k_max = n
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    grid = [[" "] * (k_max + 1) for _ in range(height)]
+    for pi, prof in enumerate(profiles):
+        glyph = letters[pi % len(letters)]
+        for k in range(min(k_max, prof.num_devices) + 1):
+            frac = prof.fail_fraction[k]
+            row = height - 1 - int(round(frac * (height - 1)))
+            if grid[row][k] == " ":
+                grid[row][k] = glyph
+            elif grid[row][k] != glyph:
+                grid[row][k] = "*"  # overlapping curves
+    lines = []
+    for ri, row in enumerate(grid):
+        frac = 1.0 - ri / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * (k_max + 1))
+    tick_line = [" "] * (k_max + 1)
+    for k in range(0, k_max + 1, 10):
+        for ci, ch in enumerate(str(k)):
+            if k + ci <= k_max:
+                tick_line[k + ci] = ch
+    lines.append("      " + "".join(tick_line))
+    lines.append("      (number of offline devices)")
+    for pi, prof in enumerate(profiles):
+        lines.append(
+            f"  {letters[pi % len(letters)]} = {prof.system_name}"
+        )
+    return "\n".join(lines)
+
+
+def profile_summary_table(
+    profiles: Sequence[FailureProfile],
+    *,
+    markdown: bool = False,
+) -> str:
+    """The paper's Tables 1–4 row format for a set of systems."""
+    headers = ["System", "First Failure", "Average to Reconstruct"]
+    rows = []
+    for p in profiles:
+        ff = p.first_failure()
+        avg = p.average_nodes_capable()
+        rows.append(
+            [
+                p.system_name,
+                ff if ff is not None else f"> {p.num_devices}",
+                f"{avg:.2f} ({avg / p.num_data:.2f})",
+            ]
+        )
+    fmt = markdown_table if markdown else format_table
+    return fmt(headers, rows)

@@ -1,0 +1,117 @@
+"""Structural statistics of erasure graphs.
+
+The paper characterises graphs by their degree structure (average
+degree ~3.6, heavy-tail distribution, cascade levels) and relates that
+structure to fault tolerance.  This module extracts those descriptors
+from any :class:`~repro.core.graph.ErasureGraph`, for reports, examples
+and sanity checks on generated families.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.graph import ErasureGraph
+
+__all__ = ["LevelStats", "GraphStats", "graph_stats"]
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Shape of one cascade level."""
+
+    index: int
+    num_lefts: int
+    num_checks: int
+    num_edges: int
+    left_degree_histogram: dict[int, int]
+    check_degree_histogram: dict[int, int]
+
+    @property
+    def average_left_degree(self) -> float:
+        total = sum(d * c for d, c in self.left_degree_histogram.items())
+        return total / max(self.num_lefts, 1)
+
+    @property
+    def average_check_degree(self) -> float:
+        total = sum(d * c for d, c in self.check_degree_histogram.items())
+        return total / max(self.num_checks, 1)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Whole-graph structural summary."""
+
+    name: str
+    num_nodes: int
+    num_data: int
+    num_checks: int
+    num_edges: int
+    average_left_degree: float
+    max_left_degree: int
+    levels: tuple[LevelStats, ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.name}: {self.num_nodes} nodes "
+            f"({self.num_data} data + {self.num_checks} check), "
+            f"{self.num_edges} edges, "
+            f"avg left degree {self.average_left_degree:.2f} "
+            f"(max {self.max_left_degree})"
+        ]
+        for lv in self.levels:
+            lines.append(
+                f"  level {lv.index}: {lv.num_lefts} lefts -> "
+                f"{lv.num_checks} checks, {lv.num_edges} edges, "
+                f"left deg {lv.average_left_degree:.2f}, "
+                f"check deg {lv.average_check_degree:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def graph_stats(graph: ErasureGraph) -> GraphStats:
+    """Compute degree/level statistics for a graph."""
+    left_counts: Counter[int] = Counter()
+    for con in graph.constraints:
+        for l in con.lefts:
+            left_counts[l] += 1
+
+    levels: list[LevelStats] = []
+    for li, level in enumerate(graph.levels):
+        cons = [graph.constraints[ci] for ci in level]
+        lefts: set[int] = set()
+        per_left: Counter[int] = Counter()
+        check_hist: Counter[int] = Counter()
+        edges = 0
+        for con in cons:
+            check_hist[len(con.lefts)] += 1
+            edges += len(con.lefts)
+            for l in con.lefts:
+                lefts.add(l)
+                per_left[l] += 1
+        left_hist: Counter[int] = Counter(per_left.values())
+        levels.append(
+            LevelStats(
+                index=li,
+                num_lefts=len(lefts),
+                num_checks=len(cons),
+                num_edges=edges,
+                left_degree_histogram=dict(sorted(left_hist.items())),
+                check_degree_histogram=dict(sorted(check_hist.items())),
+            )
+        )
+
+    data_degrees = [left_counts.get(d, 0) for d in graph.data_nodes]
+    return GraphStats(
+        name=graph.name,
+        num_nodes=graph.num_nodes,
+        num_data=graph.num_data,
+        num_checks=graph.num_checks,
+        num_edges=graph.num_edges,
+        average_left_degree=float(np.mean(data_degrees)) if data_degrees else 0.0,
+        max_left_degree=max(data_degrees, default=0),
+        levels=tuple(levels),
+    )

@@ -1,0 +1,204 @@
+"""Self-contained SVG rendering of graphs and failure curves.
+
+The paper's testing suite "can render failed graphs highlighting
+unrecoverable nodes and check node dependencies related to the graph
+failure" (§3).  This module produces that rendering as standalone SVG —
+no plotting stack required — plus line charts of fraction-failure
+curves (the paper's Figures 3–6) for reports and documentation.
+
+Layout: cascade levels are drawn left to right (data nodes in the first
+column, each check layer in the next), edges as straight lines.  Node
+colouring after a failure rendering:
+
+* green — present or recovered by peeling;
+* orange — lost but recovered;
+* red — unrecoverable (the residual stopping set);
+* red-outlined checks — constraints inside the closed right set.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+from xml.sax.saxutils import escape
+
+from ..core.decoder import PeelingDecoder
+from ..core.graph import ErasureGraph
+from ..sim.results import FailureProfile
+
+__all__ = ["svg_failure_graph", "svg_curves", "save_svg"]
+
+_NODE_R = 7
+_COL_GAP = 140
+_ROW_GAP = 22
+_MARGIN = 40
+
+_GREEN = "#2e7d32"
+_ORANGE = "#ef6c00"
+_RED = "#c62828"
+_GREY = "#9e9e9e"
+_BLUE = "#1565c0"
+
+
+def _node_columns(graph: ErasureGraph) -> dict[int, int]:
+    """Column index (cascade depth) of every node."""
+    col = {d: 0 for d in graph.data_nodes}
+    for li, level in enumerate(graph.levels):
+        for ci in level:
+            col[graph.constraints[ci].check] = li + 1
+    return col
+
+
+def _positions(graph: ErasureGraph) -> dict[int, tuple[float, float]]:
+    col_of = _node_columns(graph)
+    by_col: dict[int, list[int]] = {}
+    for node in range(graph.num_nodes):
+        by_col.setdefault(col_of.get(node, 0), []).append(node)
+    pos: dict[int, tuple[float, float]] = {}
+    max_rows = max(len(v) for v in by_col.values())
+    for c, nodes in by_col.items():
+        offset = (max_rows - len(nodes)) * _ROW_GAP / 2
+        for r, node in enumerate(sorted(nodes)):
+            pos[node] = (
+                _MARGIN + c * _COL_GAP,
+                _MARGIN + offset + r * _ROW_GAP,
+            )
+    return pos
+
+
+def svg_failure_graph(
+    graph: ErasureGraph, missing: Iterable[int]
+) -> str:
+    """Render a graph with a loss pattern applied (paper §3 rendering)."""
+    missing_set = set(missing)
+    result = PeelingDecoder(graph).decode(missing_set)
+    recovered = set(result.recovered)
+    stuck = set(result.residual)
+    closed_checks = {
+        c.check
+        for c in graph.constraints
+        if sum(1 for m in c.members() if m in stuck) >= 2
+    }
+
+    pos = _positions(graph)
+    width = max(x for x, _ in pos.values()) + _MARGIN
+    height = max(y for _, y in pos.values()) + _MARGIN
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect width="100%" height="100%" fill="white"/>',
+        f'<text x="{_MARGIN}" y="20" font-size="13" '
+        f'font-family="monospace">{escape(graph.name)}: '
+        f"{len(missing_set)} lost, "
+        f"{'FAILED' if not result.success else 'recovered'}</text>",
+    ]
+    for con in graph.constraints:
+        x2, y2 = pos[con.check]
+        for l in con.lefts:
+            x1, y1 = pos[l]
+            colour = _RED if (l in stuck and con.check in closed_checks) else "#cccccc"
+            parts.append(
+                f'<line x1="{x1:.0f}" y1="{y1:.0f}" x2="{x2:.0f}" '
+                f'y2="{y2:.0f}" stroke="{colour}" stroke-width="1"/>'
+            )
+    data = set(graph.data_nodes)
+    for node, (x, y) in pos.items():
+        if node in stuck:
+            fill = _RED
+        elif node in recovered:
+            fill = _ORANGE
+        elif node in missing_set:
+            fill = _ORANGE
+        else:
+            fill = _GREEN if node in data else _BLUE
+        outline = _RED if node in closed_checks else "#333333"
+        shape = (
+            f'<circle cx="{x:.0f}" cy="{y:.0f}" r="{_NODE_R}" '
+            if node in data
+            else f'<rect x="{x - _NODE_R:.0f}" y="{y - _NODE_R:.0f}" '
+            f'width="{2 * _NODE_R}" height="{2 * _NODE_R}" '
+        )
+        parts.append(
+            shape + f'fill="{fill}" stroke="{outline}" stroke-width="1.5">'
+            f"<title>node {node}"
+            f"{' (data)' if node in data else ' (check)'}"
+            f"{' STUCK' if node in stuck else ''}</title>"
+            + ("</circle>" if node in data else "</rect>")
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_curves(
+    profiles: Sequence[FailureProfile],
+    *,
+    width: int = 640,
+    height: int = 400,
+    k_max: int | None = None,
+) -> str:
+    """Fraction-failure line chart (the paper's Figures 3-6 as SVG)."""
+    if not profiles:
+        raise ValueError("need at least one profile")
+    palette = [_BLUE, _RED, _GREEN, _ORANGE, "#6a1b9a", "#00838f",
+               "#f9a825", "#4e342e"]
+    n = profiles[0].num_devices
+    if k_max is None:
+        k_max = n
+    left, bottom, top, right = 60, height - 50, 30, width - 20
+
+    def sx(k: float) -> float:
+        return left + (right - left) * k / k_max
+
+    def sy(frac: float) -> float:
+        return bottom - (bottom - top) * frac
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+        f'<line x1="{left}" y1="{bottom}" x2="{right}" y2="{bottom}" '
+        'stroke="#333"/>',
+        f'<line x1="{left}" y1="{bottom}" x2="{left}" y2="{top}" '
+        'stroke="#333"/>',
+        f'<text x="{(left + right) / 2:.0f}" y="{height - 12}" '
+        'font-size="12" text-anchor="middle" font-family="sans-serif">'
+        "number of offline devices</text>",
+        f'<text x="16" y="{(top + bottom) / 2:.0f}" font-size="12" '
+        f'font-family="sans-serif" transform="rotate(-90 16 '
+        f'{(top + bottom) / 2:.0f})" text-anchor="middle">'
+        "fraction failing reconstruction</text>",
+    ]
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        parts.append(
+            f'<text x="{left - 8}" y="{sy(frac) + 4:.0f}" font-size="10" '
+            f'text-anchor="end" font-family="sans-serif">{frac:g}</text>'
+        )
+    for k in range(0, k_max + 1, max(1, k_max // 8)):
+        parts.append(
+            f'<text x="{sx(k):.0f}" y="{bottom + 16}" font-size="10" '
+            f'text-anchor="middle" font-family="sans-serif">{k}</text>'
+        )
+    for pi, prof in enumerate(profiles):
+        colour = palette[pi % len(palette)]
+        pts = " ".join(
+            f"{sx(k):.1f},{sy(prof.fail_fraction[k]):.1f}"
+            for k in range(min(k_max, prof.num_devices) + 1)
+        )
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{colour}" '
+            'stroke-width="1.8"/>'
+        )
+        parts.append(
+            f'<text x="{right - 200}" y="{top + 16 * pi + 4}" '
+            f'font-size="11" font-family="sans-serif" fill="{colour}">'
+            f"{escape(prof.system_name)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg_text: str, path: str | os.PathLike) -> None:
+    """Write an SVG string to disk."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg_text)

@@ -1,0 +1,227 @@
+"""Command-line interface for the Tornado archival toolkit.
+
+Operational entry points for the workflows a storage operator needs —
+the paper's conclusion is that deployments must use *precompiled,
+tested* graphs, so graph production and certification are first-class
+commands:
+
+* ``repro certify`` — generate, defect-screen, feedback-adjust, and
+  export a certified graph (GraphML);
+* ``repro analyze`` — exact worst-case report for a stored graph;
+* ``repro profile`` — Monte Carlo failure profile (JSON);
+* ``repro overhead`` — incremental-retrieval overhead measurement;
+* ``repro reliability`` — Table 5-style comparison of the catalog
+  graphs against RAID and mirroring.
+
+Run ``python -m repro <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tornado Codes for archival storage (HPDC 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "certify", help="generate, screen, adjust and export a graph"
+    )
+    p.add_argument("--num-data", type=int, default=48)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--target", type=int, default=5,
+                   help="target first failure (default 5)")
+    p.add_argument("--out", default=None,
+                   help="GraphML output path (default: derived from seed)")
+
+    p = sub.add_parser("analyze", help="worst-case report for a GraphML graph")
+    p.add_argument("graph", help="GraphML file")
+    p.add_argument("--max-k", type=int, default=5)
+
+    p = sub.add_parser("profile", help="Monte Carlo failure profile")
+    p.add_argument("graph", help="GraphML file")
+    p.add_argument("--samples", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="profile JSON output path")
+
+    p = sub.add_parser(
+        "overhead", help="incremental-retrieval overhead measurement"
+    )
+    p.add_argument("graph", help="GraphML file")
+    p.add_argument("--trials", type=int, default=2000)
+    p.add_argument("--decoder", choices=["peeling", "ml"], default="peeling")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "reliability",
+        help="Table 5-style reliability comparison (catalog graphs)",
+    )
+    p.add_argument("--samples", type=int, default=2000)
+    p.add_argument("--afr", type=float, default=0.01)
+
+    p = sub.add_parser(
+        "render",
+        help="SVG rendering of a graph under a loss pattern (paper §3)",
+    )
+    p.add_argument("graph", help="GraphML file")
+    p.add_argument(
+        "--missing",
+        default="",
+        help="comma-separated lost node ids (default: none)",
+    )
+    p.add_argument("--out", required=True, help="SVG output path")
+
+    return parser
+
+
+def _cmd_certify(args) -> int:
+    from .core import (
+        adjust_graph,
+        analyze_worst_case,
+        generate_certified,
+        save_graphml,
+    )
+
+    report = generate_certified(args.num_data, seed=args.seed)
+    print(
+        f"accepted seed {report.seed_used} after {report.attempts} attempts"
+    )
+    result = adjust_graph(report.graph, target_first_failure=args.target)
+    wc = analyze_worst_case(result.graph, max_k=args.target)
+    print(wc.describe())
+    if not result.achieved_target:
+        print(
+            f"warning: target first failure {args.target} not reached",
+            file=sys.stderr,
+        )
+    out = args.out or f"tornado-n{args.num_data}-seed{report.seed_used}.graphml"
+    save_graphml(result.graph, out)
+    print(f"graph written to {out}")
+    return 0 if result.achieved_target else 1
+
+
+def _cmd_analyze(args) -> int:
+    from .core import analyze_worst_case, load_graphml
+
+    graph = load_graphml(args.graph)
+    print(analyze_worst_case(graph, max_k=args.max_k).describe())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .core import load_graphml
+    from .sim import profile_graph
+
+    graph = load_graphml(args.graph)
+    prof = profile_graph(
+        graph, samples_per_k=args.samples, seed=args.seed
+    )
+    print(
+        f"{graph.name}: first failure {prof.first_failure()}, "
+        f"avg capable {prof.average_nodes_capable():.2f}, "
+        f"50% point {prof.nodes_for_success_probability(0.5)} nodes "
+        f"(overhead {prof.overhead_at_probability(0.5):.2f})"
+    )
+    if args.out:
+        prof.save(args.out)
+        print(f"profile written to {args.out}")
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from .core import load_graphml
+    from .sim import measure_retrieval_overhead
+
+    graph = load_graphml(args.graph)
+    result = measure_retrieval_overhead(
+        graph,
+        n_trials=args.trials,
+        rng=np.random.default_rng(args.seed),
+        decoder=args.decoder,
+    )
+    print(
+        f"{graph.name} [{args.decoder}]: mean downloads "
+        f"{result.mean_downloads:.2f} of {graph.num_nodes} "
+        f"(overhead {result.mean_overhead:.3f}, "
+        f"p95 {result.percentile(95):.0f})"
+    )
+    return 0
+
+
+def _cmd_reliability(args) -> int:
+    from .analysis import format_table
+    from .graphs import tornado_catalog_graph
+    from .raid import (
+        mirrored_system,
+        raid5_system,
+        raid6_system,
+        striped_system,
+    )
+    from .reliability import reliability_table
+    from .sim import FailureProfile, profile_graph
+
+    profiles = [
+        FailureProfile.from_analytic(s)
+        for s in (
+            striped_system(),
+            raid5_system(),
+            raid6_system(),
+            mirrored_system(),
+        )
+    ]
+    for number in (1, 2, 3):
+        graph = tornado_catalog_graph(number)
+        profiles.append(
+            profile_graph(graph, samples_per_k=args.samples, seed=0)
+        )
+    rows = [
+        [e.system_name, e.data_devices, e.parity_devices, f"{e.p_fail:.4g}"]
+        for e in reliability_table(profiles, afr=args.afr)
+    ]
+    print(
+        format_table(["System", "Data", "Parity", "P(fail)"], rows)
+    )
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from .analysis import save_svg, svg_failure_graph
+    from .core import load_graphml, render_failure
+
+    graph = load_graphml(args.graph)
+    missing = [
+        int(x) for x in args.missing.split(",") if x.strip() != ""
+    ]
+    save_svg(svg_failure_graph(graph, missing), args.out)
+    print(render_failure(graph, missing))
+    print(f"rendering written to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "certify": _cmd_certify,
+    "analyze": _cmd_analyze,
+    "profile": _cmd_profile,
+    "overhead": _cmd_overhead,
+    "reliability": _cmd_reliability,
+    "render": _cmd_render,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,224 @@
+"""Feedback-based graph adjustment (paper §3.3).
+
+Given the critical sets found by worst-case analysis, the paper performs
+a manual tweak we automate here:
+
+1. identify the *target left node* — the node involved in the most
+   failure sets;
+2. among the check nodes the target feeds, find the one most implicated
+   in the failures (its constraint lies inside the closed right set);
+3. rewire one edge: detach the target from that check and attach it to a
+   same-level check that is *not* involved in any failure, opening the
+   closed set;
+4. re-test; keep the change only if the failure landscape improved
+   (higher first failure, or fewer critical sets at the same first
+   failure) — "forcing an adjustment with bad replacement nodes corrects
+   the target set but creates new failure sets".
+
+The loop repeats until the graph reaches the target first failure or no
+candidate rewiring improves it.  As in the paper, success depends on the
+graph: with average degree ~3.6 there are usually enough replacement
+candidates to reach first failure 5, but not 6.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .critical import minimal_bad_stopping_sets
+from .graph import Constraint, ErasureGraph, GraphValidationError
+
+__all__ = ["AdjustmentStep", "AdjustmentResult", "adjust_graph", "rewire"]
+
+
+@dataclass(frozen=True)
+class AdjustmentStep:
+    """One accepted rewiring: target left node moved between checks."""
+
+    target_left: int
+    old_check: int
+    new_check: int
+    sets_before: int
+    sets_after: int
+    first_failure_before: int
+    first_failure_after: int
+
+
+@dataclass(frozen=True)
+class AdjustmentResult:
+    """Adjusted graph plus the accepted rewiring history."""
+
+    graph: ErasureGraph
+    steps: tuple[AdjustmentStep, ...]
+    achieved_target: bool
+    residual_sets: tuple[frozenset[int], ...]
+
+
+def rewire(
+    graph: ErasureGraph, left: int, old_check: int, new_check: int
+) -> ErasureGraph:
+    """Move ``left`` from ``old_check``'s equation to ``new_check``'s.
+
+    Raises :class:`GraphValidationError` if the move is structurally
+    illegal (left absent from the old constraint, already present in the
+    new one, or the old constraint would drop below two lefts).
+    """
+    by_check = {c.check: i for i, c in enumerate(graph.constraints)}
+    if old_check not in by_check or new_check not in by_check:
+        raise GraphValidationError("unknown check node in rewire")
+    old_i, new_i = by_check[old_check], by_check[new_check]
+    old_con, new_con = graph.constraints[old_i], graph.constraints[new_i]
+    if left not in old_con.lefts:
+        raise GraphValidationError(
+            f"node {left} is not a left of check {old_check}"
+        )
+    if left in new_con.lefts:
+        raise GraphValidationError(
+            f"node {left} already feeds check {new_check}"
+        )
+    if len(old_con.lefts) <= 2:
+        raise GraphValidationError(
+            f"check {old_check} would drop below two lefts"
+        )
+    constraints = list(graph.constraints)
+    constraints[old_i] = Constraint(
+        check=old_check,
+        lefts=tuple(l for l in old_con.lefts if l != left),
+    )
+    constraints[new_i] = Constraint(
+        check=new_check,
+        lefts=tuple(sorted((*new_con.lefts, left))),
+    )
+    return graph.with_constraints(constraints)
+
+
+def _level_of_check(graph: ErasureGraph) -> dict[int, int]:
+    """Map each check node to its cascade level index."""
+    out: dict[int, int] = {}
+    for level_idx, con_indices in enumerate(graph.levels):
+        for ci in con_indices:
+            out[graph.constraints[ci].check] = level_idx
+    return out
+
+
+def _first_failure_of(sets: list[frozenset[int]], cap: int) -> int:
+    return min((len(s) for s in sets), default=cap)
+
+
+def adjust_graph(
+    graph: ErasureGraph,
+    target_first_failure: int = 5,
+    max_rounds: int = 40,
+) -> AdjustmentResult:
+    """Iteratively rewire edges until first failure reaches the target.
+
+    Deterministic: candidate rewirings are evaluated in a fixed order and
+    the first strictly-improving one is kept each round.  Terminates when
+    the target is met, no candidate improves, or ``max_rounds`` passes.
+    """
+    search_size = target_first_failure - 1
+    check_level = _level_of_check(graph)
+    steps: list[AdjustmentStep] = []
+
+    current = graph
+    sets = minimal_bad_stopping_sets(current, max_size=search_size)
+    for _round in range(max_rounds):
+        if not sets:
+            break
+        improved = _try_one_round(
+            current, sets, check_level, search_size, steps
+        )
+        if improved is None:
+            break
+        current, sets = improved
+
+    achieved = not sets
+    name = current.name
+    if steps and not name.endswith("-adjusted"):
+        current = current.renamed(name + "-adjusted")
+    return AdjustmentResult(
+        graph=current,
+        steps=tuple(steps),
+        achieved_target=achieved,
+        residual_sets=tuple(sets),
+    )
+
+
+def _try_one_round(
+    graph: ErasureGraph,
+    sets: list[frozenset[int]],
+    check_level: dict[int, int],
+    search_size: int,
+    steps: list[AdjustmentStep],
+) -> tuple[ErasureGraph, list[frozenset[int]]] | None:
+    """Attempt one improving rewire; mutate ``steps`` and return new state."""
+    ff_before = _first_failure_of(sets, search_size + 1)
+    score_before = (ff_before, -len(sets))
+
+    involved_nodes: Counter[int] = Counter()
+    for s in sets:
+        involved_nodes.update(s)
+    # Check nodes whose constraints sit inside some failure's closed set.
+    involved_checks: Counter[int] = Counter()
+    failure_union: set[int] = set()
+    for s in sets:
+        failure_union |= s
+        for con in graph.constraints:
+            overlap = sum(1 for m in con.members() if m in s)
+            if overlap >= 2:
+                involved_checks[con.check] += 1
+
+    # Candidate target lefts: most implicated first (paper's heuristic).
+    target_candidates = [
+        node
+        for node, _cnt in involved_nodes.most_common()
+        if any(node in c.lefts for c in graph.constraints)
+    ]
+
+    for target in target_candidates:
+        feeding = [c for c in graph.constraints if target in c.lefts]
+        # Most-implicated check first.
+        feeding.sort(
+            key=lambda c: (-involved_checks.get(c.check, 0), c.check)
+        )
+        for old_con in feeding:
+            if involved_checks.get(old_con.check, 0) == 0:
+                continue  # only open checks inside a closed set
+            if len(old_con.lefts) <= 2:
+                continue
+            level = check_level[old_con.check]
+            replacements = [
+                c
+                for c in graph.constraints
+                if check_level[c.check] == level
+                and c.check != old_con.check
+                and target not in c.lefts
+                and involved_checks.get(c.check, 0) == 0
+                and not (set(c.members()) & failure_union)
+            ]
+            # Lightly loaded replacements first: adding an edge to a
+            # low-degree check perturbs the distribution least.
+            replacements.sort(key=lambda c: (len(c.lefts), c.check))
+            for new_con in replacements:
+                candidate = rewire(
+                    graph, target, old_con.check, new_con.check
+                )
+                new_sets = minimal_bad_stopping_sets(
+                    candidate, max_size=search_size
+                )
+                ff_after = _first_failure_of(new_sets, search_size + 1)
+                if (ff_after, -len(new_sets)) > score_before:
+                    steps.append(
+                        AdjustmentStep(
+                            target_left=target,
+                            old_check=old_con.check,
+                            new_check=new_con.check,
+                            sets_before=len(sets),
+                            sets_after=len(new_sets),
+                            first_failure_before=ff_before,
+                            first_failure_after=ff_after,
+                        )
+                    )
+                    return candidate, new_sets
+    return None

@@ -1,0 +1,103 @@
+"""Random bipartite level construction via the edge-socket model.
+
+A cascade level connects ``L`` left nodes to ``R`` right (check) nodes.
+Given integer degree sequences for both sides with equal sums, the
+classic construction materialises one "socket" per edge endpoint on each
+side and matches them with a random permutation.  The permutation can
+create parallel edges (the same left/right pair twice); a parallel XOR
+edge cancels itself, so the repair pass below swaps right endpoints
+between edges until the multigraph is simple.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["random_bipartite_edges", "MultiEdgeRepairError"]
+
+
+class MultiEdgeRepairError(RuntimeError):
+    """Raised when parallel edges cannot be repaired into a simple graph."""
+
+
+def random_bipartite_edges(
+    left_degrees: Sequence[int],
+    right_degrees: Sequence[int],
+    rng: np.random.Generator,
+    max_repair_rounds: int = 200,
+) -> list[tuple[int, int]]:
+    """Sample a simple bipartite graph with the given degree sequences.
+
+    Returns ``(left_index, right_index)`` pairs with local indices
+    (``0..L-1`` / ``0..R-1``).  Raises :class:`MultiEdgeRepairError` if
+    the degree sequences make a simple graph impossible to reach by
+    endpoint swaps (e.g. a left degree exceeding the number of rights).
+    """
+    if sum(left_degrees) != sum(right_degrees):
+        raise ValueError(
+            f"edge totals differ: left={sum(left_degrees)} "
+            f"right={sum(right_degrees)}"
+        )
+    n_right = len(right_degrees)
+    if any(d > n_right for d in left_degrees):
+        raise MultiEdgeRepairError(
+            "a left degree exceeds the number of right nodes; "
+            "no simple graph exists"
+        )
+
+    left_sockets = np.repeat(
+        np.arange(len(left_degrees)), np.asarray(left_degrees, dtype=np.int64)
+    )
+    right_sockets = np.repeat(
+        np.arange(n_right), np.asarray(right_degrees, dtype=np.int64)
+    )
+    lefts = left_sockets  # already grouped; permuting one side suffices
+
+    # Pairwise swaps cannot untangle every duplicate pattern (dense
+    # levels can need 3-cycles), so a handful of full re-permutations
+    # backs up the cheap swap repair.
+    for _restart in range(20):
+        rights = rng.permutation(right_sockets)
+        for _ in range(max_repair_rounds):
+            dup_positions = _duplicate_positions(lefts, rights)
+            if not dup_positions:
+                return list(zip(lefts.tolist(), rights.tolist()))
+            # Swap each duplicate's right endpoint with a random other
+            # edge, accepting the swap only if it removes the duplicate
+            # pair and does not introduce one for the partner edge.
+            existing = set(zip(lefts.tolist(), rights.tolist()))
+            for pos in dup_positions:
+                for _attempt in range(50):
+                    other = int(rng.integers(len(lefts)))
+                    if other == pos:
+                        continue
+                    a = (int(lefts[pos]), int(rights[other]))
+                    b = (int(lefts[other]), int(rights[pos]))
+                    if a == b or a in existing or b in existing:
+                        continue
+                    if lefts[pos] == lefts[other]:
+                        continue
+                    rights[pos], rights[other] = rights[other], rights[pos]
+                    break
+            # loop re-checks for duplicates from scratch
+
+    raise MultiEdgeRepairError(
+        "failed to remove parallel edges after "
+        f"{max_repair_rounds} repair rounds x 20 restarts"
+    )
+
+
+def _duplicate_positions(
+    lefts: np.ndarray, rights: np.ndarray
+) -> list[int]:
+    """Positions of edges that repeat an earlier (left, right) pair."""
+    seen: set[tuple[int, int]] = set()
+    dups: list[int] = []
+    for i, pair in enumerate(zip(lefts.tolist(), rights.tolist())):
+        if pair in seen:
+            dups.append(i)
+        else:
+            seen.add(pair)
+    return dups

@@ -1,0 +1,166 @@
+"""Real-data Tornado encoding and decoding.
+
+Everything else in the package reasons about *decodability*; this module
+moves actual bytes.  Blocks are fixed-size ``uint8`` NumPy rows; encoding
+walks the cascade levels in order computing each check block as the XOR
+of its left blocks, and decoding replays the peeling schedule from
+:class:`repro.core.decoder.PeelingDecoder` with XOR on block contents.
+Because a parity constraint XORs to zero across all members, any single
+unknown member is the XOR of the others — the same rule for both
+directions of the cascade.
+
+Payload helpers segment an arbitrary byte string into one or more
+stripes of ``num_data`` blocks with explicit length framing, which is
+the transactional whole-object interface archival systems use (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .decoder import PeelingDecoder
+from .graph import ErasureGraph
+
+__all__ = [
+    "DecodeFailure",
+    "TornadoCodec",
+    "EncodedStripe",
+]
+
+
+class DecodeFailure(RuntimeError):
+    """Raised when peeling cannot recover every data block."""
+
+    def __init__(self, residual: frozenset[int]):
+        self.residual = residual
+        super().__init__(
+            f"unrecoverable: {len(residual)} nodes stuck "
+            f"(e.g. {sorted(residual)[:6]})"
+        )
+
+
+@dataclass(frozen=True)
+class EncodedStripe:
+    """One encoded stripe: a block per graph node plus framing metadata."""
+
+    blocks: np.ndarray  # (num_nodes, block_size) uint8
+    payload_length: int  # bytes of real payload carried by this stripe
+
+
+class TornadoCodec:
+    """Encode/decode byte blocks over any :class:`ErasureGraph`."""
+
+    def __init__(self, graph: ErasureGraph, block_size: int):
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.graph = graph
+        self.block_size = block_size
+        self._decoder = PeelingDecoder(graph)
+        self._members = graph.constraint_members()
+        # Constraint evaluation order honouring the cascade levels.
+        self._encode_order = [
+            ci for level in graph.levels for ci in level
+        ]
+
+    # ------------------------------------------------------------------
+    # Block-level API
+    # ------------------------------------------------------------------
+
+    def encode_blocks(self, data_blocks: np.ndarray) -> np.ndarray:
+        """Fill check blocks from data blocks.
+
+        ``data_blocks`` has shape ``(num_data, block_size)``; the result
+        has one row per graph node with data rows at the data node ids.
+        """
+        g = self.graph
+        data_blocks = np.asarray(data_blocks, dtype=np.uint8)
+        if data_blocks.shape != (g.num_data, self.block_size):
+            raise ValueError(
+                f"expected ({g.num_data}, {self.block_size}) data blocks, "
+                f"got {data_blocks.shape}"
+            )
+        blocks = np.zeros((g.num_nodes, self.block_size), dtype=np.uint8)
+        blocks[list(g.data_nodes)] = data_blocks
+        for ci in self._encode_order:
+            con = g.constraints[ci]
+            np.bitwise_xor.reduce(
+                blocks[list(con.lefts)], axis=0, out=blocks[con.check]
+            )
+        return blocks
+
+    def decode_blocks(
+        self, blocks: np.ndarray, present: np.ndarray
+    ) -> np.ndarray:
+        """Recover all data blocks given the surviving node blocks.
+
+        ``present`` is a boolean per-node availability mask; rows of
+        ``blocks`` for absent nodes are ignored.  Returns the
+        ``(num_data, block_size)`` data matrix or raises
+        :class:`DecodeFailure`.
+        """
+        g = self.graph
+        present = np.asarray(present, dtype=bool)
+        if present.shape != (g.num_nodes,):
+            raise ValueError("present mask must have one entry per node")
+        work = np.array(blocks, dtype=np.uint8, copy=True)
+        if work.shape != (g.num_nodes, self.block_size):
+            raise ValueError("blocks matrix has the wrong shape")
+        work[~present] = 0
+
+        missing = np.flatnonzero(~present)
+        result = self._decoder.decode(missing)
+        if not result.success:
+            data_stuck = frozenset(
+                n for n in result.residual if n in set(g.data_nodes)
+            )
+            raise DecodeFailure(data_stuck or result.residual)
+        for ci, node in result.steps:
+            others = [m for m in self._members[ci] if m != node]
+            np.bitwise_xor.reduce(work[others], axis=0, out=work[node])
+        return work[list(g.data_nodes)]
+
+    # ------------------------------------------------------------------
+    # Payload (whole-object) API
+    # ------------------------------------------------------------------
+
+    @property
+    def stripe_capacity(self) -> int:
+        """Payload bytes carried by one stripe."""
+        return self.graph.num_data * self.block_size
+
+    def encode_payload(self, payload: bytes) -> list[EncodedStripe]:
+        """Segment and encode an object into stripes (zero-padded tail)."""
+        cap = self.stripe_capacity
+        stripes: list[EncodedStripe] = []
+        n_stripes = max(1, -(-len(payload) // cap))
+        for i in range(n_stripes):
+            chunk = payload[i * cap : (i + 1) * cap]
+            buf = np.zeros(cap, dtype=np.uint8)
+            buf[: len(chunk)] = np.frombuffer(chunk, dtype=np.uint8)
+            data = buf.reshape(self.graph.num_data, self.block_size)
+            stripes.append(
+                EncodedStripe(
+                    blocks=self.encode_blocks(data),
+                    payload_length=len(chunk),
+                )
+            )
+        return stripes
+
+    def decode_payload(
+        self,
+        stripes: list[EncodedStripe],
+        present_masks: list[np.ndarray] | None = None,
+    ) -> bytes:
+        """Reassemble an object from its (possibly degraded) stripes."""
+        parts: list[bytes] = []
+        for i, stripe in enumerate(stripes):
+            present = (
+                present_masks[i]
+                if present_masks is not None
+                else np.ones(self.graph.num_nodes, dtype=bool)
+            )
+            data = self.decode_blocks(stripe.blocks, present)
+            parts.append(data.tobytes()[: stripe.payload_length])
+        return b"".join(parts)

@@ -1,0 +1,275 @@
+"""Peeling (iterative erasure) decoding for :class:`ErasureGraph`.
+
+Tornado decoding repeatedly applies one rule: *if a parity constraint has
+exactly one unknown member, solve for it*.  This covers both directions
+the paper describes — recovering a missing left node from a check node
+with one missing left neighbour, and recomputing a missing check node
+whose left set is complete.  Decoding succeeds when every data node is
+known.  The set of nodes still unknown at the fixpoint is the *residual*;
+residuals are exactly the graph's stopping sets, which is what makes the
+worst-case analysis in :mod:`repro.core.critical` exact.
+
+Two engines are provided:
+
+* :class:`PeelingDecoder` — scalar, counter-based, O(edges) per case with
+  no per-case allocation beyond small lists.  Used by exhaustive search,
+  the codec, and anywhere a recovery *schedule* is needed.
+* :class:`BatchPeelingDecoder` — decodes thousands of erasure patterns at
+  once using dense float32 matmuls (membership-matrix products), the
+  vectorisation strategy from DESIGN.md §6.  Used by Monte Carlo
+  simulation where only pass/fail is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .graph import ErasureGraph
+
+__all__ = [
+    "DecodeResult",
+    "PeelingDecoder",
+    "BatchPeelingDecoder",
+]
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of peeling one erasure pattern.
+
+    ``steps`` is the recovery schedule: ``(constraint_index, node)`` pairs
+    in the order nodes were solved.  Replaying the schedule with XOR on
+    real block contents is exactly data reconstruction (see
+    :mod:`repro.core.codec`).  ``residual`` holds the nodes that remained
+    unknown; ``success`` is true iff no *data* node is in the residual.
+    """
+
+    success: bool
+    steps: tuple[tuple[int, int], ...]
+    residual: frozenset[int]
+
+    @property
+    def recovered(self) -> tuple[int, ...]:
+        return tuple(node for _, node in self.steps)
+
+
+class PeelingDecoder:
+    """Scalar peeling decoder with preprocessed incidence structure."""
+
+    def __init__(self, graph: ErasureGraph):
+        self.graph = graph
+        self._members: list[tuple[int, ...]] = graph.constraint_members()
+        self._node_cons: list[tuple[int, ...]] = [
+            tuple(cs) for cs in graph.node_constraints()
+        ]
+        self._is_data = np.zeros(graph.num_nodes, dtype=bool)
+        self._is_data[list(graph.data_nodes)] = True
+        # Work arrays reused across calls (reset via touched lists).
+        self._cnt = [0] * len(graph.constraints)
+        self._known = [True] * graph.num_nodes
+
+    # ------------------------------------------------------------------
+
+    def is_recoverable(self, missing: Iterable[int]) -> bool:
+        """True iff all data nodes can be recovered with ``missing`` lost.
+
+        Fast path used inside combinatorial searches: identical peeling
+        to :meth:`decode` but without building the result object.
+        """
+        cnt = self._cnt
+        known = self._known
+        node_cons = self._node_cons
+        members = self._members
+
+        missing_list = [m for m in missing]
+        touched_nodes: list[int] = []
+        touched_cons: list[int] = []
+        unknown_data = 0
+        for m in missing_list:
+            if not known[m]:
+                continue
+            known[m] = False
+            touched_nodes.append(m)
+            if self._is_data[m]:
+                unknown_data += 1
+            for ci in node_cons[m]:
+                if cnt[ci] == 0:
+                    touched_cons.append(ci)
+                cnt[ci] += 1
+
+        stack = [ci for ci in touched_cons if cnt[ci] == 1]
+        while stack and unknown_data:
+            ci = stack.pop()
+            if cnt[ci] != 1:
+                continue
+            # locate the single unknown member
+            node = -1
+            for m in members[ci]:
+                if not known[m]:
+                    node = m
+                    break
+            if node < 0:  # already solved via another constraint
+                continue
+            known[node] = True
+            if self._is_data[node]:
+                unknown_data -= 1
+            for cj in node_cons[node]:
+                cnt[cj] -= 1
+                if cnt[cj] == 1:
+                    stack.append(cj)
+
+        success = unknown_data == 0
+        # reset work arrays
+        for m in touched_nodes:
+            known[m] = True
+        for ci in touched_cons:
+            cnt[ci] = 0
+        return success
+
+    def decode(self, missing: Iterable[int]) -> DecodeResult:
+        """Peel to fixpoint and return the full schedule and residual."""
+        members = self._members
+        node_cons = self._node_cons
+        known = [True] * self.graph.num_nodes
+        cnt = [0] * len(members)
+
+        missing_set = set(missing)
+        for m in missing_set:
+            known[m] = False
+            for ci in node_cons[m]:
+                cnt[ci] += 1
+
+        stack = [ci for ci in range(len(members)) if 0 < cnt[ci] == 1]
+        steps: list[tuple[int, int]] = []
+        while stack:
+            ci = stack.pop()
+            if cnt[ci] != 1:
+                continue
+            node = -1
+            for m in members[ci]:
+                if not known[m]:
+                    node = m
+                    break
+            if node < 0:
+                continue
+            known[node] = True
+            steps.append((ci, node))
+            for cj in node_cons[node]:
+                cnt[cj] -= 1
+                if cnt[cj] == 1:
+                    stack.append(cj)
+
+        residual = frozenset(n for n in missing_set if not known[n])
+        success = all(known[d] for d in self.graph.data_nodes)
+        return DecodeResult(
+            success=success, steps=tuple(steps), residual=residual
+        )
+
+    # ------------------------------------------------------------------
+
+    def residual(self, missing: Iterable[int]) -> frozenset[int]:
+        """The stopping set left after peeling ``missing``."""
+        return self.decode(missing).residual
+
+
+class BatchPeelingDecoder:
+    """Vectorised peeling over batches of erasure patterns.
+
+    Cases are rows of a boolean ``unknown`` matrix of shape
+    ``(batch, num_nodes)``.  Each iteration computes, for every constraint
+    and case, the number of unknown members with one matmul
+    ``A @ unknown.T`` (``A`` is the C×N membership matrix) and identifies
+    the solvable node of each count-1 constraint with an index-weighted
+    second matmul, then scatters the solved nodes in place.  Convergence
+    takes at most ``num_nodes`` iterations; in practice a handful.
+    """
+
+    def __init__(self, graph: ErasureGraph):
+        self.graph = graph
+        self._init_from(
+            graph.membership_matrix(dtype=np.float32),
+            graph.data_nodes,
+            graph.num_nodes,
+        )
+
+    def _init_from(self, a: np.ndarray, data_nodes, num_nodes: int) -> None:
+        self._a = np.asarray(a, dtype=np.float32)
+        self._num_nodes = num_nodes
+        idx = np.arange(num_nodes, dtype=np.float32)
+        self._a_idx = self._a * idx[np.newaxis, :]
+        self._data = np.asarray(data_nodes, dtype=np.intp)
+
+    @classmethod
+    def from_matrix(
+        cls, membership: np.ndarray, data_nodes, num_nodes: int
+    ) -> "BatchPeelingDecoder":
+        """Build a batch decoder from a raw constraint-membership matrix.
+
+        Each row marks the members of one parity relation (any single
+        unknown member is recoverable from the rest).  This admits
+        relations no single :class:`ErasureGraph` can express — e.g. the
+        cross-site equality constraints of a federated system, where the
+        same logical data block exists at two sites.
+        """
+        self = cls.__new__(cls)
+        self.graph = None
+        self._init_from(membership, data_nodes, num_nodes)
+        return self
+
+    def decode_batch(self, unknown: np.ndarray) -> np.ndarray:
+        """Return a boolean success vector for a batch of patterns.
+
+        Parameters
+        ----------
+        unknown:
+            Boolean array ``(batch, num_nodes)``; ``True`` marks a lost
+            node.  The array is not modified.
+        """
+        if unknown.ndim != 2 or unknown.shape[1] != self._num_nodes:
+            raise ValueError(
+                f"expected (batch, {self._num_nodes}) unknown matrix"
+            )
+        # Work in float32 node-major layout for the matmuls.
+        u = np.ascontiguousarray(unknown.T, dtype=np.float32)  # (N, B)
+        a = self._a
+        a_idx = self._a_idx
+        batch = u.shape[1]
+        active = np.ones(batch, dtype=bool)
+
+        while True:
+            cols = np.flatnonzero(active)
+            if cols.size == 0:
+                break
+            u_act = u[:, cols]
+            cnt = a @ u_act  # (C, B_active) unknown-member counts
+            solvable = cnt == 1.0
+            progressed = solvable.any(axis=0)
+            if not progressed.any():
+                break
+            # Index-weighted sum: for count-1 constraints this equals the
+            # id of the single unknown member.
+            ids = a_idx @ u_act
+            con_i, case_i = np.nonzero(solvable)
+            nodes = ids[con_i, case_i].astype(np.intp)
+            u[nodes, cols[case_i]] = 0.0
+            # A case goes inactive once all data nodes are known (the
+            # remaining check nodes cannot change pass/fail) or once it
+            # made no progress this round (peeling fixpoint reached).
+            still_unknown = u[self._data][:, cols].any(axis=0)
+            active[cols] = still_unknown & progressed
+
+        return ~u[self._data].any(axis=0)
+
+    def decode_missing_sets(
+        self, missing_sets: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Convenience wrapper taking explicit lost-node id lists."""
+        unknown = np.zeros(
+            (len(missing_sets), self._num_nodes), dtype=bool
+        )
+        for row, ms in enumerate(missing_sets):
+            unknown[row, list(ms)] = True
+        return self.decode_batch(unknown)

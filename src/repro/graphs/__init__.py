@@ -1,0 +1,29 @@
+"""Alternate graph families the paper compares against Tornado Codes."""
+
+from ..core.cascade import cascade_graph_from_degrees
+from .altered import altered_tornado_doubled, altered_tornado_shifted
+from .catalog import (
+    NUM_DATA_96,
+    TORNADO_SEEDS,
+    catalog_96_node_systems,
+    tornado_catalog_graph,
+)
+from .lec import LECCandidate, lec_like_graph
+from .mirror import mirrored_graph, replicated_graph, striped_graph
+from .regular import regular_graph
+
+__all__ = [
+    "LECCandidate",
+    "lec_like_graph",
+    "NUM_DATA_96",
+    "TORNADO_SEEDS",
+    "altered_tornado_doubled",
+    "altered_tornado_shifted",
+    "cascade_graph_from_degrees",
+    "catalog_96_node_systems",
+    "mirrored_graph",
+    "regular_graph",
+    "replicated_graph",
+    "striped_graph",
+    "tornado_catalog_graph",
+]

@@ -1,0 +1,52 @@
+"""Altered Tornado Code distributions (paper §4.3, Fig. 5 / Table 3).
+
+The paper perturbs the Tornado degree distribution two ways — doubling
+every edge degree and shifting every degree by +1 — and observes that
+extra connectivity raises the first failure but worsens the average
+failure point (a check node with too many neighbours is rarely down to
+exactly one missing left).  These constructors reuse the standard
+cascade machinery with the transformed distribution.
+"""
+
+from __future__ import annotations
+
+from ..core.cascade import DEFAULT_HEAVY_TAIL_D, tornado_graph
+from ..core.degree import doubled, heavy_tail_distribution, shifted
+from ..core.graph import ErasureGraph
+
+__all__ = ["altered_tornado_doubled", "altered_tornado_shifted"]
+
+
+def altered_tornado_doubled(
+    num_data: int,
+    *,
+    heavy_tail_d: int = DEFAULT_HEAVY_TAIL_D,
+    seed: int | None = None,
+    name: str | None = None,
+) -> ErasureGraph:
+    """Tornado cascade with every left edge degree doubled."""
+    dist = doubled(heavy_tail_distribution(heavy_tail_d))
+    return tornado_graph(
+        num_data,
+        left_dist=dist,
+        seed=seed,
+        name=name or f"tornado-doubled-n{num_data}-seed{seed}",
+    )
+
+
+def altered_tornado_shifted(
+    num_data: int,
+    *,
+    heavy_tail_d: int = DEFAULT_HEAVY_TAIL_D,
+    delta: int = 1,
+    seed: int | None = None,
+    name: str | None = None,
+) -> ErasureGraph:
+    """Tornado cascade with every left edge degree shifted by ``delta``."""
+    dist = shifted(heavy_tail_distribution(heavy_tail_d), delta)
+    return tornado_graph(
+        num_data,
+        left_dist=dist,
+        seed=seed,
+        name=name or f"tornado-shifted{delta:+d}-n{num_data}-seed{seed}",
+    )

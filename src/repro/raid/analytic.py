@@ -1,0 +1,164 @@
+"""Exact failure probabilities for RAID-style systems (paper §3–§4).
+
+These closed forms give ``P(data loss | k devices offline)`` for the
+comparison systems in the paper's Figure 3 / Table 1 and the reliability
+table (Table 5):
+
+* **Mirroring** (paper Eq. 1): with ``n`` mirror pairs over ``2n``
+  devices, a loss of ``k`` devices destroys data iff some pair is fully
+  offline.  Counting loss patterns that leave every pair half-alive
+  gives ``P(fail|k) = 1 - C(n,k) 2^k / C(2n,k)``.  The paper validates
+  its sampling simulator against this expression to 9 significant
+  digits; our tests do the same for the exact-count path and the Monte
+  Carlo estimator.
+* **RAID5 / RAID6** (8 drawers × 12 disks in the paper): data survives
+  iff every LUN has at most ``t`` failures (``t=1`` for RAID5, ``2`` for
+  RAID6).  The surviving-pattern count is the ``k``-th coefficient of
+  the product of per-LUN polynomials ``sum_{j<=t} C(g,j) x^j`` —
+  integer-exact via convolution.
+* **Striping**: any loss is fatal.  **Individual disks**: each device is
+  its own failure domain, so "system" failure probability is per-device.
+
+All functions return exact ``fractions``-free floats computed from exact
+integer counts, so they serve as oracles for the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+__all__ = [
+    "mirrored_fail_given_k",
+    "grouped_mds_fail_given_k",
+    "striped_fail_given_k",
+    "AnalyticSystem",
+    "mirrored_system",
+    "raid5_system",
+    "raid6_system",
+    "striped_system",
+]
+
+
+def mirrored_fail_given_k(num_pairs: int, k: int) -> float:
+    """P(data loss | k of 2*num_pairs devices offline) for mirroring."""
+    n = num_pairs
+    if k < 0 or k > 2 * n:
+        raise ValueError(f"k={k} out of range for {2 * n} devices")
+    if k > n:
+        return 1.0  # pigeonhole: some pair must be fully offline
+    surviving = comb(n, k) * 2**k
+    return 1.0 - surviving / comb(2 * n, k)
+
+
+def grouped_mds_fail_given_k(
+    num_groups: int, group_size: int, tolerance: int, k: int
+) -> float:
+    """P(data loss | k offline) for independent MDS groups.
+
+    Each of ``num_groups`` groups of ``group_size`` devices tolerates up
+    to ``tolerance`` losses (RAID5: 1, RAID6: 2, mirror pairs:
+    ``group_size=2, tolerance=1``).  Exact by convolving the per-group
+    survivable-pattern polynomial.
+    """
+    total = num_groups * group_size
+    if k < 0 or k > total:
+        raise ValueError(f"k={k} out of range for {total} devices")
+    if tolerance >= group_size:
+        return 0.0
+    # coefficient list: ways to lose j devices in one group and survive
+    per_group = [comb(group_size, j) for j in range(tolerance + 1)]
+    poly = [1]
+    for _ in range(num_groups):
+        poly = np.convolve(poly, per_group).tolist()
+    surviving = poly[k] if k < len(poly) else 0
+    return 1.0 - surviving / comb(total, k)
+
+
+def striped_fail_given_k(k: int) -> float:
+    """P(data loss | k offline) for striping: fatal for any k >= 1."""
+    return 0.0 if k == 0 else 1.0
+
+
+@dataclass(frozen=True)
+class AnalyticSystem:
+    """A storage layout with an exact conditional failure probability.
+
+    Provides the same ``fail_given_k`` interface the simulated failure
+    profiles expose, so reliability analysis (Eqs. 2–3) treats analytic
+    and simulated systems uniformly.
+    """
+
+    name: str
+    num_devices: int
+    num_data_devices: int
+    _table: tuple[float, ...]
+
+    def fail_given_k(self, k: int) -> float:
+        return self._table[k]
+
+    def profile(self) -> np.ndarray:
+        """Vector of P(fail|k) for k = 0..num_devices."""
+        return np.asarray(self._table, dtype=float)
+
+
+def mirrored_system(num_pairs: int = 48) -> AnalyticSystem:
+    """The paper's mirrored comparison system (default 48x2 = 96)."""
+    table = tuple(
+        mirrored_fail_given_k(num_pairs, k) for k in range(2 * num_pairs + 1)
+    )
+    return AnalyticSystem(
+        name=f"Mirrored {num_pairs}x2",
+        num_devices=2 * num_pairs,
+        num_data_devices=num_pairs,
+        _table=table,
+    )
+
+
+def raid5_system(
+    num_groups: int = 8, group_size: int = 12
+) -> AnalyticSystem:
+    """RAID5 drawers (paper: 8 LUNs x 12 disks, one parity disk each)."""
+    total = num_groups * group_size
+    table = tuple(
+        grouped_mds_fail_given_k(num_groups, group_size, 1, k)
+        for k in range(total + 1)
+    )
+    return AnalyticSystem(
+        name=f"RAID5 {num_groups}x{group_size}",
+        num_devices=total,
+        num_data_devices=total - num_groups,
+        _table=table,
+    )
+
+
+def raid6_system(
+    num_groups: int = 8, group_size: int = 12
+) -> AnalyticSystem:
+    """RAID6 drawers (paper: 8 LUNs x 12 disks, two parity disks each)."""
+    total = num_groups * group_size
+    table = tuple(
+        grouped_mds_fail_given_k(num_groups, group_size, 2, k)
+        for k in range(total + 1)
+    )
+    return AnalyticSystem(
+        name=f"RAID6 {num_groups}x{group_size}",
+        num_devices=total,
+        num_data_devices=total - 2 * num_groups,
+        _table=table,
+    )
+
+
+def striped_system(num_devices: int = 96) -> AnalyticSystem:
+    """Striping across ``num_devices`` with no redundancy."""
+    table = tuple(
+        striped_fail_given_k(k) for k in range(num_devices + 1)
+    )
+    return AnalyticSystem(
+        name=f"Striped {num_devices}",
+        num_devices=num_devices,
+        num_data_devices=num_devices,
+        _table=table,
+    )

@@ -1,0 +1,36 @@
+"""Reliability modelling: device AFR to system failure probability."""
+
+from .model import (
+    DEFAULT_AFR,
+    ReliabilityEntry,
+    afr_sweep,
+    binomial_loss_pmf,
+    reliability_table,
+    system_failure_probability,
+)
+
+from .lifetime import (
+    LifetimeConfig,
+    LifetimeResult,
+    failure_predicate_for_graph,
+    failure_predicate_for_groups,
+    mttdl_mirrored,
+    mttdl_raid,
+    simulate_lifetime,
+)
+
+__all__ = [
+    "simulate_lifetime",
+    "mttdl_raid",
+    "mttdl_mirrored",
+    "failure_predicate_for_groups",
+    "failure_predicate_for_graph",
+    "LifetimeResult",
+    "LifetimeConfig",
+    "DEFAULT_AFR",
+    "ReliabilityEntry",
+    "afr_sweep",
+    "binomial_loss_pmf",
+    "reliability_table",
+    "system_failure_probability",
+]

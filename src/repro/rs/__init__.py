@@ -1,0 +1,16 @@
+"""Reed-Solomon baseline codec over GF(256)."""
+
+from .codec import ReedSolomonCodec, RSDecodeError, cauchy_matrix
+from .gf256 import gf_div, gf_inv, gf_mul, gf_pow, invert_matrix, matmul
+
+__all__ = [
+    "RSDecodeError",
+    "ReedSolomonCodec",
+    "cauchy_matrix",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_pow",
+    "invert_matrix",
+    "matmul",
+]

@@ -1,0 +1,140 @@
+"""GF(256) arithmetic with NumPy-table kernels.
+
+Substrate for the Reed–Solomon baseline codec.  Field: GF(2^8) with the
+AES/Rijndael-compatible primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d),
+generator 2.  Multiplication uses exp/log tables; the vector kernels
+(`mul_vec`, `addmul_vec`) gather through the tables so bulk block math
+stays in NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GF_EXP",
+    "GF_LOG",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "mul_vec",
+    "addmul_vec",
+    "matmul",
+    "invert_matrix",
+]
+
+_PRIM_POLY = 0x11D
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _PRIM_POLY
+    exp[255:510] = exp[:255]  # wraparound avoids a mod in hot paths
+    return exp, log
+
+
+GF_EXP, GF_LOG = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Scalar product in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(GF_EXP[GF_LOG[a] + GF_LOG[b]])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Scalar quotient; raises on division by zero."""
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return int(GF_EXP[(GF_LOG[a] - GF_LOG[b]) % 255])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return int(GF_EXP[255 - GF_LOG[a]])
+
+
+def gf_pow(a: int, n: int) -> int:
+    """``a**n`` in GF(256) (n may be any integer for a != 0)."""
+    if a == 0:
+        if n <= 0:
+            raise ZeroDivisionError("0**n undefined for n <= 0")
+        return 0
+    return int(GF_EXP[(GF_LOG[a] * n) % 255])
+
+
+def mul_vec(c: int, v: np.ndarray) -> np.ndarray:
+    """``c * v`` elementwise over GF(256) (``v`` is uint8)."""
+    if c == 0:
+        return np.zeros_like(v)
+    if c == 1:
+        return v.copy()
+    lv = GF_LOG[v]
+    out = GF_EXP[lv + GF_LOG[c]]
+    out[v == 0] = 0
+    return out.astype(np.uint8)
+
+
+def addmul_vec(acc: np.ndarray, c: int, v: np.ndarray) -> None:
+    """``acc ^= c * v`` in place (GF addition is XOR)."""
+    if c == 0:
+        return
+    np.bitwise_xor(acc, mul_vec(c, v), out=acc)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256) for small uint8 matrices."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError("shape mismatch")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        for k in range(a.shape[1]):
+            c = int(a[i, k])
+            if c:
+                addmul_vec(out[i], c, b[k])
+    return out
+
+
+def invert_matrix(m: np.ndarray) -> np.ndarray:
+    """Inverse of a square matrix over GF(256) (Gauss–Jordan).
+
+    Raises ``np.linalg.LinAlgError`` when singular.
+    """
+    m = np.asarray(m, dtype=np.uint8)
+    n = m.shape[0]
+    if m.shape != (n, n):
+        raise ValueError("matrix must be square")
+    aug = np.concatenate(
+        [m.copy(), np.eye(n, dtype=np.uint8)], axis=1
+    )
+    for col in range(n):
+        pivot = None
+        for row in range(col, n):
+            if aug[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            raise np.linalg.LinAlgError("singular matrix over GF(256)")
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        inv = gf_inv(int(aug[col, col]))
+        aug[col] = mul_vec(inv, aug[col])
+        for row in range(n):
+            if row != col and aug[row, col]:
+                addmul_vec(aug[row], int(aug[row, col]), aug[col])
+    return aug[:, n:].copy()

@@ -1,0 +1,26 @@
+"""Failure simulation: Monte Carlo profiles and worst-case search."""
+
+from .montecarlo import (
+    DEFAULT_EXACT_UPTO,
+    DEFAULT_SAMPLES_PER_K,
+    profile_graph,
+    sample_fail_fraction,
+)
+from .results import FailureProfile
+from .worstcase import WorstCaseResult, verify_exhaustive, worst_case_search
+
+from .overhead import IncrementalPeeler, OverheadResult, measure_retrieval_overhead
+
+__all__ = [
+    "measure_retrieval_overhead",
+    "OverheadResult",
+    "IncrementalPeeler",
+    "DEFAULT_EXACT_UPTO",
+    "DEFAULT_SAMPLES_PER_K",
+    "FailureProfile",
+    "WorstCaseResult",
+    "profile_graph",
+    "sample_fail_fraction",
+    "verify_exhaustive",
+    "worst_case_search",
+]

@@ -1,0 +1,173 @@
+"""Monte Carlo failure-fraction estimation (paper §3 test suite).
+
+The paper's second test suite samples random loss patterns for each
+offline-device count — 962,144,153 cases and 34 CPU-days per graph.
+This module reproduces the estimator with two scaling levers:
+
+* the **vectorised batch decoder** pushes thousands of cases through
+  BLAS matmuls per decode round (DESIGN.md §6), and
+* sweeps across offline counts fan out over a **process pool**, one
+  task per (graph, k) cell, seeded deterministically through
+  ``numpy.random.SeedSequence.spawn`` so results are reproducible at any
+  worker count.
+
+For the small-``k`` tail where failure probabilities sit near 1e-7,
+sampling is hopeless at laptop budgets; :func:`profile_graph` splices in
+exact probabilities from the critical-set inclusion–exclusion counts
+instead (strictly better than the paper's sampling there).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from ..core.critical import (
+    CountBudgetExceeded,
+    count_failing_sets,
+    minimal_bad_stopping_sets,
+)
+from ..core.decoder import BatchPeelingDecoder
+from ..core.graph import ErasureGraph
+from .results import FailureProfile
+
+__all__ = [
+    "sample_fail_fraction",
+    "profile_graph",
+    "DEFAULT_SAMPLES_PER_K",
+    "DEFAULT_EXACT_UPTO",
+]
+
+DEFAULT_SAMPLES_PER_K = 20_000
+DEFAULT_EXACT_UPTO = 6
+_MAX_BATCH = 8_192
+
+
+def _random_loss_masks(
+    num_nodes: int, k: int, batch: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Boolean (batch, num_nodes) masks with exactly k True per row.
+
+    Uses argpartition of a random matrix: O(batch * num_nodes) and fully
+    vectorised, which beats per-row ``rng.choice`` by orders of
+    magnitude at these batch sizes.
+    """
+    scores = rng.random((batch, num_nodes))
+    idx = np.argpartition(scores, k - 1, axis=1)[:, :k]
+    masks = np.zeros((batch, num_nodes), dtype=bool)
+    rows = np.repeat(np.arange(batch), k)
+    masks[rows, idx.ravel()] = True
+    return masks
+
+
+def sample_fail_fraction(
+    graph: ErasureGraph,
+    k: int,
+    n_samples: int,
+    rng: np.random.Generator,
+    decoder: BatchPeelingDecoder | None = None,
+) -> float:
+    """Estimate P(fail | k offline) from ``n_samples`` random loss sets."""
+    if k == 0:
+        return 0.0
+    if k > graph.num_nodes:
+        raise ValueError(f"k={k} exceeds {graph.num_nodes} nodes")
+    if decoder is None:
+        decoder = BatchPeelingDecoder(graph)
+    failures = 0
+    remaining = n_samples
+    while remaining > 0:
+        batch = min(remaining, _MAX_BATCH)
+        masks = _random_loss_masks(graph.num_nodes, k, batch, rng)
+        ok = decoder.decode_batch(masks)
+        failures += int(batch - ok.sum())
+        remaining -= batch
+    return failures / n_samples
+
+
+def _sweep_cell(args) -> tuple[int, float]:
+    """Process-pool worker: one (graph, k) cell of a profile sweep."""
+    graph, k, n_samples, seed_entropy = args
+    rng = np.random.default_rng(np.random.SeedSequence(seed_entropy))
+    return k, sample_fail_fraction(graph, k, n_samples, rng)
+
+
+def profile_graph(
+    graph: ErasureGraph,
+    *,
+    samples_per_k: int = DEFAULT_SAMPLES_PER_K,
+    exact_upto: int = DEFAULT_EXACT_UPTO,
+    ks: Sequence[int] | None = None,
+    seed: int = 0,
+    n_jobs: int = 1,
+) -> FailureProfile:
+    """Full failure profile of a graph (the paper's per-graph curve).
+
+    Exact inclusion–exclusion probabilities cover ``k <= exact_upto``;
+    Monte Carlo covers the rest (or the explicit ``ks`` subset, with
+    other entries left at the certain-failure/certain-success bounds).
+    ``n_jobs > 1`` distributes k-cells over processes.
+    """
+    n = graph.num_nodes
+    fail = np.zeros(n + 1, dtype=float)
+    samples = np.zeros(n + 1, dtype=np.int64)
+
+    exact_upto = min(exact_upto, n)
+    minimal = minimal_bad_stopping_sets(graph, max_size=exact_upto)
+    for k in range(exact_upto + 1):
+        try:
+            fail[k] = count_failing_sets(n, k, minimal) / comb(n, k)
+        except CountBudgetExceeded:
+            # Pathological critical-set family: sample this k instead.
+            exact_upto = k - 1
+            break
+
+    # Beyond the data-node count... every k > n - 1 data availability:
+    # losing more nodes than the check count forces data loss only at
+    # k = n; rely on sampling elsewhere but pin the trivial endpoint.
+    fail[n] = 1.0
+
+    sample_ks = [
+        k
+        for k in (ks if ks is not None else range(exact_upto + 1, n))
+        if exact_upto < k < n
+    ]
+    tasks = []
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(sample_ks))
+    for k, child in zip(sample_ks, children):
+        tasks.append((graph, k, samples_per_k, child.entropy))
+
+    if n_jobs > 1 and len(tasks) > 1:
+        workers = min(n_jobs, os.cpu_count() or 1, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for k, frac in pool.map(_sweep_cell, tasks):
+                fail[k] = frac
+                samples[k] = samples_per_k
+    else:
+        decoder = BatchPeelingDecoder(graph)
+        for graph_, k, n_samples, entropy in tasks:
+            rng = np.random.default_rng(np.random.SeedSequence(entropy))
+            fail[k] = sample_fail_fraction(
+                graph_, k, n_samples, rng, decoder=decoder
+            )
+            samples[k] = n_samples
+
+    # If the caller sampled a sparse k-grid, fill the gaps by monotone
+    # interpolation so profile metrics stay meaningful.
+    if ks is not None:
+        known = np.flatnonzero((samples > 0) | (np.arange(n + 1) <= exact_upto))
+        known = np.union1d(known, [n])
+        fail = np.interp(np.arange(n + 1), known, fail[known])
+
+    return FailureProfile(
+        system_name=graph.name,
+        num_devices=n,
+        num_data=graph.num_data,
+        fail_fraction=np.clip(fail, 0.0, 1.0),
+        samples=samples,
+    )

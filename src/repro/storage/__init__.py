@@ -1,0 +1,41 @@
+"""Simulated archival storage: devices, stripes, archive, MAID, monitor."""
+
+from .archive import DataLossError, ObjectManifest, StripeRecord, TornadoArchive
+from .device import Device, DeviceArray, DeviceState
+from .integrity import CorruptBlock, IntegrityReport, IntegrityScanner, corrupt_block
+from .maid import MAIDPowerModel, PowerReport, SessionMeter
+from .monitor import MonitorReport, StripeHealth, StripeMonitor
+from .retrieval import RetrievalPlan, plan_all, plan_data_first, plan_guided
+from .stripe import StripeMap, rotated_placement
+
+from .simulation import MissionConfig, MissionEvent, MissionReport, run_mission
+
+__all__ = [
+    "CorruptBlock",
+    "IntegrityReport",
+    "IntegrityScanner",
+    "corrupt_block",
+    "run_mission",
+    "MissionReport",
+    "MissionEvent",
+    "MissionConfig",
+    "DataLossError",
+    "Device",
+    "DeviceArray",
+    "DeviceState",
+    "MAIDPowerModel",
+    "MonitorReport",
+    "ObjectManifest",
+    "PowerReport",
+    "RetrievalPlan",
+    "SessionMeter",
+    "StripeHealth",
+    "StripeMap",
+    "StripeMonitor",
+    "StripeRecord",
+    "TornadoArchive",
+    "plan_all",
+    "plan_data_first",
+    "plan_guided",
+    "rotated_placement",
+]

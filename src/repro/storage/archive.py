@@ -1,0 +1,230 @@
+"""Transactional archival object store over Tornado-coded devices.
+
+Archival systems "function using a transactional interface where
+complete files or objects are uploaded or downloaded" (paper §2.2) —
+which is what makes Tornado Codes usable: the object size is known at
+encode time, so there are no in-place block updates rippling through the
+cascade.  :class:`TornadoArchive` provides exactly that interface over a
+:class:`~repro.storage.device.DeviceArray`: ``put`` encodes an object
+into one or more stripes placed one-node-per-device; ``get`` reads the
+surviving blocks and peels; ``scrub``/``repair`` reconstruct missing
+blocks back onto rebuilt devices (the paper's §6 "stripe reliability
+assurance" mechanism pairs with :mod:`repro.storage.monitor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.codec import DecodeFailure, TornadoCodec
+from ..core.graph import ErasureGraph
+from .device import DeviceArray
+from .stripe import StripeMap, rotated_placement
+
+__all__ = ["DataLossError", "ObjectManifest", "StripeRecord", "TornadoArchive"]
+
+
+class DataLossError(RuntimeError):
+    """An object (or stripe) is unrecoverable from the surviving devices."""
+
+    def __init__(self, name: str, stripe_index: int, residual):
+        self.object_name = name
+        self.stripe_index = stripe_index
+        self.residual = residual
+        super().__init__(
+            f"object {name!r} stripe {stripe_index}: data loss "
+            f"({len(residual)} blocks unrecoverable)"
+        )
+
+
+@dataclass(frozen=True)
+class StripeRecord:
+    """Placement and framing of one stored stripe."""
+
+    index: int
+    placement: StripeMap
+    payload_length: int
+
+
+@dataclass(frozen=True)
+class ObjectManifest:
+    """Everything needed to retrieve one archived object."""
+
+    name: str
+    size: int
+    stripes: tuple[StripeRecord, ...]
+
+
+def _block_key(name: str, stripe_index: int, node: int) -> str:
+    return f"{name}/{stripe_index}/{node}"
+
+
+class TornadoArchive:
+    """Whole-object archive on simulated devices.
+
+    Parameters
+    ----------
+    graph:
+        The (certified!) erasure graph protecting every stripe.
+    devices:
+        Device pool; must hold at least ``graph.num_nodes`` devices.
+    block_size:
+        Bytes per block; one stripe carries
+        ``graph.num_data * block_size`` payload bytes.
+    """
+
+    def __init__(
+        self,
+        graph: ErasureGraph,
+        devices: DeviceArray,
+        block_size: int = 4096,
+    ):
+        if len(devices) < graph.num_nodes:
+            raise ValueError(
+                f"{graph.num_nodes}-node stripes need at least that many "
+                f"devices; pool has {len(devices)}"
+            )
+        self.graph = graph
+        self.devices = devices
+        self.codec = TornadoCodec(graph, block_size)
+        self.objects: dict[str, ObjectManifest] = {}
+        self._next_stripe = 0
+
+    # ------------------------------------------------------------------
+    # Transactional interface
+    # ------------------------------------------------------------------
+
+    def put(self, name: str, payload: bytes) -> ObjectManifest:
+        """Encode and store a whole object; overwrites an existing name."""
+        stripes = self.codec.encode_payload(payload)
+        records: list[StripeRecord] = []
+        for encoded in stripes:
+            idx = self._next_stripe
+            self._next_stripe += 1
+            placement = rotated_placement(self.graph, len(self.devices), idx)
+            for node, dev in enumerate(placement.device_of):
+                self.devices[dev].write_block(
+                    _block_key(name, idx, node),
+                    encoded.blocks[node].tobytes(),
+                )
+            records.append(
+                StripeRecord(
+                    index=idx,
+                    placement=placement,
+                    payload_length=encoded.payload_length,
+                )
+            )
+        manifest = ObjectManifest(
+            name=name, size=len(payload), stripes=tuple(records)
+        )
+        self.objects[name] = manifest
+        return manifest
+
+    def get(self, name: str) -> bytes:
+        """Retrieve a whole object, reconstructing around failures."""
+        manifest = self._manifest(name)
+        parts: list[bytes] = []
+        for record in manifest.stripes:
+            data = self._read_stripe(manifest.name, record)
+            parts.append(data.tobytes()[: record.payload_length])
+        return b"".join(parts)
+
+    def delete(self, name: str) -> None:
+        manifest = self._manifest(name)
+        for record in manifest.stripes:
+            for node, dev in enumerate(record.placement.device_of):
+                self.devices[dev].blocks.pop(
+                    _block_key(name, record.index, node), None
+                )
+        del self.objects[name]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def missing_blocks(self, name: str) -> dict[int, list[int]]:
+        """Per-stripe graph nodes currently unavailable for an object."""
+        manifest = self._manifest(name)
+        avail = self.devices.available_mask
+        out: dict[int, list[int]] = {}
+        for record in manifest.stripes:
+            missing = record.placement.missing_nodes(avail)
+            # Blocks may also be missing because a rebuilt device came
+            # back empty.
+            for node, dev in enumerate(record.placement.device_of):
+                key = _block_key(name, record.index, node)
+                if avail[dev] and key not in self.devices[dev].blocks:
+                    missing.append(node)
+            out[record.index] = sorted(set(missing))
+        return out
+
+    def repair(self, name: str) -> int:
+        """Reconstruct and rewrite all recoverable missing blocks.
+
+        Returns the number of blocks rewritten.  Raises
+        :class:`DataLossError` if a stripe is beyond recovery.
+        """
+        manifest = self._manifest(name)
+        repaired = 0
+        avail = self.devices.available_mask
+        for record in manifest.stripes:
+            missing = self.missing_blocks(name)[record.index]
+            if not missing:
+                continue
+            blocks, present = self._collect_blocks(manifest.name, record)
+            try:
+                data = self.codec.decode_blocks(blocks, present)
+            except DecodeFailure as exc:
+                raise DataLossError(
+                    name, record.index, exc.residual
+                ) from exc
+            full = self.codec.encode_blocks(data)
+            for node in missing:
+                dev = record.placement.device_of[node]
+                if avail[dev]:
+                    self.devices[dev].write_block(
+                        _block_key(name, record.index, node),
+                        full[node].tobytes(),
+                    )
+                    repaired += 1
+        return repaired
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _manifest(self, name: str) -> ObjectManifest:
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise KeyError(f"no archived object named {name!r}") from None
+
+    def _collect_blocks(
+        self, name: str, record: StripeRecord
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read every available block of a stripe into a node matrix."""
+        g = self.graph
+        blocks = np.zeros(
+            (g.num_nodes, self.codec.block_size), dtype=np.uint8
+        )
+        present = np.zeros(g.num_nodes, dtype=bool)
+        avail = self.devices.available_mask
+        for node, dev in enumerate(record.placement.device_of):
+            if not avail[dev]:
+                continue
+            key = _block_key(name, record.index, node)
+            if key not in self.devices[dev].blocks:
+                continue
+            raw = self.devices[dev].read_block(key)
+            blocks[node] = np.frombuffer(raw, dtype=np.uint8)
+            present[node] = True
+        return blocks, present
+
+    def _read_stripe(self, name: str, record: StripeRecord) -> np.ndarray:
+        blocks, present = self._collect_blocks(name, record)
+        try:
+            return self.codec.decode_blocks(blocks, present)
+        except DecodeFailure as exc:
+            raise DataLossError(name, record.index, exc.residual) from exc

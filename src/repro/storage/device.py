@@ -1,0 +1,162 @@
+"""Simulated storage devices (the paper's "96 individually-accessible
+drives").
+
+The reproduction has no hardware, so devices are simulated state
+machines with the properties the paper's analysis depends on: they hold
+one block per stripe, they can be online, spun down (MAID), or failed,
+and they expose access counters for the power/retrieval studies.
+Failure injection drives every experiment: deterministic (`fail`),
+random k-of-n (`fail_random`), and Bernoulli AFR draws
+(`fail_bernoulli`) matching the reliability model's Eq. 2 assumptions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["DeviceState", "Device", "DeviceArray"]
+
+
+class DeviceState(enum.Enum):
+    """Lifecycle of a simulated device."""
+
+    ONLINE = "online"  # spinning, serving reads
+    STANDBY = "standby"  # spun down (MAID); data intact, access costs a spin-up
+    FAILED = "failed"  # data lost until rebuilt
+
+
+@dataclass
+class Device:
+    """One simulated drive: a block store with a state machine."""
+
+    device_id: int
+    state: DeviceState = DeviceState.ONLINE
+    blocks: dict[str, bytes] = field(default_factory=dict)
+    reads: int = 0
+    writes: int = 0
+    spin_ups: int = 0
+
+    @property
+    def available(self) -> bool:
+        """Whether the device can serve data (possibly after a spin-up)."""
+        return self.state is not DeviceState.FAILED
+
+    def write_block(self, key: str, payload: bytes) -> None:
+        self._require_alive()
+        self._spin_up_if_needed()
+        self.blocks[key] = bytes(payload)
+        self.writes += 1
+
+    def read_block(self, key: str) -> bytes:
+        self._require_alive()
+        self._spin_up_if_needed()
+        self.reads += 1
+        try:
+            return self.blocks[key]
+        except KeyError:
+            raise KeyError(
+                f"device {self.device_id} has no block {key!r}"
+            ) from None
+
+    def spin_down(self) -> None:
+        if self.state is DeviceState.ONLINE:
+            self.state = DeviceState.STANDBY
+
+    def fail(self) -> None:
+        """Destroy the device and its contents."""
+        self.state = DeviceState.FAILED
+        self.blocks.clear()
+
+    def rebuild(self) -> None:
+        """Return a failed device to service, empty."""
+        self.state = DeviceState.ONLINE
+        self.blocks.clear()
+
+    def _spin_up_if_needed(self) -> None:
+        if self.state is DeviceState.STANDBY:
+            self.state = DeviceState.ONLINE
+            self.spin_ups += 1
+
+    def _require_alive(self) -> None:
+        if self.state is DeviceState.FAILED:
+            raise IOError(f"device {self.device_id} has failed")
+
+
+class DeviceArray:
+    """A shelf of simulated devices with failure injection."""
+
+    def __init__(self, num_devices: int):
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        self.devices = [Device(device_id=i) for i in range(num_devices)]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, device_id: int) -> Device:
+        return self.devices[device_id]
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+
+    @property
+    def available_mask(self) -> np.ndarray:
+        """Boolean availability per device (failed = False)."""
+        return np.array([d.available for d in self.devices], dtype=bool)
+
+    @property
+    def failed_ids(self) -> list[int]:
+        return [
+            d.device_id
+            for d in self.devices
+            if d.state is DeviceState.FAILED
+        ]
+
+    def total_spin_ups(self) -> int:
+        return sum(d.spin_ups for d in self.devices)
+
+    def total_reads(self) -> int:
+        return sum(d.reads for d in self.devices)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def fail(self, device_ids: Iterable[int]) -> None:
+        for did in device_ids:
+            self.devices[did].fail()
+
+    def fail_random(self, k: int, rng: np.random.Generator) -> list[int]:
+        """Fail ``k`` uniformly random currently-alive devices."""
+        alive = [d.device_id for d in self.devices if d.available]
+        if k > len(alive):
+            raise ValueError(f"cannot fail {k} of {len(alive)} alive devices")
+        chosen = rng.choice(alive, size=k, replace=False).tolist()
+        self.fail(chosen)
+        return sorted(chosen)
+
+    def fail_bernoulli(
+        self, afr: float, rng: np.random.Generator
+    ) -> list[int]:
+        """Fail each alive device independently with probability ``afr``."""
+        failed = []
+        for d in self.devices:
+            if d.available and rng.random() < afr:
+                d.fail()
+                failed.append(d.device_id)
+        return failed
+
+    def rebuild_all(self) -> None:
+        for d in self.devices:
+            if d.state is DeviceState.FAILED:
+                d.rebuild()
+
+    def spin_down_all(self) -> None:
+        """Park every healthy device (MAID idle state)."""
+        for d in self.devices:
+            d.spin_down()

@@ -1,0 +1,130 @@
+"""MAID power modelling (paper §1/§2.2 motivation, §6 future work).
+
+Massive arrays of idle disks keep most devices spun down; every block
+retrieval that touches a parked disk costs a spin-up (time and energy)
+and keeps the disk active for the session.  The paper argues LDPC-coded
+storage gives the retrieval planner freedom RAID lacks — any
+sufficiently large surviving subset reconstructs the stripe, so the
+planner can prefer already-spinning disks.  This model prices retrieval
+plans so :mod:`repro.storage.retrieval` strategies can be compared in
+watt-hours rather than abstract access counts.
+
+Default constants approximate a 2006-era SATA archive drive: ~8 W
+spinning idle, ~13 W active, ~1 W standby, ~25 J and ~10 s per spin-up.
+They are deliberately configurable; all experiments report *relative*
+energy between strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .device import DeviceArray, DeviceState
+
+__all__ = ["MAIDPowerModel", "PowerReport", "SessionMeter"]
+
+
+@dataclass(frozen=True)
+class MAIDPowerModel:
+    """Per-device power/energy constants."""
+
+    active_watts: float = 13.0
+    idle_watts: float = 8.0
+    standby_watts: float = 1.0
+    spinup_joules: float = 25.0
+    spinup_seconds: float = 10.0
+
+    def session_energy(
+        self,
+        devices_touched: int,
+        spin_ups: int,
+        session_seconds: float,
+        total_devices: int,
+    ) -> float:
+        """Joules for a retrieval session.
+
+        Touched devices run active for the session; everything else
+        stays in standby; each spin-up adds its surge energy.
+        """
+        if devices_touched > total_devices:
+            raise ValueError("touched more devices than exist")
+        active = devices_touched * self.active_watts * session_seconds
+        parked = (
+            (total_devices - devices_touched)
+            * self.standby_watts
+            * session_seconds
+        )
+        surge = spin_ups * self.spinup_joules
+        return active + parked + surge
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Energy accounting for one retrieval session."""
+
+    strategy: str
+    devices_touched: int
+    spin_ups: int
+    session_seconds: float
+    energy_joules: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.strategy:<24} touched={self.devices_touched:>3} "
+            f"spinups={self.spin_ups:>3} energy={self.energy_joules:,.0f} J"
+        )
+
+
+class SessionMeter:
+    """Tracks which devices a retrieval session touches.
+
+    Wraps a :class:`DeviceArray` snapshot: devices read during the
+    session are counted once, and reads against standby devices count a
+    spin-up.  Use one meter per retrieval.
+    """
+
+    def __init__(self, devices: DeviceArray, model: MAIDPowerModel):
+        self.devices = devices
+        self.model = model
+        self._touched: set[int] = set()
+        self._spin_ups = 0
+
+    def touch(self, device_id: int) -> None:
+        if device_id in self._touched:
+            return
+        dev = self.devices[device_id]
+        if dev.state is DeviceState.FAILED:
+            raise IOError(f"device {device_id} has failed")
+        if dev.state is DeviceState.STANDBY:
+            self._spin_ups += 1
+        self._touched.add(device_id)
+
+    def touch_all(self, device_ids: Iterable[int]) -> None:
+        for did in device_ids:
+            self.touch(did)
+
+    @property
+    def touched(self) -> frozenset[int]:
+        return frozenset(self._touched)
+
+    @property
+    def spin_ups(self) -> int:
+        return self._spin_ups
+
+    def report(
+        self, strategy: str, session_seconds: float = 60.0
+    ) -> PowerReport:
+        energy = self.model.session_energy(
+            devices_touched=len(self._touched),
+            spin_ups=self._spin_ups,
+            session_seconds=session_seconds,
+            total_devices=len(self.devices),
+        )
+        return PowerReport(
+            strategy=strategy,
+            devices_touched=len(self._touched),
+            spin_ups=self._spin_ups,
+            session_seconds=session_seconds,
+            energy_joules=energy,
+        )

@@ -1,0 +1,122 @@
+"""Proactive stripe reliability monitoring (paper §6).
+
+The paper's prototype plan includes "a stripe reliability assurance and
+user introspection mechanism to proactively monitor the status of
+distributed encoded stripes and reconstruct missing blocks before a
+stripe approaches the initial failure point".  The monitor computes,
+per stripe, the *margin*: how many further losses the stripe can
+certainly absorb (the graph's first failure minus blocks already
+missing).  Stripes at or below the repair threshold are queued for
+reconstruction, most-endangered first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.critical import first_failure
+from ..core.graph import ErasureGraph
+from .archive import TornadoArchive
+
+__all__ = ["StripeHealth", "MonitorReport", "StripeMonitor"]
+
+
+@lru_cache(maxsize=32)
+def _graph_first_failure(graph: ErasureGraph, limit: int = 6) -> int:
+    ff = first_failure(graph, limit=limit)
+    return ff if ff is not None else limit + 1
+
+
+@dataclass(frozen=True)
+class StripeHealth:
+    """Health of one stripe of one object."""
+
+    object_name: str
+    stripe_index: int
+    missing_blocks: tuple[int, ...]
+    margin: int  # additional losses certainly tolerated (>= 0)
+
+    @property
+    def at_risk(self) -> bool:
+        """Within one loss of the worst-case failure boundary."""
+        return self.margin <= 1
+
+    @property
+    def lost(self) -> bool:
+        """Already past the guaranteed-recovery boundary.
+
+        A negative margin does not imply data loss (failures beyond the
+        first-failure point are merely *possible*), only that the
+        worst-case guarantee is gone.
+        """
+        return self.margin < 0
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """Snapshot of archive health."""
+
+    stripes: tuple[StripeHealth, ...]
+
+    @property
+    def at_risk(self) -> tuple[StripeHealth, ...]:
+        return tuple(s for s in self.stripes if s.at_risk)
+
+    def worst(self) -> StripeHealth | None:
+        return min(self.stripes, key=lambda s: s.margin, default=None)
+
+    def describe(self) -> str:
+        lines = [f"{len(self.stripes)} stripes monitored"]
+        for s in sorted(self.stripes, key=lambda s: s.margin)[:10]:
+            lines.append(
+                f"  {s.object_name}[{s.stripe_index}]: "
+                f"{len(s.missing_blocks)} missing, margin {s.margin}"
+            )
+        return "\n".join(lines)
+
+
+class StripeMonitor:
+    """Watches an archive and repairs endangered stripes."""
+
+    def __init__(self, archive: TornadoArchive, repair_margin: int = 1):
+        if repair_margin < 0:
+            raise ValueError("repair margin must be non-negative")
+        self.archive = archive
+        self.repair_margin = repair_margin
+
+    def scan(self) -> MonitorReport:
+        """Compute the health of every stripe in the archive."""
+        ff = _graph_first_failure(self.archive.graph)
+        healths: list[StripeHealth] = []
+        for name in self.archive.objects:
+            per_stripe = self.archive.missing_blocks(name)
+            for idx, missing in per_stripe.items():
+                healths.append(
+                    StripeHealth(
+                        object_name=name,
+                        stripe_index=idx,
+                        missing_blocks=tuple(missing),
+                        margin=ff - 1 - len(missing),
+                    )
+                )
+        return MonitorReport(stripes=tuple(healths))
+
+    def repair_cycle(self) -> dict[str, int]:
+        """Repair every object owning an at-threshold stripe.
+
+        Returns ``object name -> blocks rewritten``.  Objects whose
+        stripes are already unrecoverable raise through as
+        :class:`~repro.storage.archive.DataLossError` — surfacing loss
+        is the monitor's job, not hiding it.
+        """
+        report = self.scan()
+        endangered = {
+            s.object_name
+            for s in report.stripes
+            if s.margin <= self.repair_margin and s.missing_blocks
+        }
+        out: dict[str, int] = {}
+        for name in sorted(endangered):
+            out[name] = self.archive.repair(name)
+        return out

@@ -1,0 +1,87 @@
+"""Stripe layout: mapping graph nodes onto physical devices.
+
+A *stripe* is one encoded unit: ``num_nodes`` blocks (data + parity)
+placed on ``num_nodes`` distinct devices.  The placement map is the
+bridge between graph-level analysis ("node 17 is lost") and system-level
+events ("device 53 failed"): a device failure translates to losing the
+graph nodes it hosts, so a stripe's fault tolerance is exactly its
+graph's failure profile as long as placement assigns one node per
+device.  Rotated placement spreads load across a pool larger than one
+stripe (the MAID scenario: several stripes accessed concurrently while
+most of a 2000-disk system stays spun down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.graph import ErasureGraph
+
+__all__ = ["StripeMap", "rotated_placement"]
+
+
+@dataclass(frozen=True)
+class StripeMap:
+    """Placement of one stripe's graph nodes onto device ids.
+
+    ``device_of[node]`` is the device hosting that node's block.  The
+    map must be injective — two nodes of one stripe on one device would
+    correlate their failures and invalidate the graph analysis.
+    """
+
+    graph: ErasureGraph
+    device_of: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.device_of) != self.graph.num_nodes:
+            raise ValueError(
+                "placement needs exactly one device per graph node"
+            )
+        if len(set(self.device_of)) != len(self.device_of):
+            raise ValueError("placement must use distinct devices")
+
+    def node_of(self, device_id: int) -> int | None:
+        """Graph node hosted on ``device_id`` or None."""
+        try:
+            return self.device_of.index(device_id)
+        except ValueError:
+            return None
+
+    def devices(self) -> tuple[int, ...]:
+        return self.device_of
+
+    def missing_nodes(self, available: np.ndarray) -> list[int]:
+        """Graph nodes lost under a device availability mask."""
+        return [
+            node
+            for node, dev in enumerate(self.device_of)
+            if not available[dev]
+        ]
+
+    def present_mask(self, available: np.ndarray) -> np.ndarray:
+        """Per-node availability derived from device availability."""
+        return np.array(
+            [available[dev] for dev in self.device_of], dtype=bool
+        )
+
+
+def rotated_placement(
+    graph: ErasureGraph, pool_size: int, stripe_index: int
+) -> StripeMap:
+    """Deterministic rotated placement over a device pool.
+
+    Stripe ``i`` uses devices ``(i * num_nodes + j) % pool_size`` —
+    distinct as long as ``pool_size >= num_nodes`` — so consecutive
+    stripes land on different device subsets and a single device failure
+    touches at most one node of any stripe.
+    """
+    n = graph.num_nodes
+    if pool_size < n:
+        raise ValueError(
+            f"pool of {pool_size} devices cannot host a {n}-node stripe"
+        )
+    start = (stripe_index * n) % pool_size
+    devices = tuple((start + j) % pool_size for j in range(n))
+    return StripeMap(graph=graph, device_of=devices)

@@ -1,0 +1,120 @@
+"""Tests for reporting and the profile cache."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ProfileCache,
+    ascii_curves,
+    format_table,
+    markdown_table,
+    profile_summary_table,
+)
+from repro.raid import mirrored_system
+from repro.sim import FailureProfile
+
+
+@pytest.fixture
+def profile():
+    return FailureProfile.from_analytic(mirrored_system(48))
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["Name", "Value"], [["alpha", 1], ["b", 22222]]
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("Name")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_markdown_table(self):
+        out = markdown_table(["A", "B"], [[1, 2]])
+        assert out.splitlines()[0] == "| A | B |"
+        assert "| 1 | 2 |" in out
+
+    def test_profile_summary_contains_metrics(self, profile):
+        out = profile_summary_table([profile])
+        assert "First Failure" in out
+        assert "2" in out  # mirror first failure
+
+    def test_profile_summary_markdown_mode(self, profile):
+        out = profile_summary_table([profile], markdown=True)
+        assert out.startswith("|")
+
+
+class TestAsciiCurves:
+    def test_contains_legend_and_axis(self, profile):
+        out = ascii_curves([profile])
+        assert "A = Mirrored 48x2" in out
+        assert "offline devices" in out
+
+    def test_multiple_profiles_get_distinct_glyphs(self, profile):
+        p2 = FailureProfile(
+            system_name="other",
+            num_devices=profile.num_devices,
+            num_data=profile.num_data,
+            fail_fraction=np.ones(profile.num_devices + 1),
+            samples=np.zeros(profile.num_devices + 1, dtype=np.int64),
+        )
+        out = ascii_curves([profile, p2])
+        assert "B = other" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_curves([])
+
+    def test_k_max_truncates(self, profile):
+        narrow = ascii_curves([profile], k_max=20)
+        wide = ascii_curves([profile])
+        assert len(narrow.splitlines()[0]) < len(wide.splitlines()[0])
+
+
+class TestProfileCache:
+    def test_miss_then_hit(self, tmp_path, small_tornado):
+        cache = ProfileCache(tmp_path)
+        p1 = cache.get(small_tornado, samples_per_k=50, seed=0)
+        assert list(tmp_path.glob("*.json"))
+        p2 = cache.get(small_tornado, samples_per_k=50, seed=0)
+        np.testing.assert_array_equal(p1.fail_fraction, p2.fail_fraction)
+
+    def test_key_varies_with_samples(self, tmp_path, small_tornado):
+        cache = ProfileCache(tmp_path)
+        cache.get(small_tornado, samples_per_k=50, seed=0)
+        cache.get(small_tornado, samples_per_k=60, seed=0)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_structure_participates_in_key(self, tmp_path):
+        from repro.core import tornado_graph
+
+        cache = ProfileCache(tmp_path)
+        g1 = tornado_graph(16, seed=0, name="same-name")
+        g2 = tornado_graph(16, seed=1, name="same-name")
+        cache.get(g1, samples_per_k=50, seed=0)
+        cache.get(g2, samples_per_k=50, seed=0)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_clear(self, tmp_path, small_tornado):
+        cache = ProfileCache(tmp_path)
+        cache.get(small_tornado, samples_per_k=50, seed=0)
+        assert cache.clear() == 1
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestDefaultCache:
+    def test_env_var_overrides_location(self, tmp_path, monkeypatch):
+        from repro.analysis import default_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        cache = default_cache()
+        assert str(cache.root).endswith("custom")
+        assert cache.root.exists()
+
+    def test_default_lands_in_repo_benchmarks(self, monkeypatch):
+        from repro.analysis import default_cache
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        cache = default_cache()
+        assert cache.root.name == "data"
+        assert cache.root.parent.name == "benchmarks"

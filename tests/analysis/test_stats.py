@@ -1,0 +1,52 @@
+"""Tests for graph structural statistics."""
+
+import pytest
+
+from repro.analysis import graph_stats
+from repro.core import tornado_graph
+from repro.graphs import mirrored_graph, striped_graph
+
+
+class TestGraphStats:
+    def test_tornado_summary(self):
+        g = tornado_graph(48, seed=0)
+        stats = graph_stats(g)
+        assert stats.num_nodes == 96
+        assert stats.num_data == 48
+        assert stats.num_checks == 48
+        assert stats.num_edges == g.num_edges
+        assert len(stats.levels) == 4
+        assert stats.average_left_degree == pytest.approx(
+            g.average_left_degree()
+        )
+
+    def test_level_shapes_follow_cascade(self):
+        g = tornado_graph(48, seed=0)
+        stats = graph_stats(g)
+        assert [lv.num_checks for lv in stats.levels] == [24, 12, 6, 6]
+        assert stats.levels[0].num_lefts == 48
+        # edges per level sum to the graph total
+        assert sum(lv.num_edges for lv in stats.levels) == g.num_edges
+
+    def test_histograms_sum_to_counts(self):
+        g = tornado_graph(48, seed=0)
+        for lv in graph_stats(g).levels:
+            assert sum(lv.left_degree_histogram.values()) == lv.num_lefts
+            assert sum(lv.check_degree_histogram.values()) == lv.num_checks
+
+    def test_mirror_stats(self):
+        stats = graph_stats(mirrored_graph(4))
+        assert stats.average_left_degree == 1.0
+        assert stats.max_left_degree == 1
+        assert stats.levels[0].average_check_degree == 1.0
+
+    def test_striped_stats(self):
+        stats = graph_stats(striped_graph(6))
+        assert stats.num_edges == 0
+        assert stats.levels == ()
+        assert stats.average_left_degree == 0.0
+
+    def test_describe_format(self):
+        text = graph_stats(tornado_graph(16, seed=1)).describe()
+        assert "level 0" in text
+        assert "avg left degree" in text

@@ -1,0 +1,92 @@
+"""Tests for SVG rendering of graphs and curves."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis.svg import save_svg, svg_curves, svg_failure_graph
+from repro.core import tornado_graph
+from repro.graphs import mirrored_graph
+from repro.raid import mirrored_system
+from repro.sim import FailureProfile
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestFailureGraph:
+    def test_well_formed_xml(self):
+        g = tornado_graph(16, seed=0)
+        root = parse(svg_failure_graph(g, [0, 1]))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_shape_per_node(self):
+        g = tornado_graph(16, seed=0)
+        root = parse(svg_failure_graph(g, []))
+        circles = root.findall(f"{SVG_NS}circle")
+        rects = root.findall(f"{SVG_NS}rect")
+        # one background rect plus one square per check node
+        assert len(circles) == g.num_data
+        assert len(rects) == 1 + g.num_checks
+
+    def test_one_line_per_edge(self):
+        g = tornado_graph(16, seed=0)
+        root = parse(svg_failure_graph(g, []))
+        lines = root.findall(f"{SVG_NS}line")
+        assert len(lines) == g.num_edges
+
+    def test_failure_marks_stuck_nodes_red(self):
+        g = mirrored_graph(4)
+        root = parse(svg_failure_graph(g, [0, 4]))  # whole pair lost
+        reds = [
+            el
+            for el in root.iter()
+            if el.get("fill") == "#c62828"
+        ]
+        assert len(reds) == 2  # node 0 and its mirror
+        text = ET.tostring(root, encoding="unicode")
+        assert "FAILED" in text
+
+    def test_success_labelled(self):
+        g = mirrored_graph(4)
+        text = svg_failure_graph(g, [0])
+        assert "recovered" in text
+
+    def test_save(self, tmp_path):
+        g = tornado_graph(16, seed=0)
+        path = tmp_path / "graph.svg"
+        save_svg(svg_failure_graph(g, [3]), path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestCurves:
+    def make_profiles(self):
+        return [FailureProfile.from_analytic(mirrored_system(48))]
+
+    def test_well_formed(self):
+        root = parse(svg_curves(self.make_profiles()))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_profile(self):
+        profs = self.make_profiles() * 3
+        root = parse(svg_curves(profs))
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 3
+
+    def test_legend_names_present(self):
+        text = svg_curves(self.make_profiles())
+        assert "Mirrored 48x2" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_curves([])
+
+    def test_k_max_limits_points(self):
+        prof = self.make_profiles()[0]
+        root = parse(svg_curves([prof], k_max=10))
+        poly = root.find(f"{SVG_NS}polyline")
+        assert len(poly.get("points").split()) == 11

@@ -1,0 +1,53 @@
+"""Shared fixtures: small graphs, catalog graphs, deterministic RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Constraint,
+    ErasureGraph,
+    tornado_graph,
+)
+from repro.graphs import mirrored_graph, tornado_catalog_graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph() -> ErasureGraph:
+    """Hand-built 6-node graph with known decoding behaviour.
+
+    Data nodes 0-2; checks: 3 = 0^1, 4 = 1^2, 5 = 0^1^2.
+    """
+    return ErasureGraph(
+        num_nodes=6,
+        data_nodes=(0, 1, 2),
+        constraints=(
+            Constraint(check=3, lefts=(0, 1)),
+            Constraint(check=4, lefts=(1, 2)),
+            Constraint(check=5, lefts=(0, 1, 2)),
+        ),
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def small_tornado() -> ErasureGraph:
+    """The smallest constructible cascade (32 nodes, 16 data)."""
+    return tornado_graph(16, seed=3, min_final_lefts=6)
+
+
+@pytest.fixture(scope="session")
+def graph3() -> ErasureGraph:
+    """Catalog Tornado Graph 3 (96 nodes, first failure 5)."""
+    return tornado_catalog_graph(3)
+
+
+@pytest.fixture(scope="session")
+def mirror96() -> ErasureGraph:
+    return mirrored_graph(48)

@@ -1,0 +1,120 @@
+"""Tests for the §3.3 feedback adjustment procedure."""
+
+import pytest
+
+from repro.core import (
+    GraphValidationError,
+    adjust_graph,
+    first_failure,
+    generate_certified,
+    minimal_bad_stopping_sets,
+    rewire,
+)
+
+
+class TestRewire:
+    def test_moves_edge_between_checks(self, small_tornado):
+        g = small_tornado
+        con = next(c for c in g.constraints if len(c.lefts) >= 3)
+        left = con.lefts[0]
+        target = next(
+            c
+            for c in g.constraints
+            if c.check != con.check and left not in c.lefts
+        )
+        g2 = rewire(g, left, con.check, target.check)
+        new_old = next(
+            c for c in g2.constraints if c.check == con.check
+        )
+        new_new = next(
+            c for c in g2.constraints if c.check == target.check
+        )
+        assert left not in new_old.lefts
+        assert left in new_new.lefts
+        assert g2.num_edges == g.num_edges
+
+    def test_rejects_unknown_check(self, small_tornado):
+        with pytest.raises(GraphValidationError, match="unknown check"):
+            rewire(small_tornado, 0, 9999, 16)
+
+    def test_rejects_left_not_in_old(self, small_tornado):
+        g = small_tornado
+        con = g.constraints[0]
+        absent = next(
+            d for d in g.data_nodes if d not in con.lefts
+        )
+        other = g.constraints[1]
+        with pytest.raises(GraphValidationError, match="not a left"):
+            rewire(g, absent, con.check, other.check)
+
+    def test_rejects_duplicate_edge(self, small_tornado):
+        g = small_tornado
+        con = next(c for c in g.constraints if len(c.lefts) >= 3)
+        left = con.lefts[0]
+        # find another constraint already containing `left`
+        dup = next(
+            c
+            for c in g.constraints
+            if c.check != con.check and left in c.lefts
+        )
+        with pytest.raises(GraphValidationError, match="already feeds"):
+            rewire(g, left, con.check, dup.check)
+
+    def test_rejects_draining_a_check_below_two_lefts(self, small_tornado):
+        g = small_tornado
+        con = next(c for c in g.constraints if len(c.lefts) == 2)
+        other = next(
+            c
+            for c in g.constraints
+            if c.check != con.check and con.lefts[0] not in c.lefts
+        )
+        with pytest.raises(GraphValidationError, match="below two lefts"):
+            rewire(g, con.lefts[0], con.check, other.check)
+
+
+class TestAdjustGraph:
+    @pytest.mark.parametrize("seed", [32, 69, 99])
+    def test_certified_seeds_reach_first_failure_five(self, seed):
+        report = generate_certified(48, seed=seed)
+        assert first_failure(report.graph, limit=4) == 4
+        result = adjust_graph(report.graph, target_first_failure=5)
+        assert result.achieved_target
+        assert result.residual_sets == ()
+        assert first_failure(result.graph, limit=5) == 5
+
+    def test_steps_record_improvement(self):
+        report = generate_certified(48, seed=32)
+        result = adjust_graph(report.graph, target_first_failure=5)
+        assert result.steps  # at least one rewiring happened
+        for step in result.steps:
+            assert (
+                step.first_failure_after,
+                -step.sets_after,
+            ) > (step.first_failure_before, -step.sets_before)
+
+    def test_adjusted_name_suffix(self):
+        report = generate_certified(48, seed=32)
+        result = adjust_graph(report.graph, target_first_failure=5)
+        assert result.graph.name.endswith("-adjusted")
+
+    def test_noop_when_already_at_target(self, graph3):
+        result = adjust_graph(graph3, target_first_failure=5)
+        assert result.achieved_target
+        assert result.steps == ()
+        assert result.graph.name == graph3.name
+
+    def test_adjustment_never_worsens_failure_sets(self):
+        """Accepted graph must dominate the input on (ff, -set count)."""
+        report = generate_certified(48, seed=69)
+        before = minimal_bad_stopping_sets(report.graph, max_size=4)
+        result = adjust_graph(report.graph, target_first_failure=5)
+        after = minimal_bad_stopping_sets(result.graph, max_size=4)
+        assert len(after) < len(before) or not after
+
+    def test_max_rounds_zero_returns_input(self):
+        report = generate_certified(48, seed=32)
+        result = adjust_graph(
+            report.graph, target_first_failure=5, max_rounds=0
+        )
+        assert not result.achieved_target
+        assert result.graph.constraints == report.graph.constraints

@@ -1,0 +1,73 @@
+"""Tests for the edge-socket bipartite sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MultiEdgeRepairError, random_bipartite_edges
+
+
+def degree_counts(edges, side, n):
+    counts = [0] * n
+    for pair in edges:
+        counts[pair[side]] += 1
+    return counts
+
+
+class TestRandomBipartite:
+    def test_respects_degree_sequences(self, rng):
+        left = [3, 2, 2, 3]
+        right = [2, 2, 2, 2, 2]
+        edges = random_bipartite_edges(left, right, rng)
+        assert degree_counts(edges, 0, 4) == left
+        assert degree_counts(edges, 1, 5) == right
+
+    def test_no_parallel_edges(self, rng):
+        left = [4] * 12
+        right = [6] * 8
+        edges = random_bipartite_edges(left, right, rng)
+        assert len(set(edges)) == len(edges)
+
+    def test_rejects_mismatched_totals(self, rng):
+        with pytest.raises(ValueError, match="edge totals differ"):
+            random_bipartite_edges([2, 2], [3], rng)
+
+    def test_rejects_impossible_left_degree(self, rng):
+        # One left wants 3 distinct rights but only 2 exist.
+        with pytest.raises(MultiEdgeRepairError):
+            random_bipartite_edges([3, 1], [2, 2], rng)
+
+    def test_complete_bipartite_corner_case(self, rng):
+        # Every left connected to every right: zero randomness possible.
+        edges = random_bipartite_edges([2, 2], [2, 2], rng)
+        assert sorted(edges) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_deterministic_under_fixed_rng(self):
+        e1 = random_bipartite_edges(
+            [3, 2, 2], [3, 2, 2], np.random.default_rng(7)
+        )
+        e2 = random_bipartite_edges(
+            [3, 2, 2], [3, 2, 2], np.random.default_rng(7)
+        )
+        assert e1 == e2
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        nl=st.integers(2, 20),
+        deg=st.integers(1, 4),
+    )
+    def test_property_simple_and_degree_exact(self, seed, nl, deg):
+        rng = np.random.default_rng(seed)
+        nr = max(deg, nl // 2)
+        left = [deg] * nl
+        total = deg * nl
+        base, extra = divmod(total, nr)
+        right = [base + (1 if i < extra else 0) for i in range(nr)]
+        if max(right) > nl:  # infeasible simple graph; skip
+            return
+        edges = random_bipartite_edges(left, right, rng)
+        assert len(set(edges)) == len(edges)
+        assert degree_counts(edges, 0, nl) == left
+        assert degree_counts(edges, 1, nr) == right

@@ -1,0 +1,147 @@
+"""Tests for cascade planning and Tornado graph construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CascadePlan,
+    cascade_graph_from_degrees,
+    plan_cascade,
+    tornado_graph,
+)
+from repro.core.degree import EdgeDistribution
+
+
+class TestPlanCascade:
+    def test_paper_96_node_plan(self):
+        plan = plan_cascade(48)
+        assert plan.halving_layers == (24, 12, 6)
+        assert plan.final_lefts == 6
+        assert plan.final_group_size == 3
+        assert plan.num_checks == 48
+        assert plan.num_nodes == 96
+
+    def test_smallest_paper_graph_32_nodes(self):
+        plan = plan_cascade(16)
+        assert plan.num_nodes == 32
+        assert plan.final_group_size in (3, 4)
+
+    def test_checks_always_equal_data(self):
+        for n in (16, 24, 32, 48, 64, 96):
+            assert plan_cascade(n).num_checks == n
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ValueError):
+            plan_cascade(3)
+
+    def test_rejects_odd_final_layer(self):
+        # 28 -> 14 -> 7 (odd, below nothing): stuck at odd layer.
+        with pytest.raises(ValueError, match="even final layer"):
+            plan_cascade(28, min_final_lefts=6)
+
+    def test_min_final_lefts_controls_depth(self):
+        deep = plan_cascade(48, min_final_lefts=6)
+        shallow = plan_cascade(48, min_final_lefts=13)
+        assert len(deep.halving_layers) > len(shallow.halving_layers)
+
+
+class TestTornadoGraph:
+    def test_paper_dimensions(self):
+        g = tornado_graph(48, seed=0)
+        assert g.num_nodes == 96
+        assert g.num_data == 48
+        assert len(g.constraints) == 48
+
+    def test_levels_structure(self):
+        g = tornado_graph(48, seed=0)
+        # 3 halving levels + 1 shared-left finale
+        assert len(g.levels) == 4
+        assert len(g.levels[0]) == 24
+        assert len(g.levels[-1]) == 6  # two groups of 3
+
+    def test_deterministic_by_seed(self):
+        assert tornado_graph(48, seed=9) == tornado_graph(48, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert tornado_graph(48, seed=1) != tornado_graph(48, seed=2)
+
+    def test_average_degree_near_paper(self):
+        degs = [
+            tornado_graph(48, seed=s).average_left_degree()
+            for s in range(5)
+        ]
+        avg = sum(degs) / len(degs)
+        assert 2.8 <= avg <= 4.2  # paper: ~3.6
+
+    def test_final_groups_share_left_set(self):
+        g = tornado_graph(48, seed=0)
+        finale = [g.constraints[i] for i in g.levels[-1]]
+        # Final lefts are the 6 nodes of the previous layer (84..89).
+        prev_layer = {g.constraints[i].check for i in g.levels[-2]}
+        for con in finale:
+            assert set(con.lefts) <= prev_layer
+
+    def test_every_left_covered_by_final_stage(self):
+        g = tornado_graph(48, seed=0)
+        finale = [g.constraints[i] for i in g.levels[-1]]
+        prev_layer = {g.constraints[i].check for i in g.levels[-2]}
+        covered = set()
+        for con in finale:
+            covered |= set(con.lefts)
+        assert covered == prev_layer
+
+    def test_custom_distribution(self):
+        dist = EdgeDistribution(((3, 1.0),))
+        g = tornado_graph(16, left_dist=dist, seed=1)
+        assert g.num_nodes == 32
+
+    def test_explicit_rng_equivalent_to_seed(self):
+        import numpy as np
+
+        g1 = tornado_graph(16, seed=5)
+        g2 = tornado_graph(16, rng=np.random.default_rng(5))
+        assert g1.constraints == g2.constraints
+
+
+class TestFixedDegreeCascade:
+    def test_dimensions_match_tornado(self):
+        g = cascade_graph_from_degrees(48, 3, seed=0)
+        assert g.num_nodes == 96
+        assert len(g.levels) == 4
+
+    def test_left_degree_is_fixed(self):
+        g = cascade_graph_from_degrees(48, 3, seed=0)
+        counts = [0] * 96
+        level0 = [g.constraints[i] for i in g.levels[0]]
+        for con in level0:
+            for l in con.lefts:
+                counts[l] += 1
+        assert all(counts[d] == 3 for d in g.data_nodes)
+
+    def test_degree_clamped_to_level_size(self):
+        # degree 6 > 3 rights at the last halving level must still build
+        g = cascade_graph_from_degrees(48, 6, seed=0)
+        g.validate()
+
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(ValueError):
+            cascade_graph_from_degrees(48, 1, seed=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_data=st.sampled_from([16, 32, 48]),
+    seed=st.integers(0, 300),
+)
+def test_level_encoding_order_sound(num_data, seed):
+    """Every constraint's lefts are defined by earlier levels (validated
+    at construction, asserted here as the library-level invariant)."""
+    g = tornado_graph(num_data, seed=seed)
+    defined = set(g.data_nodes)
+    for level in g.levels:
+        for ci in level:
+            con = g.constraints[ci]
+            assert set(con.lefts) <= defined
+        defined |= {g.constraints[ci].check for ci in level}
+    assert defined == set(range(g.num_nodes))

@@ -1,0 +1,85 @@
+"""Tests for structural defect detection (paper §3.2)."""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    ErasureGraph,
+    find_defects,
+    has_defects,
+    shared_right_set_pairs,
+)
+
+
+def graph_with_shared_right_pair() -> ErasureGraph:
+    """Reproduce the paper's defect: nodes 0 and 1 share checks {4, 5}."""
+    return ErasureGraph(
+        num_nodes=6,
+        data_nodes=(0, 1, 2, 3),
+        constraints=(
+            Constraint(check=4, lefts=(0, 1)),
+            Constraint(check=5, lefts=(0, 1, 2, 3)),
+        ),
+        name="defective",
+    )
+
+
+def healthy_tiny_graph() -> ErasureGraph:
+    return ErasureGraph(
+        num_nodes=6,
+        data_nodes=(0, 1, 2),
+        constraints=(
+            Constraint(check=3, lefts=(0, 1)),
+            Constraint(check=4, lefts=(1, 2)),
+            Constraint(check=5, lefts=(0, 2)),
+        ),
+        name="healthy",
+    )
+
+
+class TestSharedRightPairs:
+    def test_detects_paper_pattern(self):
+        g = graph_with_shared_right_pair()
+        assert (0, 1) in shared_right_set_pairs(g)
+
+    def test_no_false_positive(self):
+        assert shared_right_set_pairs(healthy_tiny_graph()) == []
+
+    def test_groups_of_three_yield_all_pairs(self):
+        g = ErasureGraph(
+            num_nodes=5,
+            data_nodes=(0, 1, 2),
+            constraints=(
+                Constraint(check=3, lefts=(0, 1, 2)),
+                Constraint(check=4, lefts=(0, 1, 2)),
+            ),
+        )
+        assert shared_right_set_pairs(g) == [(0, 1), (0, 2), (1, 2)]
+
+
+class TestDefectScreen:
+    def test_shared_pair_is_a_size2_defect(self):
+        g = graph_with_shared_right_pair()
+        defects = find_defects(g, max_size=2)
+        assert any(d.nodes == frozenset({0, 1}) for d in defects)
+        assert defects[0].size <= 2
+
+    def test_has_defects_boolean(self):
+        assert has_defects(graph_with_shared_right_pair(), max_size=2)
+
+    def test_defect_screen_agrees_with_pattern_scan(self):
+        """The exact stopping-set screen must subsume the pattern scan."""
+        g = graph_with_shared_right_pair()
+        pattern_pairs = {frozenset(p) for p in shared_right_set_pairs(g)}
+        defect_sets = {d.nodes for d in find_defects(g, max_size=2)}
+        for pair in pattern_pairs:
+            assert any(d <= pair or d == pair for d in defect_sets)
+
+    def test_defect_str(self):
+        g = graph_with_shared_right_pair()
+        d = find_defects(g, max_size=2)[0]
+        assert str(d).startswith("defect[")
+
+    def test_certified_catalog_graph_is_clean(self, graph3):
+        assert not has_defects(graph3, max_size=3)
+        assert not has_defects(graph3, max_size=4)

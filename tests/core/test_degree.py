@@ -1,0 +1,179 @@
+"""Tests for edge-degree distributions and the node-count solver."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EdgeDistribution,
+    allocate_node_degrees,
+    doubled,
+    heavy_tail_distribution,
+    match_edge_total,
+    poisson_distribution,
+    shifted,
+    solve_poisson_alpha,
+)
+
+
+class TestEdgeDistribution:
+    def test_normalises_weights(self):
+        d = EdgeDistribution(((2, 2.0), (3, 2.0)))
+        assert d.fraction(2) == pytest.approx(0.5)
+        assert d.fraction(3) == pytest.approx(0.5)
+
+    def test_drops_zero_weights(self):
+        d = EdgeDistribution(((2, 1.0), (3, 0.0)))
+        assert d.degrees == (2,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EdgeDistribution(())
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            EdgeDistribution(((0, 1.0),))
+
+    def test_unknown_degree_fraction_is_zero(self):
+        d = EdgeDistribution(((2, 1.0),))
+        assert d.fraction(7) == 0.0
+
+    def test_average_node_degree_single_degree(self):
+        # All edges at degree 4 => average node degree 4.
+        d = EdgeDistribution(((4, 1.0),))
+        assert d.average_node_degree() == pytest.approx(4.0)
+
+
+class TestHeavyTail:
+    def test_degrees_run_2_to_d_plus_1(self):
+        d = heavy_tail_distribution(5)
+        assert d.degrees == (2, 3, 4, 5, 6)
+
+    def test_weights_proportional_to_inverse_i_minus_1(self):
+        d = heavy_tail_distribution(5)
+        assert d.fraction(2) / d.fraction(3) == pytest.approx(2.0)
+
+    def test_average_degree_formula(self):
+        # a = (D+1) H(D) / D
+        D = 16
+        h = sum(1 / j for j in range(1, D + 1))
+        expect = (D + 1) * h / D
+        assert heavy_tail_distribution(D).average_node_degree() == (
+            pytest.approx(expect)
+        )
+
+    def test_d16_matches_paper_average_degree(self):
+        # The paper's graphs averaged ~3.6.
+        assert heavy_tail_distribution(16).average_node_degree() == (
+            pytest.approx(3.59, abs=0.01)
+        )
+
+    def test_rejects_nonpositive_d(self):
+        with pytest.raises(ValueError):
+            heavy_tail_distribution(0)
+
+
+class TestPoisson:
+    def test_truncated_below_at_two(self):
+        d = poisson_distribution(3.0, 8)
+        assert min(d.degrees) == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            poisson_distribution(0.0, 8)
+        with pytest.raises(ValueError):
+            poisson_distribution(1.0, 1)
+
+    def test_solver_inverts_average(self):
+        alpha = solve_poisson_alpha(6.5, 20)
+        got = poisson_distribution(alpha, 20).average_node_degree()
+        assert got == pytest.approx(6.5, abs=1e-6)
+
+    def test_solver_rejects_unreachable_target(self):
+        # max_degree 3 cannot average 50.
+        with pytest.raises(ValueError):
+            solve_poisson_alpha(50.0, 3)
+
+
+class TestAllocation:
+    def test_exact_node_count(self):
+        d = heavy_tail_distribution(8)
+        degrees = allocate_node_degrees(d, 48)
+        assert len(degrees) == 48
+
+    def test_small_count_allocation_succeeds(self):
+        # The paper's problem case: distributions over tiny levels.
+        d = heavy_tail_distribution(16)
+        degrees = allocate_node_degrees(d, 6)
+        assert len(degrees) == 6
+        assert all(dd >= 2 for dd in degrees)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            allocate_node_degrees(heavy_tail_distribution(4), 0)
+
+    def test_deterministic(self):
+        d = heavy_tail_distribution(12)
+        assert allocate_node_degrees(d, 30) == allocate_node_degrees(d, 30)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        dmax=st.integers(2, 20),
+        num_nodes=st.integers(1, 200),
+    )
+    def test_allocation_always_sums_to_target(self, dmax, num_nodes):
+        d = heavy_tail_distribution(dmax)
+        degrees = allocate_node_degrees(d, num_nodes)
+        assert len(degrees) == num_nodes
+        assert all(2 <= dd <= dmax + 1 for dd in degrees)
+
+
+class TestMatchEdgeTotal:
+    def test_noop_when_sum_matches(self):
+        assert match_edge_total([3, 3, 2], 8) == [3, 3, 2]
+
+    def test_grows_degrees(self):
+        seq = match_edge_total([2, 2, 2], 9)
+        assert sum(seq) == 9
+
+    def test_shrinks_degrees_respecting_minimum(self):
+        seq = match_edge_total([5, 5, 5], 9, min_degree=2)
+        assert sum(seq) == 9
+        assert min(seq) >= 2
+
+    def test_raises_when_minimum_blocks_shrink(self):
+        with pytest.raises(ValueError):
+            match_edge_total([2, 2], 3, min_degree=2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        degrees=st.lists(st.integers(2, 12), min_size=1, max_size=30),
+        delta=st.integers(-10, 20),
+    )
+    def test_property_sum_and_floor(self, degrees, delta):
+        target = max(sum(degrees) + delta, len(degrees))  # >= 1 per node
+        seq = match_edge_total(degrees, target, min_degree=1)
+        assert sum(seq) == target
+        assert min(seq) >= 1
+
+
+class TestAlterations:
+    def test_doubled_doubles_degrees(self):
+        d = EdgeDistribution(((2, 0.5), (4, 0.5)))
+        assert doubled(d).degrees == (4, 8)
+
+    def test_shifted_shifts_degrees(self):
+        d = EdgeDistribution(((2, 0.5), (4, 0.5)))
+        assert shifted(d).degrees == (3, 5)
+
+    def test_shift_below_one_rejected(self):
+        d = EdgeDistribution(((1, 1.0),))
+        with pytest.raises(ValueError):
+            shifted(d, -1)
+
+    def test_alterations_preserve_normalisation(self):
+        d = heavy_tail_distribution(6)
+        for alt in (doubled(d), shifted(d)):
+            assert sum(w for _, w in alt.weights) == pytest.approx(1.0)

@@ -1,0 +1,105 @@
+"""Tests for density evolution (asymptotic threshold analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeDistribution,
+    edge_polynomial,
+    realized_level_distributions,
+    recovery_threshold,
+    density_report,
+    tornado_graph,
+)
+from repro.core.degree import (
+    heavy_tail_distribution,
+    poisson_distribution,
+    solve_poisson_alpha,
+)
+
+
+class TestEdgePolynomial:
+    def test_single_degree(self):
+        # all edges degree 3: lambda(x) = x^2
+        coeffs = edge_polynomial(EdgeDistribution(((3, 1.0),)))
+        np.testing.assert_allclose(coeffs, [0, 0, 1.0])
+
+    def test_mixture_sums_to_one_at_x_equals_one(self):
+        dist = heavy_tail_distribution(10)
+        coeffs = edge_polynomial(dist)
+        assert coeffs.sum() == pytest.approx(1.0)
+
+
+class TestRecoveryThreshold:
+    def test_regular_3_6_known_value(self):
+        """The (3,6)-regular LDPC erasure threshold is ~0.4294."""
+        left = EdgeDistribution(((3, 1.0),))
+        right = EdgeDistribution(((6, 1.0),))
+        assert recovery_threshold(left, right) == pytest.approx(
+            0.4294, abs=2e-3
+        )
+
+    def test_threshold_below_capacity(self):
+        """No rate-1/2 pair exceeds the delta = 1/2 capacity... the
+        function itself only guarantees [0, 1]; check design pair."""
+        lam = heavy_tail_distribution(16)
+        alpha = solve_poisson_alpha(
+            lam.average_node_degree() / 0.5, 48
+        )
+        rho = poisson_distribution(alpha, 48)
+        delta = recovery_threshold(lam, rho)
+        assert 0.40 < delta < 0.50
+
+    def test_heavier_right_degree_lowers_threshold(self):
+        left = EdgeDistribution(((3, 1.0),))
+        mid = recovery_threshold(left, EdgeDistribution(((6, 1.0),)))
+        heavy = recovery_threshold(left, EdgeDistribution(((12, 1.0),)))
+        assert heavy < mid
+
+    def test_bounded_by_one(self):
+        # Degenerate pair: very weak right side -> ratio capped at 1.
+        left = EdgeDistribution(((2, 1.0),))
+        right = EdgeDistribution(((2, 1.0),))
+        delta = recovery_threshold(left, right)
+        assert 0.0 < delta <= 1.0
+
+
+class TestRealizedDistributions:
+    def test_roundtrip_against_graph_degrees(self):
+        g = tornado_graph(48, seed=0)
+        left, right = realized_level_distributions(g, level=0)
+        # average node degrees implied by the realized distributions
+        # must match the actual level-0 structure
+        cons = [g.constraints[ci] for ci in g.levels[0]]
+        edges = sum(len(c.lefts) for c in cons)
+        assert right.average_node_degree() == pytest.approx(
+            edges / len(cons)
+        )
+        assert left.average_node_degree() == pytest.approx(
+            edges / 48
+        )
+
+    def test_rejects_bad_level(self):
+        g = tornado_graph(16, seed=0)
+        with pytest.raises(ValueError):
+            realized_level_distributions(g, level=9)
+
+    def test_density_report(self):
+        g = tornado_graph(48, seed=0)
+        rep = density_report(g, level=0)
+        assert rep.design_threshold is None
+        assert 0.0 < rep.realized_threshold <= 1.0
+        assert "delta*" in rep.describe()
+
+    def test_design_vs_realized_close_for_large_level(self):
+        """Realized level-0 degrees track the design distribution."""
+        lam = heavy_tail_distribution(16)
+        alpha = solve_poisson_alpha(
+            lam.average_node_degree() / 0.5, 48
+        )
+        rho = poisson_distribution(alpha, 48)
+        g = tornado_graph(48, seed=0)
+        rep = density_report(g, 0, design_left=lam, design_right=rho)
+        assert rep.realized_threshold == pytest.approx(
+            rep.design_threshold, abs=0.05
+        )

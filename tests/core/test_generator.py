@@ -1,0 +1,47 @@
+"""Tests for certified graph generation."""
+
+import pytest
+
+from repro.core import (
+    GenerationError,
+    first_failure,
+    generate_certified,
+    has_defects,
+)
+
+
+class TestGenerateCertified:
+    def test_result_has_no_small_defects(self):
+        report = generate_certified(48, seed=0)
+        assert not has_defects(report.graph, max_size=3)
+
+    def test_first_failure_at_least_four(self):
+        report = generate_certified(48, seed=0)
+        ff = first_failure(report.graph, limit=4)
+        assert ff is None or ff == 4
+
+    def test_deterministic(self):
+        r1 = generate_certified(48, seed=5)
+        r2 = generate_certified(48, seed=5)
+        assert r1.graph == r2.graph
+        assert r1.seed_used == r2.seed_used
+
+    def test_report_bookkeeping(self):
+        report = generate_certified(48, seed=0)
+        assert report.attempts == report.seed_used - 0 + 1
+        assert report.rejected_seeds == tuple(
+            range(0, report.seed_used)
+        )
+        assert 0 <= report.rejection_rate <= 1
+
+    def test_raises_when_budget_exhausted(self):
+        with pytest.raises(GenerationError):
+            generate_certified(48, seed=0, max_attempts=1, defect_size=5)
+
+    def test_small_graphs_also_certifiable(self):
+        report = generate_certified(16, seed=0, defect_size=2)
+        assert not has_defects(report.graph, max_size=2)
+
+    def test_custom_name(self):
+        report = generate_certified(48, seed=32, name="my-graph")
+        assert report.graph.name == "my-graph"

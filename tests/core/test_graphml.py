@@ -1,0 +1,86 @@
+"""Tests for GraphML persistence and failure rendering."""
+
+import pytest
+
+from repro.core import (
+    from_networkx,
+    load_graphml,
+    render_failure,
+    save_graphml,
+    to_networkx,
+    tornado_graph,
+)
+from repro.graphs import mirrored_graph, regular_graph, striped_graph
+
+
+class TestNetworkxRoundtrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: tornado_graph(16, seed=4),
+            lambda: mirrored_graph(8),
+            lambda: striped_graph(8),
+            lambda: regular_graph(12, 3, seed=0),
+        ],
+        ids=["tornado", "mirror", "striped", "regular"],
+    )
+    def test_roundtrip_preserves_structure(self, factory):
+        g = factory()
+        g2 = from_networkx(to_networkx(g))
+        assert g2.num_nodes == g.num_nodes
+        assert g2.data_nodes == g.data_nodes
+        assert g2.constraints == g.constraints
+        assert g2.levels == g.levels
+        assert g2.name == g.name
+
+    def test_node_attributes(self):
+        g = tornado_graph(16, seed=4)
+        nxg = to_networkx(g)
+        assert nxg.nodes[0]["kind"] == "data"
+        check = g.constraints[0].check
+        assert nxg.nodes[check]["kind"] == "check"
+        assert nxg.nodes[check]["level"] == 1
+
+    def test_edge_constraint_attribute(self):
+        g = tornado_graph(16, seed=4)
+        nxg = to_networkx(g)
+        con = g.constraints[0]
+        attrs = nxg.get_edge_data(con.lefts[0], con.check)
+        assert attrs["constraint"] == 0
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        g = tornado_graph(16, seed=4)
+        path = tmp_path / "graph.graphml"
+        save_graphml(g, path)
+        g2 = load_graphml(path)
+        assert g2.constraints == g.constraints
+        assert g2.levels == g.levels
+
+    def test_file_is_valid_graphml_xml(self, tmp_path):
+        g = mirrored_graph(4)
+        path = tmp_path / "mirror.graphml"
+        save_graphml(g, path)
+        text = path.read_text()
+        assert "<graphml" in text
+
+
+class TestRenderFailure:
+    def test_success_message(self, tiny_graph):
+        out = render_failure(tiny_graph, [0])
+        assert "succeeded" in out
+        assert "1 nodes lost" in out
+
+    def test_failure_lists_stuck_nodes_paper_style(self, tiny_graph):
+        out = render_failure(tiny_graph, [0, 1, 3, 5])
+        assert "FAILED" in out
+        # paper style "node [ right nodes ]"
+        assert "[" in out and "]" in out
+        assert "closed right set" in out
+
+    def test_failure_on_mirror_pair(self):
+        g = mirrored_graph(4)
+        out = render_failure(g, [0, 4])
+        assert "FAILED" in out
+        assert "0 [4]" in out

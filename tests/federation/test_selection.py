@@ -1,0 +1,73 @@
+"""Tests for cooperative graph selection."""
+
+import pytest
+
+from repro.core import tornado_graph
+from repro.federation import select_complementary_pair
+from repro.graphs import mirrored_graph
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return [tornado_graph(16, seed=s, name=f"g{s}") for s in (0, 1, 2)]
+
+
+class TestSelectComplementaryPair:
+    def test_rejects_tiny_pool(self):
+        with pytest.raises(ValueError):
+            select_complementary_pair([mirrored_graph(4)])
+
+    def test_ranking_covers_all_pairs(self, pool):
+        report = select_complementary_pair(
+            pool, site_max_size=5, curve_samples=200
+        )
+        assert len(report.ranking) == 3  # C(3,2)
+        assert report.best == report.ranking[0]
+
+    def test_duplicates_included_when_asked(self, pool):
+        report = select_complementary_pair(
+            pool,
+            site_max_size=5,
+            curve_samples=200,
+            allow_duplicates=True,
+        )
+        assert len(report.ranking) == 6
+        names = {
+            (s.graph_a, s.graph_b) for s in report.ranking
+        }
+        assert ("g0", "g0") in names
+
+    def test_ranking_is_sorted(self, pool):
+        report = select_complementary_pair(
+            pool, site_max_size=5, curve_samples=200,
+            allow_duplicates=True,
+        )
+        keys = [s.sort_key for s in report.ranking]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_complementary_beats_duplicated(self, pool):
+        """A same-graph pairing can never outrank every mixed pairing."""
+        report = select_complementary_pair(
+            pool,
+            site_max_size=6,
+            curve_samples=300,
+            allow_duplicates=True,
+        )
+        assert report.best.graph_a != report.best.graph_b
+
+    def test_describe_lists_all(self, pool):
+        report = select_complementary_pair(
+            pool, site_max_size=5, curve_samples=100
+        )
+        text = report.describe()
+        assert text.count("+") >= 3
+        assert "first failure" in text
+
+    def test_none_detected_ranks_above_detected(self):
+        """A pairing with no detected failure within the bound must
+        outrank pairings with one."""
+        from repro.federation.selection import PairingScore
+
+        undetected = PairingScore("a", "b", None, 0.5)
+        detected = PairingScore("c", "d", 40, 0.0)
+        assert undetected.sort_key > detected.sort_key

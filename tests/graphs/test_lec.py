@@ -1,0 +1,46 @@
+"""Tests for the LEC-style automated graph family."""
+
+import pytest
+
+from repro.core import first_failure
+from repro.graphs import lec_like_graph
+
+
+class TestLecLikeGraph:
+    def test_structure(self):
+        cand = lec_like_graph(24, seed=0, candidates=4)
+        g = cand.graph
+        assert g.num_nodes == 48
+        assert g.num_data == 24
+        assert len(g.levels) == 1  # single-stage by design
+
+    def test_degree_band_respected(self):
+        cand = lec_like_graph(24, seed=0, candidates=4, degree_band=(3, 4))
+        counts = [0] * cand.graph.num_nodes
+        for con in cand.graph.constraints:
+            for l in con.lefts:
+                counts[l] += 1
+        for d in cand.graph.data_nodes:
+            assert 3 <= counts[d] <= 4
+
+    def test_score_matches_analysis(self):
+        cand = lec_like_graph(48, seed=0, candidates=6)
+        assert first_failure(cand.graph, limit=5) == cand.first_failure
+
+    def test_more_candidates_never_worse(self):
+        small = lec_like_graph(48, seed=0, candidates=3)
+        large = lec_like_graph(48, seed=0, candidates=12)
+        assert large.score >= small.score
+
+    def test_deterministic(self):
+        a = lec_like_graph(24, seed=5, candidates=5)
+        b = lec_like_graph(24, seed=5, candidates=5)
+        assert a.graph == b.graph
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lec_like_graph(24, candidates=0)
+        with pytest.raises(ValueError):
+            lec_like_graph(24, degree_band=(1, 3))
+        with pytest.raises(ValueError):
+            lec_like_graph(24, degree_band=(5, 3))

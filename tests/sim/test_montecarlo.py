@@ -1,0 +1,129 @@
+"""Tests for Monte Carlo estimation — including the paper's own
+simulator-vs-theory verification (§3, Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchPeelingDecoder
+from repro.graphs import mirrored_graph, striped_graph, tornado_catalog_graph
+from repro.raid import mirrored_system
+from repro.sim import profile_graph, sample_fail_fraction
+from repro.sim.montecarlo import _random_loss_masks
+
+
+class TestLossMasks:
+    def test_exact_k_per_row(self, rng):
+        masks = _random_loss_masks(96, 7, 500, rng)
+        assert masks.shape == (500, 96)
+        np.testing.assert_array_equal(masks.sum(axis=1), 7)
+
+    def test_uniformity_over_positions(self, rng):
+        masks = _random_loss_masks(10, 3, 20_000, rng)
+        freq = masks.mean(axis=0)
+        np.testing.assert_allclose(freq, 0.3, atol=0.02)
+
+
+class TestSampleFailFraction:
+    def test_zero_loss_never_fails(self, small_tornado, rng):
+        assert sample_fail_fraction(small_tornado, 0, 100, rng) == 0.0
+
+    def test_total_loss_always_fails(self, small_tornado, rng):
+        frac = sample_fail_fraction(
+            small_tornado, small_tornado.num_nodes, 50, rng
+        )
+        assert frac == 1.0
+
+    def test_rejects_oversized_k(self, small_tornado, rng):
+        with pytest.raises(ValueError):
+            sample_fail_fraction(small_tornado, 99, 10, rng)
+
+    def test_reuses_supplied_decoder(self, small_tornado, rng):
+        decoder = BatchPeelingDecoder(small_tornado)
+        frac = sample_fail_fraction(
+            small_tornado, 10, 500, rng, decoder=decoder
+        )
+        assert 0.0 <= frac <= 1.0
+
+    def test_mirror_estimates_match_theory(self):
+        """The paper's verification: sampled mirrored values vs Eq. 1."""
+        g = mirrored_graph(48)
+        theory = mirrored_system(48).profile()
+        rng = np.random.default_rng(0)
+        for k in (5, 10, 20, 40):
+            est = sample_fail_fraction(g, k, 20_000, rng)
+            # 20k samples: ~1% absolute tolerance around the truth
+            assert est == pytest.approx(theory[k], abs=0.015)
+
+
+class TestProfileGraph:
+    def test_exact_head_is_exact(self, graph3):
+        prof = profile_graph(graph3, samples_per_k=200, seed=0)
+        # Adjusted catalog graph: zero failures below k=5, tiny at 5.
+        assert (prof.fail_fraction[:5] == 0).all()
+        assert 0 < prof.fail_fraction[5] < 1e-5
+        assert (prof.samples[:7] == 0).all()
+
+    def test_endpoints(self, small_tornado):
+        prof = profile_graph(small_tornado, samples_per_k=100, seed=0)
+        assert prof.fail_fraction[0] == 0.0
+        assert prof.fail_fraction[-1] == 1.0
+
+    def test_mirrored_uses_disjoint_fast_path(self):
+        prof = profile_graph(mirrored_graph(48), samples_per_k=50, seed=0)
+        theory = mirrored_system(48).profile()
+        np.testing.assert_allclose(
+            prof.fail_fraction[:7], theory[:7], rtol=1e-12
+        )
+
+    def test_striped_falls_back_gracefully(self):
+        """Striped graphs trip the counting budget; sampling covers it."""
+        prof = profile_graph(striped_graph(96), samples_per_k=50, seed=0)
+        assert prof.fail_fraction[0] == 0.0
+        # any loss is fatal; sampled and exact entries must agree
+        assert (prof.fail_fraction[1:] == 1.0).all()
+
+    def test_sparse_k_grid_interpolates(self, small_tornado):
+        prof = profile_graph(
+            small_tornado,
+            samples_per_k=200,
+            seed=0,
+            ks=[10, 20],
+            exact_upto=4,
+        )
+        assert prof.fail_fraction.shape == (33,)
+        # interpolation keeps values within [0, 1] and monotone-ish ends
+        assert (prof.fail_fraction >= 0).all()
+        assert (prof.fail_fraction <= 1).all()
+
+    def test_deterministic_under_seed(self, small_tornado):
+        p1 = profile_graph(small_tornado, samples_per_k=300, seed=7)
+        p2 = profile_graph(small_tornado, samples_per_k=300, seed=7)
+        np.testing.assert_array_equal(p1.fail_fraction, p2.fail_fraction)
+
+    def test_parallel_equals_serial(self, small_tornado):
+        serial = profile_graph(small_tornado, samples_per_k=200, seed=3)
+        parallel = profile_graph(
+            small_tornado, samples_per_k=200, seed=3, n_jobs=2
+        )
+        np.testing.assert_array_equal(
+            serial.fail_fraction, parallel.fail_fraction
+        )
+
+    def test_profile_metadata(self, small_tornado):
+        prof = profile_graph(small_tornado, samples_per_k=100, seed=0)
+        assert prof.system_name == small_tornado.name
+        assert prof.num_data == small_tornado.num_data
+
+
+class TestSweepCellWorker:
+    def test_worker_matches_direct_call(self, small_tornado):
+        """The process-pool worker must reproduce the direct estimator
+        bit-for-bit given the same seed entropy."""
+        from repro.sim.montecarlo import _sweep_cell
+
+        entropy = np.random.SeedSequence(1234).entropy
+        k, frac = _sweep_cell((small_tornado, 8, 500, entropy))
+        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        direct = sample_fail_fraction(small_tornado, 8, 500, rng)
+        assert k == 8
+        assert frac == direct

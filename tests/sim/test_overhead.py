@@ -1,0 +1,130 @@
+"""Tests for incremental-retrieval overhead measurement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tornado_graph
+from repro.graphs import mirrored_graph, striped_graph
+from repro.sim import IncrementalPeeler, measure_retrieval_overhead
+
+
+class TestIncrementalPeeler:
+    def test_all_arrivals_complete(self, tiny_graph):
+        peeler = IncrementalPeeler(tiny_graph)
+        for node in range(6):
+            peeler.arrive(node)
+        assert peeler.complete
+
+    def test_data_arrivals_alone_complete(self, tiny_graph):
+        peeler = IncrementalPeeler(tiny_graph)
+        for node in (0, 1, 2):
+            peeler.arrive(node)
+        assert peeler.complete
+
+    def test_checks_propagate_to_data(self, tiny_graph):
+        # checks 3 (=0^1), 4 (=1^2), 5 (=0^1^2) plus data 1:
+        # 3 gives 0; 4 gives 2 => complete without receiving 0,2.
+        peeler = IncrementalPeeler(tiny_graph)
+        peeler.arrive(3)
+        peeler.arrive(4)
+        assert not peeler.complete
+        peeler.arrive(1)
+        assert peeler.complete
+
+    def test_duplicate_arrival_gains_nothing(self, tiny_graph):
+        peeler = IncrementalPeeler(tiny_graph)
+        assert peeler.arrive(0) == 1
+        assert peeler.arrive(0) == 0
+
+    def test_reset(self, tiny_graph):
+        peeler = IncrementalPeeler(tiny_graph)
+        for node in (0, 1, 2):
+            peeler.arrive(node)
+        peeler.reset()
+        assert not peeler.complete
+        assert peeler.data_known == 0
+
+    def test_arrival_gain_counts_cascade(self, tiny_graph):
+        peeler = IncrementalPeeler(tiny_graph)
+        peeler.arrive(3)  # 0^1
+        peeler.arrive(5)  # 0^1^2
+        # arriving 0 unlocks 1 (via 3), then 2 (via 5), and finally the
+        # never-received check 4 (= 1^2) is recomputable: gain 4.
+        assert peeler.arrive(0) == 4
+        assert peeler.complete
+
+
+class TestMeasureOverhead:
+    def test_mirror_needs_one_per_pair(self):
+        g = mirrored_graph(8)
+        result = measure_retrieval_overhead(
+            g, n_trials=500, rng=np.random.default_rng(0)
+        )
+        # Coupon-collector-like: needs one of each pair; overhead > 1.
+        assert result.mean_overhead > 1.0
+        assert result.downloads.min() >= 8
+
+    def test_striped_needs_everything(self):
+        g = striped_graph(8)
+        result = measure_retrieval_overhead(
+            g, n_trials=100, rng=np.random.default_rng(0)
+        )
+        assert (result.downloads == 8).all()
+        assert result.mean_overhead == pytest.approx(1.0)
+
+    def test_catalog_overhead_band(self, graph3):
+        result = measure_retrieval_overhead(
+            graph3, n_trials=1500, rng=np.random.default_rng(0)
+        )
+        # Paper Table 6 regime: ~1.25-1.33
+        assert 1.2 <= result.mean_overhead <= 1.4
+
+    def test_ml_floor_below_peeling(self, graph3):
+        rng = np.random.default_rng(0)
+        peel = measure_retrieval_overhead(
+            graph3, n_trials=200, rng=rng, decoder="peeling"
+        )
+        ml = measure_retrieval_overhead(
+            graph3,
+            n_trials=200,
+            rng=np.random.default_rng(0),
+            decoder="ml",
+        )
+        assert ml.mean_overhead <= peel.mean_overhead
+        assert ml.downloads.min() >= graph3.num_data  # info-theoretic floor
+
+    def test_rejects_unknown_decoder(self, graph3):
+        with pytest.raises(ValueError):
+            measure_retrieval_overhead(graph3, decoder="magic")
+
+    def test_histogram_and_percentile(self, small_tornado):
+        result = measure_retrieval_overhead(
+            small_tornado, n_trials=300, rng=np.random.default_rng(1)
+        )
+        hist = result.histogram()
+        assert sum(hist.values()) == 300
+        assert result.percentile(50) <= result.percentile(95)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 300))
+def test_incremental_matches_batch_decoder(seed):
+    """Prefix decodability from the incremental peeler must agree with
+    the one-shot decoder on the complement."""
+    from repro.core import PeelingDecoder
+
+    g = tornado_graph(16, seed=seed % 5)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(g.num_nodes)
+    peeler = IncrementalPeeler(g)
+    dec = PeelingDecoder(g)
+    seen: set[int] = set()
+    for node in order:
+        peeler.arrive(int(node))
+        seen.add(int(node))
+        missing = [n for n in range(g.num_nodes) if n not in seen]
+        assert peeler.complete == dec.is_recoverable(missing)
+        if peeler.complete:
+            break

@@ -1,0 +1,36 @@
+"""Tests for the worst-case search driver."""
+
+import pytest
+
+from repro.core import tornado_graph
+from repro.graphs import mirrored_graph
+from repro.sim import WorstCaseResult, verify_exhaustive, worst_case_search
+
+
+class TestWorstCaseSearch:
+    def test_catalog_result_fields(self, graph3):
+        result = worst_case_search(graph3, max_k=5)
+        assert result.first_failure == 5
+        assert result.graph_name == graph3.name
+        assert result.search_seconds > 0
+        assert set(result.failing_counts) == {1, 2, 3, 4, 5}
+
+    def test_exhaustive_verification_passes(self):
+        g = tornado_graph(16, seed=2)
+        result = worst_case_search(g, max_k=3, verify_upto=3)
+        assert result.verified_upto == 3
+
+    def test_describe_format(self, graph3):
+        result = worst_case_search(graph3, max_k=5)
+        text = result.describe()
+        assert "first failure = 5" in text
+        assert "k=5" in text
+
+    def test_mirror_first_failure(self):
+        result = worst_case_search(mirrored_graph(8), max_k=3)
+        assert result.first_failure == 2
+
+    def test_verify_exhaustive_function(self):
+        g = tornado_graph(16, seed=5)
+        assert verify_exhaustive(g, 2)
+        assert verify_exhaustive(g, 3)

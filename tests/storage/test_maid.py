@@ -1,0 +1,73 @@
+"""Tests for the MAID power model and session metering."""
+
+import pytest
+
+from repro.storage import (
+    DeviceArray,
+    DeviceState,
+    MAIDPowerModel,
+    SessionMeter,
+)
+
+
+class TestPowerModel:
+    def test_session_energy_formula(self):
+        model = MAIDPowerModel(
+            active_watts=10.0,
+            standby_watts=1.0,
+            spinup_joules=20.0,
+        )
+        e = model.session_energy(
+            devices_touched=2,
+            spin_ups=1,
+            session_seconds=60.0,
+            total_devices=10,
+        )
+        assert e == pytest.approx(2 * 10 * 60 + 8 * 1 * 60 + 20)
+
+    def test_rejects_impossible_touch_count(self):
+        model = MAIDPowerModel()
+        with pytest.raises(ValueError):
+            model.session_energy(11, 0, 1.0, 10)
+
+    def test_fewer_devices_less_energy(self):
+        model = MAIDPowerModel()
+        few = model.session_energy(10, 10, 60.0, 96)
+        many = model.session_energy(90, 90, 60.0, 96)
+        assert few < many
+
+
+class TestSessionMeter:
+    def test_counts_each_device_once(self):
+        arr = DeviceArray(4)
+        meter = SessionMeter(arr, MAIDPowerModel())
+        meter.touch(0)
+        meter.touch(0)
+        meter.touch(1)
+        assert meter.touched == frozenset({0, 1})
+
+    def test_spin_up_accounting(self):
+        arr = DeviceArray(4)
+        arr.spin_down_all()
+        arr[0].state = DeviceState.ONLINE  # one already spinning
+        meter = SessionMeter(arr, MAIDPowerModel())
+        meter.touch_all([0, 1, 2])
+        assert meter.spin_ups == 2
+
+    def test_failed_device_raises(self):
+        arr = DeviceArray(4)
+        arr.fail([2])
+        meter = SessionMeter(arr, MAIDPowerModel())
+        with pytest.raises(IOError):
+            meter.touch(2)
+
+    def test_report(self):
+        arr = DeviceArray(10)
+        arr.spin_down_all()
+        meter = SessionMeter(arr, MAIDPowerModel())
+        meter.touch_all([0, 1, 2])
+        report = meter.report("test-strategy", session_seconds=30.0)
+        assert report.devices_touched == 3
+        assert report.spin_ups == 3
+        assert report.energy_joules > 0
+        assert "test-strategy" in str(report)

@@ -1,0 +1,109 @@
+"""Tests for retrieval planning strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import PeelingDecoder
+from repro.storage import (
+    plan_all,
+    plan_data_first,
+    plan_guided,
+    rotated_placement,
+)
+
+STRATEGIES = [plan_all, plan_data_first, plan_guided]
+
+
+@pytest.fixture
+def placement(small_tornado):
+    return rotated_placement(small_tornado, 40, 0)
+
+
+def full_availability(n=40):
+    return np.ones(n, dtype=bool)
+
+
+class TestPlansDecodability:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_healthy_system_plans_decode(
+        self, small_tornado, placement, strategy
+    ):
+        plan = strategy(small_tornado, placement, full_availability())
+        assert plan.decodable
+        dec = PeelingDecoder(small_tornado)
+        missing = [
+            n for n in range(small_tornado.num_nodes) if n not in plan.nodes
+        ]
+        assert dec.is_recoverable(missing)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_damaged_system_plans_decode(
+        self, small_tornado, placement, strategy, rng
+    ):
+        for _ in range(10):
+            avail = full_availability()
+            lost_devices = rng.choice(40, size=3, replace=False)
+            avail[lost_devices] = False
+            plan = strategy(small_tornado, placement, avail)
+            assert plan.decodable
+            # plan must not use unavailable devices
+            assert all(avail[d] for d in plan.devices)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_unrecoverable_reports_not_decodable(
+        self, small_tornado, placement, strategy
+    ):
+        avail = np.zeros(40, dtype=bool)  # everything down
+        plan = strategy(small_tornado, placement, avail)
+        assert not plan.decodable
+
+
+class TestEfficiency:
+    def test_data_first_touches_only_data_when_healthy(
+        self, small_tornado, placement
+    ):
+        plan = plan_data_first(
+            small_tornado, placement, full_availability()
+        )
+        assert plan.device_count == small_tornado.num_data
+
+    def test_guided_touches_only_data_when_healthy(
+        self, small_tornado, placement
+    ):
+        plan = plan_guided(small_tornado, placement, full_availability())
+        assert plan.device_count == small_tornado.num_data
+
+    def test_all_available_touches_everything(
+        self, small_tornado, placement
+    ):
+        plan = plan_all(small_tornado, placement, full_availability())
+        assert plan.device_count == small_tornado.num_nodes
+
+    def test_guided_never_worse_than_all(
+        self, small_tornado, placement, rng
+    ):
+        for _ in range(10):
+            avail = full_availability()
+            avail[rng.choice(40, size=5, replace=False)] = False
+            guided = plan_guided(small_tornado, placement, avail)
+            naive = plan_all(small_tornado, placement, avail)
+            assert guided.device_count <= naive.device_count
+
+    def test_guided_beats_data_first_on_average(
+        self, small_tornado, placement, rng
+    ):
+        wins = ties = losses = 0
+        for _ in range(20):
+            avail = full_availability()
+            avail[rng.choice(40, size=6, replace=False)] = False
+            g = plan_guided(small_tornado, placement, avail)
+            d = plan_data_first(small_tornado, placement, avail)
+            if not (g.decodable and d.decodable):
+                continue
+            if g.device_count < d.device_count:
+                wins += 1
+            elif g.device_count == d.device_count:
+                ties += 1
+            else:
+                losses += 1
+        assert wins + ties >= losses

@@ -1,0 +1,100 @@
+"""Tests for the archival mission simulator."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    DeviceArray,
+    MissionConfig,
+    TornadoArchive,
+    run_mission,
+)
+
+
+@pytest.fixture
+def loaded_archive(graph3):
+    archive = TornadoArchive(graph3, DeviceArray(96), block_size=64)
+    archive.put("alpha", bytes(range(256)) * 20)
+    archive.put("beta", b"payload" * 500)
+    return archive
+
+
+class TestMissionConfig:
+    def test_step_probability_compounds_to_afr(self):
+        cfg = MissionConfig(afr=0.04, steps_per_year=52)
+        yearly = 1 - (1 - cfg.step_failure_probability) ** 52
+        assert yearly == pytest.approx(0.04)
+
+    def test_num_steps(self):
+        assert MissionConfig(years=2, steps_per_year=10).num_steps == 20
+
+
+class TestRunMission:
+    def test_calm_mission_survives(self, loaded_archive):
+        cfg = MissionConfig(years=1, afr=0.01)
+        report = run_mission(
+            loaded_archive, cfg, np.random.default_rng(0)
+        )
+        assert report.survived
+        assert report.min_margin >= 0
+        assert loaded_archive.get("alpha")  # archive still intact
+
+    def test_stormy_mission_logs_events(self, loaded_archive):
+        cfg = MissionConfig(years=3, afr=0.15, replacement_lag_steps=1)
+        report = run_mission(
+            loaded_archive, cfg, np.random.default_rng(1)
+        )
+        kinds = {e.kind for e in report.events}
+        assert "failure" in kinds
+        assert report.device_failures > 0
+        if report.survived:
+            assert "repair" in kinds or report.blocks_repaired == 0
+
+    def test_catastrophic_rates_eventually_lose(self, loaded_archive):
+        """With near-certain weekly failures and slow replacement the
+        mission must record a loss (and stop at it)."""
+        cfg = MissionConfig(
+            years=2,
+            steps_per_year=12,
+            afr=0.9999,
+            replacement_lag_steps=50,
+        )
+        report = run_mission(
+            loaded_archive, cfg, np.random.default_rng(2)
+        )
+        assert not report.survived
+        assert report.events[-1].kind == "loss"
+
+    def test_repairs_accumulate(self, loaded_archive):
+        cfg = MissionConfig(
+            years=4, afr=0.2, replacement_lag_steps=1, repair_margin=3
+        )
+        report = run_mission(
+            loaded_archive, cfg, np.random.default_rng(3)
+        )
+        if report.survived:
+            assert report.blocks_repaired > 0
+
+    def test_describe_mentions_outcome(self, loaded_archive):
+        cfg = MissionConfig(years=0.5, afr=0.01)
+        report = run_mission(
+            loaded_archive, cfg, np.random.default_rng(0)
+        )
+        text = report.describe()
+        assert "outcome:" in text
+        assert "device failures" in text
+
+    def test_deterministic(self, graph3):
+        def fresh():
+            archive = TornadoArchive(
+                graph3, DeviceArray(96), block_size=32
+            )
+            archive.put("x", bytes(2000))
+            return archive
+
+        cfg = MissionConfig(years=2, afr=0.1)
+        r1 = run_mission(fresh(), cfg, np.random.default_rng(5))
+        r2 = run_mission(fresh(), cfg, np.random.default_rng(5))
+        assert [
+            (e.step, e.kind, e.detail) for e in r1.events
+        ] == [(e.step, e.kind, e.detail) for e in r2.events]

@@ -1,0 +1,55 @@
+"""Tests for stripe placement."""
+
+import numpy as np
+import pytest
+
+from repro.storage import StripeMap, rotated_placement
+
+
+class TestStripeMap:
+    def test_rejects_wrong_length(self, tiny_graph):
+        with pytest.raises(ValueError):
+            StripeMap(graph=tiny_graph, device_of=(0, 1, 2))
+
+    def test_rejects_duplicate_devices(self, tiny_graph):
+        with pytest.raises(ValueError, match="distinct"):
+            StripeMap(graph=tiny_graph, device_of=(0, 1, 2, 3, 4, 4))
+
+    def test_node_of(self, tiny_graph):
+        sm = StripeMap(graph=tiny_graph, device_of=(5, 4, 3, 2, 1, 0))
+        assert sm.node_of(5) == 0
+        assert sm.node_of(0) == 5
+        assert sm.node_of(77) is None
+
+    def test_missing_nodes_from_availability(self, tiny_graph):
+        sm = StripeMap(graph=tiny_graph, device_of=(0, 1, 2, 3, 4, 5))
+        avail = np.array([True, False, True, True, False, True])
+        assert sm.missing_nodes(avail) == [1, 4]
+
+    def test_present_mask(self, tiny_graph):
+        sm = StripeMap(graph=tiny_graph, device_of=(5, 4, 3, 2, 1, 0))
+        avail = np.array([False, True, True, True, True, True])
+        mask = sm.present_mask(avail)
+        # node 5 lives on device 0 which is down
+        np.testing.assert_array_equal(
+            mask, [True, True, True, True, True, False]
+        )
+
+
+class TestRotatedPlacement:
+    def test_distinct_devices(self, tiny_graph):
+        sm = rotated_placement(tiny_graph, pool_size=10, stripe_index=3)
+        assert len(set(sm.device_of)) == 6
+
+    def test_rotation_moves_across_stripes(self, tiny_graph):
+        a = rotated_placement(tiny_graph, pool_size=10, stripe_index=0)
+        b = rotated_placement(tiny_graph, pool_size=10, stripe_index=1)
+        assert a.device_of != b.device_of
+
+    def test_pool_too_small_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            rotated_placement(tiny_graph, pool_size=5, stripe_index=0)
+
+    def test_exact_fit_pool(self, tiny_graph):
+        sm = rotated_placement(tiny_graph, pool_size=6, stripe_index=7)
+        assert sorted(sm.device_of) == list(range(6))

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import load_graphml, save_graphml
+from repro.graphs import tornado_catalog_graph
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "graph3.graphml"
+    save_graphml(tornado_catalog_graph(3), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_certify_defaults(self):
+        args = build_parser().parse_args(["certify"])
+        assert args.num_data == 48
+        assert args.target == 5
+
+
+class TestCertify:
+    def test_writes_certified_graph(self, tmp_path, capsys):
+        out = tmp_path / "new.graphml"
+        code = main(
+            ["certify", "--seed", "32", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        graph = load_graphml(out)
+        from repro.core import first_failure
+
+        assert first_failure(graph, limit=5) == 5
+        assert "first failure" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_reports_first_failure(self, graph_file, capsys):
+        assert main(["analyze", graph_file, "--max-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "first failure: 5" in out
+
+
+class TestProfile:
+    def test_prints_metrics_and_saves(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "prof.json"
+        code = main(
+            [
+                "profile",
+                graph_file,
+                "--samples",
+                "300",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "first failure 5" in text
+        from repro.sim import FailureProfile
+
+        prof = FailureProfile.load(out)
+        assert prof.num_devices == 96
+
+
+class TestOverhead:
+    def test_reports_overhead(self, graph_file, capsys):
+        code = main(
+            ["overhead", graph_file, "--trials", "200"]
+        )
+        assert code == 0
+        assert "overhead" in capsys.readouterr().out
+
+
+class TestReliability:
+    def test_prints_table(self, capsys):
+        code = main(["reliability", "--samples", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P(fail)" in out
+        assert "RAID5" in out
+        assert "tornado-graph-3" in out
+
+
+class TestRender:
+    def test_writes_svg_and_prints_report(
+        self, graph_file, tmp_path, capsys
+    ):
+        out = tmp_path / "failure.svg"
+        code = main(
+            ["render", graph_file, "--missing", "0,1,2", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.read_text().startswith("<svg")
+        assert "succeeded" in capsys.readouterr().out
+
+    def test_no_missing_nodes(self, graph_file, tmp_path):
+        out = tmp_path / "clean.svg"
+        assert main(["render", graph_file, "--out", str(out)]) == 0
+        assert out.exists()
