@@ -12,7 +12,7 @@ The timed kernel is the adjustment procedure itself — the paper's
 import pytest
 
 from _bench_utils import BENCH_SAMPLES, write_result
-from repro.analysis import ascii_curves, format_table, profile_summary_table
+from repro.analysis import ascii_curves, format_table
 from repro.core import adjust_graph, analyze_worst_case
 from repro.graphs import tornado_catalog_graph
 

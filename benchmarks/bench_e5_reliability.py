@@ -12,7 +12,7 @@ The timed kernel is the Eq. 3 reliability combination.
 
 import pytest
 
-from _bench_utils import BENCH_SAMPLES, write_result
+from _bench_utils import write_result
 from repro.analysis import format_table
 from repro.raid import (
     mirrored_system,

@@ -14,7 +14,6 @@ The timed kernel is one sampled mirrored cell.
 """
 
 import numpy as np
-import pytest
 
 from _bench_utils import BENCH_SAMPLES, write_result
 from repro.analysis import format_table

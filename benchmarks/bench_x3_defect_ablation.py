@@ -11,8 +11,6 @@ The timed kernel is one certified generation (construction + screen).
 
 from collections import Counter
 
-import pytest
-
 from _bench_utils import write_result
 from repro.analysis import format_table
 from repro.core import first_failure, generate_certified, tornado_graph

@@ -11,8 +11,6 @@ The timed kernel is one full incremental-retrieval trial sweep.
 """
 
 import numpy as np
-import pytest
-
 from _bench_utils import write_result
 from repro.analysis import format_table
 from repro.sim import measure_retrieval_overhead
@@ -34,12 +32,12 @@ def test_x5_retrieval_overhead(benchmark, systems):
     for label in ("Tornado Graph 1", "Tornado Graph 2", "Tornado Graph 3"):
         graph = systems[label]
         peel = measure_retrieval_overhead(
-            graph, n_trials=TRIALS, rng=np.random.default_rng(0)
+            graph, n_trials=TRIALS, seed=0
         )
         ml = measure_retrieval_overhead(
             graph,
             n_trials=ML_TRIALS,
-            rng=np.random.default_rng(0),
+            seed=0,
             decoder="ml",
         )
         rows.append(

@@ -14,8 +14,6 @@ The timed kernel is one simulated mission of the Tornado system.
 """
 
 import numpy as np
-import pytest
-
 from _bench_utils import write_result
 from repro.analysis import format_table
 from repro.reliability import (

@@ -16,9 +16,6 @@ full pipeline and measures what fault tolerance each size can reach:
 The timed kernel is full certification (screen + adjust) at 96 nodes.
 """
 
-import numpy as np
-import pytest
-
 from _bench_utils import write_result
 from repro.analysis import format_table
 from repro.core import (
@@ -54,7 +51,7 @@ def test_x9_size_scaling(benchmark):
         report, adjusted, screen = certify(num_data)
         wc = analyze_worst_case(adjusted.graph, max_k=5)
         overhead = measure_retrieval_overhead(
-            adjusted.graph, n_trials=600, rng=np.random.default_rng(0)
+            adjusted.graph, n_trials=600, seed=0
         )
         reached[num_data] = wc.first_failure
         rows.append(

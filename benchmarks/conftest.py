@@ -10,20 +10,48 @@ count; default 4000 keeps the whole suite to a few minutes; the paper
 used ~10-34 million per point over 34 CPU-days).  Rendered tables are
 written to ``benchmarks/results/`` so they survive pytest's output
 capture and can be diffed against EXPERIMENTS.md.
+
+Every bench runs under a scoped :mod:`repro.obs` metrics registry; the
+per-bench snapshots (decode throughput counters, cache hits, search
+timings) are collected into ``benchmarks/results/metrics_summary.json``
+at session end so the ``BENCH_*.json`` trajectories gain that context.
 """
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
+import json
 
 import pytest
 
 from repro.analysis import default_cache
 from repro.graphs import catalog_96_node_systems
+from repro.obs import MetricsRegistry, capture
 from repro.sim import FailureProfile
 
-from _bench_utils import BENCH_SAMPLES, RESULTS_DIR, write_result
+from _bench_utils import BENCH_SAMPLES, RESULTS_DIR
+
+_METRICS_BY_BENCH: dict[str, dict] = {}
+
+
+@pytest.fixture(autouse=True)
+def _bench_metrics(request):
+    """Collect instrumentation for each bench into the session summary."""
+    with capture(MetricsRegistry()) as reg:
+        yield
+    snap = reg.snapshot()
+    if snap["counters"] or snap["gauges"] or snap["histograms"]:
+        _METRICS_BY_BENCH[request.node.nodeid] = snap
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _METRICS_BY_BENCH:
+        return
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = RESULTS_DIR / "metrics_summary.json"
+    out.write_text(
+        json.dumps(_METRICS_BY_BENCH, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -15,6 +15,19 @@ Archival Storage" (HPDC 2006).  Subpackages:
   guided retrieval.
 * :mod:`repro.rs` — Reed-Solomon baseline codec.
 * :mod:`repro.analysis` — tables, ASCII figures, profile caching.
+* :mod:`repro.obs` — metrics, run manifests, unified seeding.
+
+Stable API
+----------
+The names re-exported here form the supported public surface (see
+``docs/API.md``); import them from ``repro`` directly rather than from
+deep module paths, which may move between releases::
+
+    import repro
+
+    report = repro.generate_certified(48, seed=0)
+    adjusted = repro.adjust_graph(report.graph, target_first_failure=5)
+    profile = repro.profile_graph(adjusted.graph, samples_per_k=4000)
 """
 
 from . import (
@@ -22,33 +35,73 @@ from . import (
     core,
     federation,
     graphs,
+    obs,
     raid,
     reliability,
     rs,
     sim,
     storage,
 )
-from .core import ErasureGraph, TornadoCodec, tornado_graph
+from .analysis import ProfileCache, default_cache
+from .core import (
+    ErasureGraph,
+    TornadoCodec,
+    adjust_graph,
+    analyze_worst_case,
+    generate_certified,
+    load_graphml,
+    save_graphml,
+    tornado_graph,
+)
 from .graphs import tornado_catalog_graph
-from .sim import FailureProfile, profile_graph
+from .obs import (
+    MetricsRegistry,
+    RunManifest,
+    capture,
+    metrics_enabled,
+    resolve_rng,
+)
+from .sim import (
+    FailureProfile,
+    measure_retrieval_overhead,
+    profile_graph,
+    worst_case_search,
+)
+from .storage import TornadoArchive
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ErasureGraph",
     "FailureProfile",
+    "MetricsRegistry",
+    "ProfileCache",
+    "RunManifest",
+    "TornadoArchive",
     "TornadoCodec",
     "__version__",
+    "adjust_graph",
     "analysis",
+    "analyze_worst_case",
+    "capture",
     "core",
+    "default_cache",
     "federation",
+    "generate_certified",
     "graphs",
+    "load_graphml",
+    "measure_retrieval_overhead",
+    "metrics_enabled",
+    "obs",
     "profile_graph",
     "raid",
     "reliability",
+    "resolve_rng",
     "rs",
+    "save_graphml",
     "sim",
     "storage",
     "tornado_catalog_graph",
     "tornado_graph",
+    "worst_case_search",
 ]

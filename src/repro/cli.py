@@ -13,16 +13,21 @@ commands:
 * ``repro reliability`` — Table 5-style comparison of the catalog
   graphs against RAID and mirroring.
 
+Every subcommand accepts ``--metrics PATH`` (or the ``REPRO_METRICS``
+environment variable): the run then streams instrumentation events —
+per-cell simulation timings, cache hits, decode counters — to a JSONL
+file and closes it with a ``run_manifest`` record capturing seed,
+arguments, package version, host, and wall time.
+
 Run ``python -m repro <command> --help`` for per-command options.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
-
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -32,10 +37,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Tornado Codes for archival storage (HPDC 2006 reproduction)",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write instrumentation events + run manifest as JSONL "
+        "(default: $REPRO_METRICS if set)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser(
-        "certify", help="generate, screen, adjust and export a graph"
+        "certify",
+        help="generate, screen, adjust and export a graph",
+        parents=[common],
     )
     p.add_argument("--num-data", type=int, default=48)
     p.add_argument("--seed", type=int, default=0)
@@ -44,18 +59,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="GraphML output path (default: derived from seed)")
 
-    p = sub.add_parser("analyze", help="worst-case report for a GraphML graph")
+    p = sub.add_parser(
+        "analyze",
+        help="worst-case report for a GraphML graph",
+        parents=[common],
+    )
     p.add_argument("graph", help="GraphML file")
     p.add_argument("--max-k", type=int, default=5)
 
-    p = sub.add_parser("profile", help="Monte Carlo failure profile")
+    p = sub.add_parser(
+        "profile", help="Monte Carlo failure profile", parents=[common]
+    )
     p.add_argument("graph", help="GraphML file")
     p.add_argument("--samples", type=int, default=4000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-k sweep (default 1)",
+    )
+    p.add_argument(
+        "--exact-upto",
+        type=int,
+        default=None,
+        help="splice exact probabilities for k <= this "
+        "(default: library default)",
+    )
     p.add_argument("--out", default=None, help="profile JSON output path")
 
     p = sub.add_parser(
-        "overhead", help="incremental-retrieval overhead measurement"
+        "overhead",
+        help="incremental-retrieval overhead measurement",
+        parents=[common],
     )
     p.add_argument("graph", help="GraphML file")
     p.add_argument("--trials", type=int, default=2000)
@@ -65,13 +101,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "reliability",
         help="Table 5-style reliability comparison (catalog graphs)",
+        parents=[common],
     )
     p.add_argument("--samples", type=int, default=2000)
     p.add_argument("--afr", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per catalog-graph profile (default 1)",
+    )
 
     p = sub.add_parser(
         "render",
         help="SVG rendering of a graph under a loss pattern (paper §3)",
+        parents=[common],
     )
     p.add_argument("graph", help="GraphML file")
     p.add_argument(
@@ -120,11 +165,18 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_profile(args) -> int:
     from .core import load_graphml
-    from .sim import profile_graph
+    from .sim import DEFAULT_EXACT_UPTO, profile_graph
 
     graph = load_graphml(args.graph)
+    exact_upto = (
+        DEFAULT_EXACT_UPTO if args.exact_upto is None else args.exact_upto
+    )
     prof = profile_graph(
-        graph, samples_per_k=args.samples, seed=args.seed
+        graph,
+        samples_per_k=args.samples,
+        seed=args.seed,
+        exact_upto=exact_upto,
+        n_jobs=args.jobs,
     )
     print(
         f"{graph.name}: first failure {prof.first_failure()}, "
@@ -146,7 +198,7 @@ def _cmd_overhead(args) -> int:
     result = measure_retrieval_overhead(
         graph,
         n_trials=args.trials,
-        rng=np.random.default_rng(args.seed),
+        seed=args.seed,
         decoder=args.decoder,
     )
     print(
@@ -182,7 +234,12 @@ def _cmd_reliability(args) -> int:
     for number in (1, 2, 3):
         graph = tornado_catalog_graph(number)
         profiles.append(
-            profile_graph(graph, samples_per_k=args.samples, seed=0)
+            profile_graph(
+                graph,
+                samples_per_k=args.samples,
+                seed=args.seed,
+                n_jobs=args.jobs,
+            )
         )
     rows = [
         [e.system_name, e.data_devices, e.parity_devices, f"{e.p_fail:.4g}"]
@@ -220,7 +277,29 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    metrics_path = args.metrics or os.environ.get("REPRO_METRICS")
+    if not metrics_path:
+        return _COMMANDS[args.command](args)
+
+    from .obs import JsonlSink, MetricsRegistry, RunManifest, capture
+
+    sink = JsonlSink(metrics_path)
+    config = {
+        k: v for k, v in vars(args).items() if k not in ("command", "metrics")
+    }
+    manifest = RunManifest.create(
+        f"repro {args.command}",
+        seed=getattr(args, "seed", None),
+        config=config,
+    )
+    try:
+        with capture(MetricsRegistry(sink=sink)) as reg:
+            code = _COMMANDS[args.command](args)
+            reg.event("metrics_summary", **reg.snapshot())
+            reg.event("run_manifest", **manifest.finish().to_dict())
+        return code
+    finally:
+        sink.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

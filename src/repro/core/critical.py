@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..obs.registry import registry
 from .decoder import BatchPeelingDecoder
 from .graph import ErasureGraph
 
@@ -73,6 +74,9 @@ class _StoppingSearch:
         self.is_data = [False] * graph.num_nodes
         for d in graph.data_nodes:
             self.is_data[d] = True
+        # DFS nodes visited across every enumerate() call on this
+        # engine; flushed into the metrics registry by callers.
+        self.nodes_expanded = 0
 
     # The DFS maintains S plus a per-constraint count of members in S.
     # A constraint with count exactly 1 is "violated"; a stopping set
@@ -127,6 +131,7 @@ class _StoppingSearch:
             if key in visited:
                 return
             visited.add(key)
+            self.nodes_expanded += 1
             if len(s) > bound[0]:
                 return
             ci = pick_violated()
@@ -172,6 +177,7 @@ def minimal_bad_stopping_sets(
             collect=collect,
         )
         found.extend(collect)
+    registry().counter("critical.nodes_expanded").inc(search.nodes_expanded)
     # Keep minimal sets only (smallest first so supersets filter cheaply).
     found.sort(key=len)
     minimal: list[frozenset[int]] = []
@@ -197,22 +203,28 @@ def min_bad_stopping_set_containing(
         raise ValueError(f"node {node} is not a data node")
     search = _StoppingSearch(graph)
     data = set(graph.data_nodes)
-    # Iterative deepening: the DFS cost explodes with the size bound, so
-    # probing small bounds first makes the common case (a critical set
-    # well under max_size) cheap and never searches deeper than needed.
-    for bound in range(2, max_size + 1):
-        collect: list[frozenset[int]] = []
-        search.enumerate(
-            seed=node,
-            max_size=bound,
-            forbidden=frozenset(),
-            collect=collect,
-            minimize=True,
+    try:
+        # Iterative deepening: the DFS cost explodes with the size
+        # bound, so probing small bounds first makes the common case (a
+        # critical set well under max_size) cheap and never searches
+        # deeper than needed.
+        for bound in range(2, max_size + 1):
+            collect: list[frozenset[int]] = []
+            search.enumerate(
+                seed=node,
+                max_size=bound,
+                forbidden=frozenset(),
+                collect=collect,
+                minimize=True,
+            )
+            bad = [s for s in collect if s & data]
+            if bad:
+                return min(bad, key=len)
+        return None
+    finally:
+        registry().counter("critical.nodes_expanded").inc(
+            search.nodes_expanded
         )
-        bad = [s for s in collect if s & data]
-        if bad:
-            return min(bad, key=len)
-    return None
 
 
 def first_failure(graph: ErasureGraph, limit: int = 8) -> int | None:

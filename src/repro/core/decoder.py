@@ -22,11 +22,13 @@ Two engines are provided:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..obs.registry import registry
 from .graph import ErasureGraph
 
 __all__ = [
@@ -232,6 +234,9 @@ class BatchPeelingDecoder:
             raise ValueError(
                 f"expected (batch, {self._num_nodes}) unknown matrix"
             )
+        reg = registry()
+        t0 = time.perf_counter() if reg.enabled else 0.0
+        rounds = 0
         # Work in float32 node-major layout for the matmuls.
         u = np.ascontiguousarray(unknown.T, dtype=np.float32)  # (N, B)
         a = self._a
@@ -240,6 +245,7 @@ class BatchPeelingDecoder:
         active = np.ones(batch, dtype=bool)
 
         while True:
+            rounds += 1
             cols = np.flatnonzero(active)
             if cols.size == 0:
                 break
@@ -261,7 +267,17 @@ class BatchPeelingDecoder:
             still_unknown = u[self._data][:, cols].any(axis=0)
             active[cols] = still_unknown & progressed
 
-        return ~u[self._data].any(axis=0)
+        ok = ~u[self._data].any(axis=0)
+        reg.counter("decoder.batches").inc()
+        reg.counter("decoder.cases").inc(batch)
+        reg.counter("decoder.rounds").inc(rounds)
+        if reg.enabled:
+            reg.histogram("decoder.batch_size").observe(batch)
+            reg.histogram("decoder.peel_rounds").observe(rounds)
+            reg.histogram("decoder.decode_seconds").observe(
+                time.perf_counter() - t0
+            )
+        return ok
 
     def decode_missing_sets(
         self, missing_sets: Sequence[Sequence[int]]

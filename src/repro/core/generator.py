@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.seeding import SeedLike, derive_seed
 from .bipartite import MultiEdgeRepairError
 from .cascade import DEFAULT_HEAVY_TAIL_D, tornado_graph
 from .defects import DEFAULT_DEFECT_SIZE, has_defects
@@ -41,7 +42,7 @@ class GenerationReport:
 def generate_certified(
     num_data: int,
     *,
-    seed: int = 0,
+    seed: "SeedLike" = 0,
     max_attempts: int = 500,
     defect_size: int = DEFAULT_DEFECT_SIZE,
     left_dist: EdgeDistribution | None = None,
@@ -55,8 +56,11 @@ def generate_certified(
     reproducible; the report records which seeds were rejected.  A graph
     passing the default screen (``defect_size=3``) tolerates any three
     simultaneous losses, i.e. its first failure is at least 4 — the
-    paper's pre-adjustment state.
+    paper's pre-adjustment state.  ``seed`` follows the unified seeding
+    convention; passing a :class:`numpy.random.Generator` draws the
+    integer start seed from it.
     """
+    seed = derive_seed(seed)
     rejected: list[int] = []
     for attempt in range(max_attempts):
         current_seed = seed + attempt

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.decoder import BatchPeelingDecoder
+from ..obs.seeding import SeedLike, resolve_rng
 from ..sim.results import FailureProfile
 from .multigraph import FederatedSystem
 
@@ -57,7 +58,7 @@ def federated_profile(
     system: FederatedSystem,
     *,
     samples_per_k: int = 4_000,
-    seed: int = 0,
+    seed: SeedLike = 0,
     ks: list[int] | None = None,
     name: str | None = None,
 ) -> FailureProfile:
@@ -74,7 +75,7 @@ def federated_profile(
     samples = np.zeros(n + 1, dtype=np.int64)
     fail[n] = 1.0
 
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     sample_ks = list(ks) if ks is not None else list(range(1, n))
     for k in sample_ks:
         if not 0 < k < n:

@@ -1,0 +1,61 @@
+"""Observability for the simulation stack (``repro.obs``).
+
+Dependency-free instrumentation layer threaded through the library's
+hot paths — batch decoding, Monte Carlo profiling, worst-case search,
+storage devices, and the profile cache:
+
+* :class:`MetricsRegistry` — counters, gauges, streaming histograms,
+  ``timer()``/``span()`` context managers, structured events;
+* :class:`JsonlSink` — line-oriented event log for live tailing;
+* :class:`RunManifest` — provenance (seed, config, version, host, wall
+  time) for every run, stored beside cached profiles;
+* :mod:`repro.obs.seeding` — the unified ``seed: int | Generator``
+  convention shared by every public simulation entry point.
+
+Collection is off by default and costs nearly nothing when off (see
+:mod:`repro.obs.registry`).  Enable per run via ``repro ...
+--metrics out.jsonl``, the ``REPRO_METRICS`` environment variable, or
+programmatically::
+
+    from repro.obs import capture
+
+    with capture() as metrics:
+        profile_graph(graph, samples_per_k=1000)
+    print(metrics.snapshot()["counters"])
+"""
+
+from .manifest import RunManifest
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    capture,
+    disable,
+    enable,
+    metrics_enabled,
+    registry,
+)
+from .seeding import SeedLike, derive_seed, resolve_rng, spawn_seeds
+from .sink import JsonlSink, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullRegistry",
+    "RunManifest",
+    "SeedLike",
+    "capture",
+    "derive_seed",
+    "disable",
+    "enable",
+    "metrics_enabled",
+    "read_jsonl",
+    "registry",
+    "resolve_rng",
+    "spawn_seeds",
+]

@@ -1,0 +1,152 @@
+"""Run manifests: what produced this result, exactly?
+
+A cached failure profile or a benchmark trajectory is only trustworthy
+if we know what produced it — the seed, the sample counts, the package
+version, the machine.  :class:`RunManifest` captures that provenance
+for every simulation run; it is stored as a sidecar next to cached
+profiles and emitted as the closing record of every ``--metrics``
+JSONL stream.
+
+The *fingerprint* covers only the reproducibility-relevant fields
+(command, seed, config, package version), deliberately excluding
+host/timing fields, so two runs of the same experiment on different
+machines agree on their fingerprint — that is what makes drift
+detectable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import socket
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["RunManifest"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce config values to JSON-stable representations."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_jsonable(v) for v in items]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record for one simulation/benchmark run."""
+
+    command: str
+    seed: int | None
+    config: dict[str, Any]
+    package_version: str
+    python_version: str
+    hostname: str
+    cpu_count: int
+    started_at: float
+    wall_seconds: float | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        command: str,
+        *,
+        seed: int | None = None,
+        config: Mapping[str, Any] | None = None,
+        **extra: Any,
+    ) -> "RunManifest":
+        """Capture the environment at the start of a run."""
+        from .. import __version__
+
+        return cls(
+            command=command,
+            seed=None if seed is None else int(seed),
+            config={k: _jsonable(v) for k, v in sorted((config or {}).items())},
+            package_version=__version__,
+            python_version=platform.python_version(),
+            hostname=socket.gethostname(),
+            cpu_count=os.cpu_count() or 1,
+            started_at=time.time(),
+            extra={k: _jsonable(v) for k, v in sorted(extra.items())},
+        )
+
+    def finish(self) -> "RunManifest":
+        """Stamp the wall time; call once when the run completes."""
+        return replace(self, wall_seconds=time.time() - self.started_at)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable digest of the reproducibility-relevant fields."""
+        payload = json.dumps(
+            {
+                "command": self.command,
+                "seed": self.seed,
+                "config": self.config,
+                "package_version": self.package_version,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "command": self.command,
+            "seed": self.seed,
+            "config": self.config,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "hostname": self.hostname,
+            "cpu_count": self.cpu_count,
+            "started_at": self.started_at,
+            "wall_seconds": self.wall_seconds,
+            "fingerprint": self.fingerprint(),
+            "extra": self.extra,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "RunManifest":
+        return cls(
+            command=obj["command"],
+            seed=obj.get("seed"),
+            config=dict(obj.get("config", {})),
+            package_version=obj.get("package_version", "unknown"),
+            python_version=obj.get("python_version", "unknown"),
+            hostname=obj.get("hostname", "unknown"),
+            cpu_count=int(obj.get("cpu_count", 1)),
+            started_at=float(obj.get("started_at", 0.0)),
+            wall_seconds=obj.get("wall_seconds"),
+            extra=dict(obj.get("extra", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | os.PathLike) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RunManifest":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

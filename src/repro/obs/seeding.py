@@ -1,0 +1,88 @@
+"""Unified randomness plumbing for every simulation entry point.
+
+Historically the public API mixed two conventions — some functions took
+``seed: int``, others took ``rng: np.random.Generator`` — which made
+composing experiments awkward and reproducibility accidental.  The
+convention now is a single ``seed`` parameter accepting either form,
+resolved through the helpers here:
+
+* :func:`resolve_rng` — one :class:`numpy.random.Generator` from an
+  int, a ``SeedSequence``, an existing generator, or ``None``;
+* :func:`spawn_seeds` — deterministic child seed sequences for
+  process-pool fan-out, valid for any accepted seed form;
+* :func:`derive_seed` — a plain integer for code that needs integer
+  seed semantics (e.g. the sequential seed scan of
+  :func:`repro.core.generator.generate_certified`).
+
+Passing the *same* generator object through several calls threads one
+random stream through them (calls consume state); passing an int
+re-derives an independent stream per call.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "derive_seed", "resolve_rng", "spawn_seeds"]
+
+SeedLike = Union[
+    int, np.integer, np.random.SeedSequence, np.random.Generator, None
+]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a Generator for any accepted seed form.
+
+    An existing :class:`~numpy.random.Generator` passes through
+    unchanged (shared stream); ``None`` yields a fresh OS-entropy
+    generator; ints and seed sequences seed a new generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be int, SeedSequence, Generator or None, "
+        f"got {type(seed).__name__}"
+    )
+
+
+def spawn_seeds(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Deterministic child seed sequences for parallel fan-out.
+
+    For int/None/SeedSequence seeds this is
+    ``SeedSequence(seed).spawn(n)``; a generator contributes entropy by
+    drawing one 64-bit integer (consuming its state), so repeated calls
+    with the same generator object yield fresh, reproducible fan-outs.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed.spawn(n)
+    if isinstance(seed, np.random.Generator):
+        entropy = int(seed.integers(0, 2**63))
+        return np.random.SeedSequence(entropy).spawn(n)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(seed).spawn(n)
+    raise TypeError(
+        f"seed must be int, SeedSequence, Generator or None, "
+        f"got {type(seed).__name__}"
+    )
+
+
+def derive_seed(seed: SeedLike) -> int:
+    """A plain non-negative int for integer-seed code paths."""
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if seed is None:
+        return 0
+    if isinstance(seed, np.random.SeedSequence):
+        return int(seed.generate_state(1)[0])
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**31))
+    raise TypeError(
+        f"seed must be int, SeedSequence, Generator or None, "
+        f"got {type(seed).__name__}"
+    )

@@ -1,0 +1,71 @@
+"""JSONL event sink: one JSON object per line, append-friendly.
+
+Simulation runs emit a stream of structured events (per-cell timings,
+cache hits, the closing :class:`~repro.obs.manifest.RunManifest`); the
+sink serialises each as a single line so runs can be tailed live and
+post-processed with standard line-oriented tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = ["JsonlSink", "read_jsonl"]
+
+
+def _default(obj: Any) -> Any:
+    """Serialise numpy scalars/arrays and other common non-JSON types."""
+    if hasattr(obj, "tolist"):  # numpy array or scalar
+        return obj.tolist()
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if isinstance(obj, Path):
+        return str(obj)
+    return repr(obj)
+
+
+class JsonlSink:
+    """Append structured events to a JSONL file (or open stream).
+
+    The file is opened lazily on the first event and flushed per line,
+    so a crashed run still leaves every completed event on disk.
+    Usable as a context manager.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+        self.emitted = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, default=_default) + "\n")
+        self._fh.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Load every event from a JSONL file (convenience for tests/tools)."""
+    out: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.decoder import PeelingDecoder
 from ..core.graph import ErasureGraph
+from ..obs.seeding import SeedLike, resolve_rng
 
 __all__ = [
     "LifetimeConfig",
@@ -148,7 +149,7 @@ def simulate_lifetime(
     fails: FailurePredicate,
     config: LifetimeConfig,
     n_runs: int = 200,
-    rng: np.random.Generator | None = None,
+    rng: SeedLike = None,
 ) -> LifetimeResult:
     """Event-driven failure/repair simulation to first data loss.
 
@@ -159,8 +160,7 @@ def simulate_lifetime(
     failed set (repair = full rebuild from the surviving redundancy,
     valid because the run stops the moment that becomes impossible).
     """
-    if rng is None:
-        rng = np.random.default_rng(0)
+    rng = resolve_rng(rng if rng is not None else 0)
     n = config.num_devices
 
     losses = 0

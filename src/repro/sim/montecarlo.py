@@ -20,6 +20,7 @@ instead (strictly better than the paper's sampling there).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from math import comb
 from typing import Sequence
@@ -33,6 +34,8 @@ from ..core.critical import (
 )
 from ..core.decoder import BatchPeelingDecoder
 from ..core.graph import ErasureGraph
+from ..obs.registry import registry
+from ..obs.seeding import SeedLike, resolve_rng, spawn_seeds
 from .results import FailureProfile
 
 __all__ = [
@@ -68,14 +71,20 @@ def sample_fail_fraction(
     graph: ErasureGraph,
     k: int,
     n_samples: int,
-    rng: np.random.Generator,
+    rng: SeedLike = None,
     decoder: BatchPeelingDecoder | None = None,
 ) -> float:
-    """Estimate P(fail | k offline) from ``n_samples`` random loss sets."""
+    """Estimate P(fail | k offline) from ``n_samples`` random loss sets.
+
+    ``rng`` follows the unified seeding convention: an int seed, an
+    existing :class:`numpy.random.Generator`, or ``None`` for fresh
+    entropy (see :func:`repro.obs.seeding.resolve_rng`).
+    """
     if k == 0:
         return 0.0
     if k > graph.num_nodes:
         raise ValueError(f"k={k} exceeds {graph.num_nodes} nodes")
+    rng = resolve_rng(rng)
     if decoder is None:
         decoder = BatchPeelingDecoder(graph)
     failures = 0
@@ -89,11 +98,16 @@ def sample_fail_fraction(
     return failures / n_samples
 
 
-def _sweep_cell(args) -> tuple[int, float]:
+def _sweep_cell(args) -> tuple[int, float, float]:
     """Process-pool worker: one (graph, k) cell of a profile sweep."""
-    graph, k, n_samples, seed_entropy = args
-    rng = np.random.default_rng(np.random.SeedSequence(seed_entropy))
-    return k, sample_fail_fraction(graph, k, n_samples, rng)
+    graph, k, n_samples, seed_seq = args
+    # The spawned SeedSequence is passed whole (it pickles fine):
+    # reconstructing from `.entropy` alone would drop the spawn_key and
+    # hand every cell the same stream.
+    rng = np.random.default_rng(seed_seq)
+    t0 = time.perf_counter()
+    frac = sample_fail_fraction(graph, k, n_samples, rng)
+    return k, frac, time.perf_counter() - t0
 
 
 def profile_graph(
@@ -102,7 +116,7 @@ def profile_graph(
     samples_per_k: int = DEFAULT_SAMPLES_PER_K,
     exact_upto: int = DEFAULT_EXACT_UPTO,
     ks: Sequence[int] | None = None,
-    seed: int = 0,
+    seed: SeedLike = 0,
     n_jobs: int = 1,
 ) -> FailureProfile:
     """Full failure profile of a graph (the paper's per-graph curve).
@@ -110,21 +124,31 @@ def profile_graph(
     Exact inclusion–exclusion probabilities cover ``k <= exact_upto``;
     Monte Carlo covers the rest (or the explicit ``ks`` subset, with
     other entries left at the certain-failure/certain-success bounds).
-    ``n_jobs > 1`` distributes k-cells over processes.
+    ``n_jobs > 1`` distributes k-cells over processes.  ``seed``
+    accepts an int or an existing :class:`numpy.random.Generator`
+    (unified seeding convention).
+
+    Metrics: per-cell timings, sample counts, and worker fan-out are
+    recorded in the parent's registry regardless of ``n_jobs``; the
+    decoder-level counters (``decoder.*``) accrue inside worker
+    processes when ``n_jobs > 1`` and are not merged back.
     """
+    reg = registry()
+    t_start = time.perf_counter() if reg.enabled else 0.0
     n = graph.num_nodes
     fail = np.zeros(n + 1, dtype=float)
     samples = np.zeros(n + 1, dtype=np.int64)
 
     exact_upto = min(exact_upto, n)
-    minimal = minimal_bad_stopping_sets(graph, max_size=exact_upto)
-    for k in range(exact_upto + 1):
-        try:
-            fail[k] = count_failing_sets(n, k, minimal) / comb(n, k)
-        except CountBudgetExceeded:
-            # Pathological critical-set family: sample this k instead.
-            exact_upto = k - 1
-            break
+    with reg.timer("profile.exact_seconds"):
+        minimal = minimal_bad_stopping_sets(graph, max_size=exact_upto)
+        for k in range(exact_upto + 1):
+            try:
+                fail[k] = count_failing_sets(n, k, minimal) / comb(n, k)
+            except CountBudgetExceeded:
+                # Pathological critical-set family: sample this k instead.
+                exact_upto = k - 1
+                break
 
     # Beyond the data-node count... every k > n - 1 data availability:
     # losing more nodes than the check count forces data loss only at
@@ -137,25 +161,42 @@ def profile_graph(
         if exact_upto < k < n
     ]
     tasks = []
-    root = np.random.SeedSequence(seed)
-    children = root.spawn(len(sample_ks))
+    children = spawn_seeds(seed, len(sample_ks))
     for k, child in zip(sample_ks, children):
-        tasks.append((graph, k, samples_per_k, child.entropy))
+        tasks.append((graph, k, samples_per_k, child))
+
+    def record_cell(k: int, seconds: float) -> None:
+        reg.histogram("profile.cell_seconds").observe(seconds)
+        reg.event(
+            "profile.cell",
+            graph=graph.name,
+            k=k,
+            samples=samples_per_k,
+            seconds=seconds,
+            samples_per_sec=samples_per_k / seconds if seconds > 0 else None,
+        )
 
     if n_jobs > 1 and len(tasks) > 1:
         workers = min(n_jobs, os.cpu_count() or 1, len(tasks))
+        reg.gauge("profile.workers").set(workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for k, frac in pool.map(_sweep_cell, tasks):
+            for k, frac, cell_seconds in pool.map(_sweep_cell, tasks):
                 fail[k] = frac
                 samples[k] = samples_per_k
+                if reg.enabled:
+                    record_cell(k, cell_seconds)
     else:
+        reg.gauge("profile.workers").set(1)
         decoder = BatchPeelingDecoder(graph)
-        for graph_, k, n_samples, entropy in tasks:
-            rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        for graph_, k, n_samples, seed_seq in tasks:
+            rng = np.random.default_rng(seed_seq)
+            t_cell = time.perf_counter() if reg.enabled else 0.0
             fail[k] = sample_fail_fraction(
                 graph_, k, n_samples, rng, decoder=decoder
             )
             samples[k] = n_samples
+            if reg.enabled:
+                record_cell(k, time.perf_counter() - t_cell)
 
     # If the caller sampled a sparse k-grid, fill the gaps by monotone
     # interpolation so profile metrics stay meaningful.
@@ -164,6 +205,18 @@ def profile_graph(
         known = np.union1d(known, [n])
         fail = np.interp(np.arange(n + 1), known, fail[known])
 
+    reg.counter("profile.graphs").inc()
+    reg.counter("profile.samples").inc(int(samples.sum()))
+    if reg.enabled:
+        total = time.perf_counter() - t_start
+        reg.histogram("profile.graph_seconds").observe(total)
+        reg.event(
+            "profile.done",
+            graph=graph.name,
+            cells=len(tasks),
+            samples=int(samples.sum()),
+            seconds=total,
+        )
     return FailureProfile(
         system_name=graph.name,
         num_devices=n,

@@ -21,12 +21,15 @@ invertible combination).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.graph import ErasureGraph
 from ..core.mldecoder import MLDecoder
+from ..obs.registry import registry
+from ..obs.seeding import SeedLike, resolve_rng
 
 __all__ = [
     "IncrementalPeeler",
@@ -116,17 +119,33 @@ class OverheadResult:
 def measure_retrieval_overhead(
     graph: ErasureGraph,
     n_trials: int = 2_000,
-    rng: np.random.Generator | None = None,
+    seed: SeedLike = 0,
     decoder: str = "peeling",
+    *,
+    rng: np.random.Generator | None = None,
 ) -> OverheadResult:
     """Blocks downloaded until reconstruction, over random orders.
 
     ``decoder`` selects the recovery rule: ``"peeling"`` (the Tornado
     decoder; incremental, O(edges) per trial) or ``"ml"`` (GF(2)
     elimination; the floor, found by bisecting the prefix length).
+    ``seed`` follows the unified seeding convention (int or an existing
+    :class:`numpy.random.Generator`).
+
+    .. deprecated:: 1.1
+        The ``rng=`` keyword is a legacy alias for ``seed=`` and will
+        be removed; pass the generator (or an int) as ``seed``.
     """
-    if rng is None:
-        rng = np.random.default_rng(0)
+    if rng is not None:
+        warnings.warn(
+            "measure_retrieval_overhead(rng=...) is deprecated; "
+            "pass seed=<int or Generator> instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        seed = rng
+    generator = resolve_rng(seed)
+    rng = generator
     if decoder not in ("peeling", "ml"):
         raise ValueError("decoder must be 'peeling' or 'ml'")
 
@@ -161,6 +180,16 @@ def measure_retrieval_overhead(
                     lo = mid + 1
             downloads[t] = lo
 
+    reg = registry()
+    reg.counter("overhead.trials").inc(n_trials)
+    if reg.enabled:
+        reg.event(
+            "overhead.measured",
+            graph=graph.name,
+            decoder=decoder,
+            trials=n_trials,
+            mean_downloads=float(downloads.mean()),
+        )
     return OverheadResult(
         graph_name=graph.name,
         num_data=graph.num_data,

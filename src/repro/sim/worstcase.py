@@ -20,6 +20,7 @@ from ..core.critical import (
     minimal_bad_stopping_sets,
 )
 from ..core.graph import ErasureGraph
+from ..obs.registry import registry
 
 __all__ = ["WorstCaseResult", "worst_case_search", "verify_exhaustive"]
 
@@ -65,9 +66,24 @@ def worst_case_search(
     branch-and-bound counts — the library's equivalent of the paper's
     simulator-vs-theory validation.
     """
+    reg = registry()
+    expanded_before = reg.counter("critical.nodes_expanded").value
     t0 = time.perf_counter()
     report = analyze_worst_case(graph, max_k=max_k)
     elapsed = time.perf_counter() - t0
+    reg.counter("worstcase.searches").inc()
+    if reg.enabled:
+        reg.histogram("worstcase.search_seconds").observe(elapsed)
+        reg.event(
+            "worstcase.search",
+            graph=graph.name,
+            max_k=max_k,
+            first_failure=report.first_failure,
+            nodes_expanded=(
+                reg.counter("critical.nodes_expanded").value - expanded_before
+            ),
+            seconds=elapsed,
+        )
 
     for k in range(1, min(verify_upto, max_k) + 1):
         brute = len(exhaustive_failing_sets(graph, k))

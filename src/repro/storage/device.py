@@ -18,6 +18,9 @@ from typing import Iterable
 
 import numpy as np
 
+from ..obs.registry import registry
+from ..obs.seeding import SeedLike, resolve_rng
+
 __all__ = ["DeviceState", "Device", "DeviceArray"]
 
 
@@ -50,11 +53,13 @@ class Device:
         self._spin_up_if_needed()
         self.blocks[key] = bytes(payload)
         self.writes += 1
+        registry().counter("storage.writes").inc()
 
     def read_block(self, key: str) -> bytes:
         self._require_alive()
         self._spin_up_if_needed()
         self.reads += 1
+        registry().counter("storage.reads").inc()
         try:
             return self.blocks[key]
         except KeyError:
@@ -65,21 +70,25 @@ class Device:
     def spin_down(self) -> None:
         if self.state is DeviceState.ONLINE:
             self.state = DeviceState.STANDBY
+            registry().counter("storage.spin_downs").inc()
 
     def fail(self) -> None:
         """Destroy the device and its contents."""
         self.state = DeviceState.FAILED
         self.blocks.clear()
+        registry().counter("storage.device_failures").inc()
 
     def rebuild(self) -> None:
         """Return a failed device to service, empty."""
         self.state = DeviceState.ONLINE
         self.blocks.clear()
+        registry().counter("storage.rebuilds").inc()
 
     def _spin_up_if_needed(self) -> None:
         if self.state is DeviceState.STANDBY:
             self.state = DeviceState.ONLINE
             self.spin_ups += 1
+            registry().counter("storage.spin_ups").inc()
 
     def _require_alive(self) -> None:
         if self.state is DeviceState.FAILED:
@@ -131,8 +140,12 @@ class DeviceArray:
         for did in device_ids:
             self.devices[did].fail()
 
-    def fail_random(self, k: int, rng: np.random.Generator) -> list[int]:
-        """Fail ``k`` uniformly random currently-alive devices."""
+    def fail_random(self, k: int, rng: SeedLike = None) -> list[int]:
+        """Fail ``k`` uniformly random currently-alive devices.
+
+        ``rng`` accepts an int seed or a Generator (unified seeding).
+        """
+        rng = resolve_rng(rng)
         alive = [d.device_id for d in self.devices if d.available]
         if k > len(alive):
             raise ValueError(f"cannot fail {k} of {len(alive)} alive devices")
@@ -140,10 +153,9 @@ class DeviceArray:
         self.fail(chosen)
         return sorted(chosen)
 
-    def fail_bernoulli(
-        self, afr: float, rng: np.random.Generator
-    ) -> list[int]:
+    def fail_bernoulli(self, afr: float, rng: SeedLike = None) -> list[int]:
         """Fail each alive device independently with probability ``afr``."""
+        rng = resolve_rng(rng)
         failed = []
         for d in self.devices:
             if d.available and rng.random() < afr:

@@ -17,8 +17,6 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.codec import DecodeFailure
 from .archive import DataLossError, TornadoArchive, _block_key
 

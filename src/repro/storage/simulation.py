@@ -18,8 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from ..obs.seeding import SeedLike, resolve_rng
 from .archive import DataLossError, TornadoArchive
 from .monitor import StripeMonitor
 
@@ -89,7 +88,7 @@ class MissionReport:
 def run_mission(
     archive: TornadoArchive,
     config: MissionConfig,
-    rng: np.random.Generator | None = None,
+    rng: SeedLike = None,
 ) -> MissionReport:
     """Simulate one archival mission over the given archive.
 
@@ -97,8 +96,7 @@ def run_mission(
     the array's Bernoulli injection; failed devices come back (empty)
     after the replacement lag and the monitor rewrites their blocks.
     """
-    if rng is None:
-        rng = np.random.default_rng(0)
+    rng = resolve_rng(rng if rng is not None else 0)
     monitor = StripeMonitor(archive, repair_margin=config.repair_margin)
     events: list[MissionEvent] = []
     pending: dict[int, int] = {}  # device id -> step it returns

@@ -79,11 +79,21 @@ class TestProfileCache:
         p2 = cache.get(small_tornado, samples_per_k=50, seed=0)
         np.testing.assert_array_equal(p1.fail_fraction, p2.fail_fraction)
 
+    @staticmethod
+    def _profiles(tmp_path):
+        # Cache writes also store .manifest.json sidecars; count only
+        # the profile files themselves.
+        return [
+            p
+            for p in tmp_path.glob("*.json")
+            if not p.name.endswith(".manifest.json")
+        ]
+
     def test_key_varies_with_samples(self, tmp_path, small_tornado):
         cache = ProfileCache(tmp_path)
         cache.get(small_tornado, samples_per_k=50, seed=0)
         cache.get(small_tornado, samples_per_k=60, seed=0)
-        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert len(self._profiles(tmp_path)) == 2
 
     def test_structure_participates_in_key(self, tmp_path):
         from repro.core import tornado_graph
@@ -93,7 +103,7 @@ class TestProfileCache:
         g2 = tornado_graph(16, seed=1, name="same-name")
         cache.get(g1, samples_per_k=50, seed=0)
         cache.get(g2, samples_per_k=50, seed=0)
-        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert len(self._profiles(tmp_path)) == 2
 
     def test_clear(self, tmp_path, small_tornado):
         cache = ProfileCache(tmp_path)

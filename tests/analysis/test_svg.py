@@ -2,7 +2,6 @@
 
 import xml.etree.ElementTree as ET
 
-import numpy as np
 import pytest
 
 from repro.analysis.svg import save_svg, svg_curves, svg_failure_graph

@@ -1,6 +1,5 @@
 """Tests for structural defect detection (paper §3.2)."""
 
-import pytest
 
 from repro.core import (
     Constraint,

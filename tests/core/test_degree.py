@@ -1,6 +1,5 @@
 """Tests for edge-degree distributions and the node-count solver."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

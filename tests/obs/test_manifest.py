@@ -1,0 +1,74 @@
+"""RunManifest provenance and determinism tests."""
+
+import json
+
+from repro import __version__
+from repro.obs import RunManifest
+
+
+class TestCreation:
+    def test_captures_environment(self):
+        m = RunManifest.create("profile", seed=3, config={"samples": 100})
+        assert m.command == "profile"
+        assert m.seed == 3
+        assert m.config == {"samples": 100}
+        assert m.package_version == __version__
+        assert m.cpu_count >= 1
+        assert m.hostname
+        assert m.wall_seconds is None
+
+    def test_finish_stamps_wall_time(self):
+        m = RunManifest.create("x").finish()
+        assert m.wall_seconds is not None
+        assert m.wall_seconds >= 0
+
+    def test_config_values_coerced_to_jsonable(self):
+        import numpy as np
+
+        m = RunManifest.create(
+            "x", config={"ks": (5, 6), "n": np.int64(4), "s": {2, 1}}
+        )
+        json.dumps(m.to_dict())  # must not raise
+        assert m.config["ks"] == [5, 6]
+        assert m.config["n"] == 4
+        assert m.config["s"] == [1, 2]
+
+
+class TestDeterminism:
+    def test_fingerprint_stable_for_same_seed_and_config(self):
+        a = RunManifest.create("profile", seed=7, config={"samples": 50})
+        b = RunManifest.create("profile", seed=7, config={"samples": 50})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_differs_on_seed(self):
+        a = RunManifest.create("profile", seed=7, config={})
+        b = RunManifest.create("profile", seed=8, config={})
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_differs_on_config(self):
+        a = RunManifest.create("profile", seed=7, config={"exact_upto": 6})
+        b = RunManifest.create("profile", seed=7, config={"exact_upto": 4})
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_ignores_host_and_time(self):
+        a = RunManifest.create("profile", seed=1, config={})
+        b = a.finish()
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        m = RunManifest.create("overhead", seed=2, config={"trials": 10})
+        m2 = RunManifest.from_json(m.finish().to_json())
+        assert m2.command == "overhead"
+        assert m2.seed == 2
+        assert m2.config == {"trials": 10}
+        assert m2.fingerprint() == m.fingerprint()
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "run.manifest.json"
+        m = RunManifest.create("certify", seed=0, config={"num_data": 48})
+        m.finish().save(path)
+        loaded = RunManifest.load(path)
+        assert loaded.fingerprint() == m.fingerprint()
+        assert loaded.wall_seconds is not None

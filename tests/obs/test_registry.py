@@ -1,0 +1,209 @@
+"""Unit tests for the metrics registry (counters, timers, events)."""
+
+import time
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    capture,
+    disable,
+    enable,
+    metrics_enabled,
+    registry,
+)
+from repro.obs.registry import NullRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    disable()
+    yield
+    disable()
+
+
+class TestCounters:
+    def test_inc_and_default(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+        assert reg.counter("b").value == 0
+
+    def test_same_object_on_reuse(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestGauges:
+    def test_set_and_inc(self):
+        reg = MetricsRegistry()
+        reg.gauge("workers").set(8)
+        assert reg.gauge("workers").value == 8.0
+        reg.gauge("workers").inc(2)
+        assert reg.gauge("workers").value == 10.0
+
+
+class TestHistograms:
+    def test_streaming_moments(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.stddev == pytest.approx(1.118, abs=1e-3)
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("e").summary() == {"count": 0}
+
+    def test_summary_fields(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(2.0)
+        s = reg.histogram("h").summary()
+        assert s["count"] == 1 and s["mean"] == 2.0
+
+
+class TestTimers:
+    def test_timer_records_elapsed(self):
+        reg = MetricsRegistry()
+        with reg.timer("op"):
+            time.sleep(0.01)
+        h = reg.histogram("op")
+        assert h.count == 1
+        assert h.total >= 0.01
+
+    def test_timer_nesting_is_independent(self):
+        reg = MetricsRegistry()
+        with reg.timer("outer"):
+            with reg.timer("inner"):
+                time.sleep(0.01)
+            with reg.timer("inner"):
+                pass
+        outer, inner = reg.histogram("outer"), reg.histogram("inner")
+        assert outer.count == 1
+        assert inner.count == 2
+        # the outer span covers both inner spans
+        assert outer.total >= inner.total
+
+    def test_timer_records_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with reg.timer("op"):
+                raise ValueError("boom")
+        assert reg.histogram("op").count == 1
+
+
+class TestSpansAndEvents:
+    def test_span_emits_begin_end(self):
+        reg = MetricsRegistry()
+        with reg.span("phase", graph="g1"):
+            pass
+        kinds = [e["event"] for e in reg.events]
+        assert kinds == ["phase.begin", "phase.end"]
+        assert reg.events[1]["seconds"] >= 0
+        assert reg.histogram("phase").count == 1
+
+    def test_events_buffer_without_sink(self):
+        reg = MetricsRegistry()
+        reg.event("thing", value=3)
+        assert reg.events[0]["value"] == 3
+        assert "ts" in reg.events[0]
+
+
+class TestGlobalState:
+    def test_disabled_by_default(self):
+        assert not metrics_enabled()
+        assert isinstance(registry(), NullRegistry)
+
+    def test_null_registry_is_noop(self):
+        reg = registry()
+        reg.counter("x").inc(5)
+        reg.gauge("y").set(1)
+        reg.histogram("z").observe(2)
+        reg.event("e", a=1)
+        with reg.timer("t"):
+            pass
+        with reg.span("s"):
+            pass
+        assert reg.counter("x").value == 0
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_enable_disable(self):
+        reg = enable()
+        assert metrics_enabled()
+        assert registry() is reg
+        disable()
+        assert not metrics_enabled()
+
+    def test_capture_restores_previous(self):
+        outer = enable()
+        with capture() as inner:
+            assert registry() is inner
+            inner.counter("n").inc()
+        assert registry() is outer
+        assert outer.counter("n").value == 0
+
+    def test_snapshot_shape(self):
+        with capture() as reg:
+            reg.counter("c").inc(2)
+            reg.gauge("g").set(1.5)
+            reg.histogram("h").observe(3.0)
+            snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestInstrumentedPaths:
+    def test_batch_decoder_counts(self):
+        import numpy as np
+
+        from repro.core import BatchPeelingDecoder
+        from repro.graphs import tornado_catalog_graph
+
+        graph = tornado_catalog_graph(3)
+        decoder = BatchPeelingDecoder(graph)
+        masks = np.zeros((7, graph.num_nodes), dtype=bool)
+        masks[:, 0] = True
+        with capture() as reg:
+            decoder.decode_batch(masks)
+        assert reg.counter("decoder.batches").value == 1
+        assert reg.counter("decoder.cases").value == 7
+        assert reg.counter("decoder.rounds").value >= 1
+        assert reg.histogram("decoder.decode_seconds").count == 1
+
+    def test_worst_case_search_metrics(self):
+        from repro.graphs import tornado_catalog_graph
+        from repro.sim import worst_case_search
+
+        with capture() as reg:
+            worst_case_search(tornado_catalog_graph(3), max_k=3)
+        assert reg.counter("worstcase.searches").value == 1
+        assert reg.counter("critical.nodes_expanded").value > 0
+        events = [e for e in reg.events if e["event"] == "worstcase.search"]
+        assert events and events[0]["nodes_expanded"] > 0
+
+    def test_storage_counters(self):
+        from repro.storage import DeviceArray
+
+        with capture() as reg:
+            arr = DeviceArray(4)
+            arr[0].write_block("k", b"v")
+            arr.spin_down_all()
+            arr[0].read_block("k")  # spins 0 back up
+            arr.fail([1])
+            arr.rebuild_all()
+        assert reg.counter("storage.writes").value == 1
+        assert reg.counter("storage.reads").value == 1
+        assert reg.counter("storage.spin_downs").value == 4
+        assert reg.counter("storage.spin_ups").value == 1
+        assert reg.counter("storage.device_failures").value == 1
+        assert reg.counter("storage.rebuilds").value == 1

@@ -1,0 +1,61 @@
+"""JSONL sink round-trip tests."""
+
+import json
+
+import numpy as np
+
+from repro.obs import JsonlSink, MetricsRegistry, read_jsonl
+
+
+class TestJsonlRoundTrip:
+    def test_emit_and_read_back(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"event": "a", "n": 1})
+            sink.emit({"event": "b", "values": [1, 2, 3]})
+        events = read_jsonl(path)
+        assert [e["event"] for e in events] == ["a", "b"]
+        assert events[1]["values"] == [1, 2, 3]
+
+    def test_numpy_values_serialise(self, tmp_path):
+        path = tmp_path / "np.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(
+                {
+                    "scalar": np.int64(7),
+                    "arr": np.arange(3),
+                    "s": frozenset({2, 1}),
+                }
+            )
+        (event,) = read_jsonl(path)
+        assert event["scalar"] == 7
+        assert event["arr"] == [0, 1, 2]
+        assert event["s"] == [1, 2]
+
+    def test_lazy_open_and_append(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # lazy: no file until first event
+        sink.emit({"event": "x"})
+        sink.close()
+        sink2 = JsonlSink(path)
+        sink2.emit({"event": "y"})
+        sink2.close()
+        assert [e["event"] for e in read_jsonl(path)] == ["x", "y"]
+
+    def test_each_line_is_standalone_json(self, tmp_path):
+        path = tmp_path / "lines.jsonl"
+        reg = MetricsRegistry(sink=JsonlSink(path))
+        reg.event("one", a=1)
+        reg.event("two", b=2)
+        reg.sink.close()
+        for line in path.read_text().splitlines():
+            json.loads(line)  # must not raise
+
+    def test_registry_routes_events_to_sink(self, tmp_path):
+        path = tmp_path / "routed.jsonl"
+        reg = MetricsRegistry(sink=JsonlSink(path))
+        reg.event("hello", x=1)
+        reg.sink.close()
+        assert reg.events == []  # buffered nowhere else
+        assert read_jsonl(path)[0]["x"] == 1

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.core import BatchPeelingDecoder
-from repro.graphs import mirrored_graph, striped_graph, tornado_catalog_graph
+from repro.graphs import mirrored_graph, striped_graph
 from repro.raid import mirrored_system
 from repro.sim import profile_graph, sample_fail_fraction
 from repro.sim.montecarlo import _random_loss_masks
@@ -118,12 +118,13 @@ class TestProfileGraph:
 class TestSweepCellWorker:
     def test_worker_matches_direct_call(self, small_tornado):
         """The process-pool worker must reproduce the direct estimator
-        bit-for-bit given the same seed entropy."""
+        bit-for-bit given the same SeedSequence."""
         from repro.sim.montecarlo import _sweep_cell
 
-        entropy = np.random.SeedSequence(1234).entropy
-        k, frac = _sweep_cell((small_tornado, 8, 500, entropy))
-        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        seed_seq = np.random.SeedSequence(1234)
+        k, frac, elapsed = _sweep_cell((small_tornado, 8, 500, seed_seq))
+        rng = np.random.default_rng(np.random.SeedSequence(1234))
         direct = sample_fail_fraction(small_tornado, 8, 500, rng)
         assert k == 8
         assert frac == direct
+        assert elapsed >= 0

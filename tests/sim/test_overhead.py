@@ -60,7 +60,7 @@ class TestMeasureOverhead:
     def test_mirror_needs_one_per_pair(self):
         g = mirrored_graph(8)
         result = measure_retrieval_overhead(
-            g, n_trials=500, rng=np.random.default_rng(0)
+            g, n_trials=500, seed=np.random.default_rng(0)
         )
         # Coupon-collector-like: needs one of each pair; overhead > 1.
         assert result.mean_overhead > 1.0
@@ -69,27 +69,29 @@ class TestMeasureOverhead:
     def test_striped_needs_everything(self):
         g = striped_graph(8)
         result = measure_retrieval_overhead(
-            g, n_trials=100, rng=np.random.default_rng(0)
+            g, n_trials=100, seed=np.random.default_rng(0)
         )
         assert (result.downloads == 8).all()
         assert result.mean_overhead == pytest.approx(1.0)
 
     def test_catalog_overhead_band(self, graph3):
         result = measure_retrieval_overhead(
-            graph3, n_trials=1500, rng=np.random.default_rng(0)
+            graph3, n_trials=1500, seed=np.random.default_rng(0)
         )
         # Paper Table 6 regime: ~1.25-1.33
         assert 1.2 <= result.mean_overhead <= 1.4
 
     def test_ml_floor_below_peeling(self, graph3):
-        rng = np.random.default_rng(0)
         peel = measure_retrieval_overhead(
-            graph3, n_trials=200, rng=rng, decoder="peeling"
+            graph3,
+            n_trials=200,
+            seed=np.random.default_rng(0),
+            decoder="peeling",
         )
         ml = measure_retrieval_overhead(
             graph3,
             n_trials=200,
-            rng=np.random.default_rng(0),
+            seed=np.random.default_rng(0),
             decoder="ml",
         )
         assert ml.mean_overhead <= peel.mean_overhead
@@ -101,7 +103,7 @@ class TestMeasureOverhead:
 
     def test_histogram_and_percentile(self, small_tornado):
         result = measure_retrieval_overhead(
-            small_tornado, n_trials=300, rng=np.random.default_rng(1)
+            small_tornado, n_trials=300, seed=np.random.default_rng(1)
         )
         hist = result.histogram()
         assert sum(hist.values()) == 300

@@ -1,10 +1,8 @@
 """Tests for the worst-case search driver."""
 
-import pytest
-
 from repro.core import tornado_graph
 from repro.graphs import mirrored_graph
-from repro.sim import WorstCaseResult, verify_exhaustive, worst_case_search
+from repro.sim import verify_exhaustive, worst_case_search
 
 
 class TestWorstCaseSearch:

@@ -1,9 +1,7 @@
 """Tests for the transactional archive."""
 
-import numpy as np
 import pytest
 
-from repro.core import tornado_graph
 from repro.storage import DataLossError, DeviceArray, TornadoArchive
 
 

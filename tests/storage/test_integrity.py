@@ -1,6 +1,5 @@
 """Tests for silent-corruption detection and scrubbing."""
 
-import numpy as np
 import pytest
 
 from repro.storage import DataLossError, DeviceArray, TornadoArchive

@@ -1,6 +1,5 @@
 """Tests for proactive stripe monitoring."""
 
-import numpy as np
 import pytest
 
 from repro.storage import DeviceArray, StripeMonitor, TornadoArchive

@@ -73,6 +73,24 @@ class TestProfile:
         prof = FailureProfile.load(out)
         assert prof.num_devices == 96
 
+    def test_jobs_and_exact_upto_flags(self, graph_file, capsys):
+        code = main(
+            [
+                "profile",
+                graph_file,
+                "--samples",
+                "200",
+                "--jobs",
+                "2",
+                "--exact-upto",
+                "4",
+            ]
+        )
+        assert code == 0
+        # With a shallow exact head the k=5 tail (~1e-7) is invisible to
+        # 200 samples, so only assert the report shape, not the value.
+        assert "first failure" in capsys.readouterr().out
+
 
 class TestOverhead:
     def test_reports_overhead(self, graph_file, capsys):
@@ -91,6 +109,60 @@ class TestReliability:
         assert "P(fail)" in out
         assert "RAID5" in out
         assert "tornado-graph-3" in out
+
+    def test_seed_and_jobs_flags(self, capsys):
+        code = main(
+            ["reliability", "--samples", "200", "--seed", "7", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "P(fail)" in capsys.readouterr().out
+
+
+class TestMetricsFlag:
+    def test_profile_emits_jsonl_and_manifest(
+        self, graph_file, tmp_path, capsys
+    ):
+        from repro.obs import read_jsonl
+
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "profile",
+                graph_file,
+                "--samples",
+                "200",
+                "--metrics",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        events = read_jsonl(metrics)  # every line parses as JSON
+        assert events
+        kinds = [e["event"] for e in events]
+        assert "profile.cell" in kinds
+        assert "metrics_summary" in kinds
+        assert kinds[-1] == "run_manifest"
+        manifest = events[-1]
+        assert manifest["command"] == "repro profile"
+        assert manifest["config"]["samples"] == 200
+        assert manifest["wall_seconds"] >= 0
+        summary = next(e for e in events if e["event"] == "metrics_summary")
+        assert summary["counters"]["profile.graphs"] == 1
+
+    def test_env_var_enables_metrics(
+        self, graph_file, tmp_path, capsys, monkeypatch
+    ):
+        from repro.obs import read_jsonl
+
+        metrics = tmp_path / "env-metrics.jsonl"
+        monkeypatch.setenv("REPRO_METRICS", str(metrics))
+        assert main(["analyze", graph_file, "--max-k", "4"]) == 0
+        events = read_jsonl(metrics)
+        assert events[-1]["event"] == "run_manifest"
+
+    def test_no_metrics_no_file(self, graph_file, tmp_path, capsys):
+        assert main(["analyze", graph_file, "--max-k", "4"]) == 0
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestRender:

@@ -1,7 +1,6 @@
 """Integration tests: full paper-pipeline scenarios across modules."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     MLDecoder,
@@ -16,7 +15,7 @@ from repro.core import (
 from repro.federation import FederatedSystem, federated_first_failure
 from repro.graphs import mirrored_graph, tornado_catalog_graph
 from repro.raid import mirrored_system, raid5_system, raid6_system
-from repro.reliability import reliability_table, system_failure_probability
+from repro.reliability import reliability_table
 from repro.sim import FailureProfile, profile_graph
 from repro.storage import (
     DeviceArray,

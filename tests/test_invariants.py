@@ -8,7 +8,6 @@ Tornado graphs the pipeline was tuned on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
