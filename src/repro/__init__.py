@@ -13,6 +13,8 @@ Archival Storage" (HPDC 2006).  Subpackages:
 * :mod:`repro.federation` — multi-site complementary-graph storage.
 * :mod:`repro.storage` — simulated devices, archive, MAID, monitoring,
   guided retrieval.
+* :mod:`repro.resilience` — fault-injection campaigns, degraded-mode
+  read retry policy, composable fault plans.
 * :mod:`repro.rs` — Reed-Solomon baseline codec.
 * :mod:`repro.analysis` — tables, ASCII figures, profile caching.
 * :mod:`repro.obs` — metrics, run manifests, unified seeding.
@@ -38,6 +40,7 @@ from . import (
     obs,
     raid,
     reliability,
+    resilience,
     rs,
     sim,
     storage,
@@ -61,21 +64,24 @@ from .obs import (
     metrics_enabled,
     resolve_rng,
 )
+from .resilience import FaultPlan, RetryPolicy, run_campaign
 from .sim import (
     FailureProfile,
     measure_retrieval_overhead,
     profile_graph,
     worst_case_search,
 )
-from .storage import TornadoArchive
+from .storage import TornadoArchive, run_mission
 
 __version__ = "1.1.0"
 
 __all__ = [
     "ErasureGraph",
     "FailureProfile",
+    "FaultPlan",
     "MetricsRegistry",
     "ProfileCache",
+    "RetryPolicy",
     "RunManifest",
     "TornadoArchive",
     "TornadoCodec",
@@ -96,8 +102,11 @@ __all__ = [
     "profile_graph",
     "raid",
     "reliability",
+    "resilience",
     "resolve_rng",
     "rs",
+    "run_campaign",
+    "run_mission",
     "save_graphml",
     "sim",
     "storage",

@@ -11,7 +11,10 @@ commands:
 * ``repro profile`` — Monte Carlo failure profile (JSON);
 * ``repro overhead`` — incremental-retrieval overhead measurement;
 * ``repro reliability`` — Table 5-style comparison of the catalog
-  graphs against RAID and mirroring.
+  graphs against RAID and mirroring;
+* ``repro mission`` — seeded archival-mission / fault-injection
+  campaign over the full storage stack (``--faults PLAN.json`` loads a
+  composable :class:`repro.resilience.FaultPlan`).
 
 Every subcommand accepts ``--metrics PATH`` (or the ``REPRO_METRICS``
 environment variable): the run then streams instrumentation events —
@@ -87,6 +90,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: library default)",
     )
     p.add_argument("--out", default=None, help="profile JSON output path")
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="append each finished k-cell to this JSONL file",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse finished cells from --checkpoint instead of rerunning",
+    )
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon a k-cell stuck longer than this (parallel sweeps)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-dispatches per cell after a worker crash or timeout",
+    )
 
     p = sub.add_parser(
         "overhead",
@@ -112,6 +139,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes per catalog-graph profile (default 1)",
     )
+
+    p = sub.add_parser(
+        "mission",
+        help="archival mission / fault-injection campaign",
+        parents=[common],
+    )
+    p.add_argument(
+        "--graph",
+        default=None,
+        help="GraphML file (default: catalog Tornado Graph 3)",
+    )
+    p.add_argument("--years", type=float, default=5.0)
+    p.add_argument("--afr", type=float, default=0.01,
+                   help="annual device failure rate (default 0.01)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="fault plan JSON (see repro.resilience.FaultPlan)",
+    )
+    p.add_argument("--objects", type=int, default=4,
+                   help="objects stored in the archive (default 4)")
+    p.add_argument("--object-size", type=int, default=4096,
+                   help="bytes per object (default 4096)")
+    p.add_argument("--steps-per-year", type=int, default=52)
+    p.add_argument("--replacement-lag", type=int, default=2,
+                   help="steps before a failed device's replacement")
+    p.add_argument("--repair-margin", type=int, default=2,
+                   help="stripe-margin threshold for proactive repair")
+    p.add_argument("--scrub-interval", type=int, default=4,
+                   help="steps between integrity scrubs (0 disables)")
+    p.add_argument("--read-interval", type=int, default=4,
+                   help="steps between degraded-read probes (0 disables)")
 
     p = sub.add_parser(
         "render",
@@ -177,7 +238,17 @@ def _cmd_profile(args) -> int:
         seed=args.seed,
         exact_upto=exact_upto,
         n_jobs=args.jobs,
+        cell_timeout=args.cell_timeout,
+        max_retries=args.max_retries,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
+    if not prof.fully_covered:
+        print(
+            f"warning: cells {prof.uncovered_ks()} exhausted retries; "
+            "their values are interpolated",
+            file=sys.stderr,
+        )
     print(
         f"{graph.name}: first failure {prof.first_failure()}, "
         f"avg capable {prof.average_nodes_capable():.2f}, "
@@ -251,6 +322,50 @@ def _cmd_reliability(args) -> int:
     return 0
 
 
+def _cmd_mission(args) -> int:
+    from .graphs import tornado_catalog_graph
+    from .obs import spawn_seeds
+    from .resilience import CampaignConfig, FaultPlan, run_campaign
+    from .storage import DeviceArray, MissionConfig, TornadoArchive
+
+    if args.graph:
+        from .core import load_graphml
+
+        graph = load_graphml(args.graph)
+    else:
+        graph = tornado_catalog_graph(3)
+    plan = FaultPlan.load(args.faults) if args.faults else FaultPlan()
+    archive = TornadoArchive(
+        graph, DeviceArray(graph.num_nodes), block_size=256
+    )
+    # Payloads come from a spawned stream so they never perturb the
+    # mission's own draws (same convention as the parallel sweeps).
+    import numpy as np
+
+    payload_rng = np.random.default_rng(spawn_seeds(args.seed, 1)[0])
+    for i in range(args.objects):
+        archive.put(f"object-{i:03d}", payload_rng.bytes(args.object_size))
+    config = CampaignConfig(
+        mission=MissionConfig(
+            years=args.years,
+            steps_per_year=args.steps_per_year,
+            afr=args.afr,
+            replacement_lag_steps=args.replacement_lag,
+            repair_margin=args.repair_margin,
+        ),
+        scrub_interval=args.scrub_interval,
+        read_interval=args.read_interval,
+    )
+    report = run_campaign(archive, plan, config, seed=args.seed)
+    print(
+        f"{graph.name}: {args.objects} objects, "
+        f"{len(plan.faults)} fault specs "
+        f"({', '.join(plan.fault_classes) or 'baseline failures only'})"
+    )
+    print(report.describe())
+    return 0 if report.survived else 1
+
+
 def _cmd_render(args) -> int:
     from .analysis import save_svg, svg_failure_graph
     from .core import load_graphml, render_failure
@@ -271,6 +386,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "overhead": _cmd_overhead,
     "reliability": _cmd_reliability,
+    "mission": _cmd_mission,
     "render": _cmd_render,
 }
 

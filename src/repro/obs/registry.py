@@ -117,6 +117,24 @@ class Histogram:
             "max": self.max,
         }
 
+    def merge_summary(self, summary: dict[str, float]) -> None:
+        """Fold another histogram's :meth:`summary` into this one.
+
+        Used to merge worker-process metrics back into the parent
+        registry; the sum of squares is reconstructed from mean and
+        stddev, which is exact up to float rounding.
+        """
+        count = int(summary.get("count", 0))
+        if count == 0:
+            return
+        mean = float(summary["mean"])
+        stddev = float(summary.get("stddev", 0.0))
+        self.count += count
+        self.total += float(summary["total"])
+        self.sq_total += (stddev * stddev + mean * mean) * count
+        self.min = min(self.min, float(summary["min"]))
+        self.max = max(self.max, float(summary["max"]))
+
 
 class _NullMetric:
     """Shared no-op stand-in for every metric type when disabled."""
@@ -169,6 +187,9 @@ class NullRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        pass
 
 
 class MetricsRegistry:
@@ -264,6 +285,20 @@ class MetricsRegistry:
                 n: h.summary() for n, h in sorted(self.histograms.items())
             },
         }
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add, histograms merge their streaming summaries;
+        gauges are skipped (a worker's last-written value has no
+        meaning in the parent).  This is how ``profile_graph`` merges
+        ``decoder.*`` counters from pool workers and how campaign
+        probes report into an enclosing ``--metrics`` run.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
 
 
 @dataclass

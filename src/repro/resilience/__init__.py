@@ -1,0 +1,49 @@
+"""Resilience subsystem: fault injection, degraded reads, retry policy.
+
+The paper's argument is about what happens when things fail; this
+package makes the simulator fail in all the ways real archives do and
+keeps the toolchain itself crash-tolerant:
+
+* :mod:`repro.resilience.faults` — composable fault plans (transient
+  outages with exponential recovery, correlated drawer failures over
+  the paper's 8×12 topology, latent sector errors, silent corruption,
+  replacement-lag jitter) and the injection engine;
+* :mod:`repro.resilience.campaign` — seeded fault-injection campaigns
+  over :func:`repro.storage.run_mission` with integrity scrubbing,
+  degraded-read probes, and repair-queue telemetry;
+* :mod:`repro.resilience.retry` — the deterministic
+  retry-with-exponential-backoff policy behind degraded-mode reads
+  (``archive.get(..., retry=...)`` and
+  :func:`repro.storage.plan_with_fallback`).
+
+Crash-tolerant *sweeps* (checkpoint / resume / per-cell timeouts for
+``profile_graph``) live with the sweep itself in
+:mod:`repro.sim.montecarlo`.  See ``docs/RESILIENCE.md`` for the full
+taxonomy and file formats.
+"""
+
+from .campaign import CampaignConfig, CampaignReport, run_campaign
+from .faults import (
+    DrawerOutages,
+    FaultInjector,
+    FaultPlan,
+    LatentErrors,
+    ReplacementJitter,
+    SilentCorruption,
+    TransientOutages,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "DrawerOutages",
+    "FaultInjector",
+    "FaultPlan",
+    "LatentErrors",
+    "ReplacementJitter",
+    "RetryPolicy",
+    "SilentCorruption",
+    "TransientOutages",
+    "run_campaign",
+]

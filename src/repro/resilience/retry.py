@@ -1,0 +1,95 @@
+"""Deterministic retry-with-exponential-backoff policy.
+
+Degraded-mode reads (:meth:`repro.storage.TornadoArchive.get` with
+``retry=``) and fallback planning
+(:func:`repro.storage.plan_with_fallback`) treat transient device
+unavailability as something to wait out, not to fail on.  The policy
+here makes that waiting *reproducible*: jitter is drawn through
+:func:`repro.obs.seeding.resolve_rng` from a fixed seed, so a seeded
+fault-injection campaign produces the same delay sequence run-to-run.
+
+The ``sleep`` hook decouples the policy from wall time: simulations
+install a virtual clock (the campaign engine advances device recovery
+between steps, so intra-step sleeping is a no-op), tests install a
+callback that repairs the world, and interactive callers keep the
+default ``time.sleep``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..obs.registry import registry
+from ..obs.seeding import SeedLike, resolve_rng
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded attempts and seeded jitter.
+
+    Attempt ``i`` (0-based) waits ``min(max_delay, base_delay *
+    multiplier**i)`` scaled by a jitter factor uniform in
+    ``[1 - jitter, 1 + jitter]``.  ``delays()`` regenerates the exact
+    same sequence every call (the seed is resolved afresh), which keeps
+    campaigns and tests deterministic.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: SeedLike = 0
+    sleep: Callable[[float], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be non-negative")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must lie in [0, 1)")
+
+    def delays(self) -> list[float]:
+        """The full deterministic backoff schedule (one delay/attempt)."""
+        rng = resolve_rng(self.seed)
+        out = []
+        for i in range(self.max_attempts):
+            base = min(self.max_delay, self.base_delay * self.multiplier**i)
+            factor = 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+            out.append(base * factor)
+        return out
+
+    def wait(self, attempt: int) -> bool:
+        """Back off before retry number ``attempt`` (0-based).
+
+        Returns False (without sleeping) once attempts are exhausted.
+        """
+        if attempt >= self.max_attempts:
+            return False
+        delay = self.delays()[attempt]
+        reg = registry()
+        reg.counter("resilience.retry.waits").inc()
+        reg.histogram("resilience.retry.delay_seconds").observe(delay)
+        (self.sleep or time.sleep)(delay)
+        return True
+
+    def call(self, fn: Callable[[], object], retry_on=(IOError,)):
+        """Run ``fn``, retrying on ``retry_on`` with backoff.
+
+        Re-raises the last exception once attempts are exhausted.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except retry_on:
+                if not self.wait(attempt):
+                    raise
+                attempt += 1

@@ -15,15 +15,32 @@ For the small-``k`` tail where failure probabilities sit near 1e-7,
 sampling is hopeless at laptop budgets; :func:`profile_graph` splices in
 exact probabilities from the critical-set inclusion–exclusion counts
 instead (strictly better than the paper's sampling there).
+
+Crash tolerance (``docs/RESILIENCE.md``): a multi-hour sweep survives
+worker crashes and hangs instead of dying with nothing saved.  Each
+completed k-cell can be appended to a JSONL **checkpoint** file;
+``resume=True`` restarts only the unfinished cells (producing a result
+byte-identical to an uninterrupted run at the same seed, because cell
+seeds are spawned positionally over the full k-grid).  ``cell_timeout``
+bounds how long one cell may run, ``max_retries`` bounds re-dispatch
+after a crash or timeout, and cells that still fail are *excluded* from
+the profile via its explicit coverage mask rather than killing the
+sweep.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    TimeoutError as CellTimeout,
+)
+from concurrent.futures.process import BrokenProcessPool
 from math import comb
-from typing import Sequence
+from pathlib import Path
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -34,7 +51,7 @@ from ..core.critical import (
 )
 from ..core.decoder import BatchPeelingDecoder
 from ..core.graph import ErasureGraph
-from ..obs.registry import registry
+from ..obs.registry import MetricsRegistry, capture, registry
 from ..obs.seeding import SeedLike, resolve_rng, spawn_seeds
 from .results import FailureProfile
 
@@ -98,16 +115,201 @@ def sample_fail_fraction(
     return failures / n_samples
 
 
-def _sweep_cell(args) -> tuple[int, float, float]:
+def _fault_drill(k: int) -> None:
+    """Deliberate worker-fault hooks for the resilience test-suite.
+
+    ``REPRO_FAULT_CRASH_K=<k>`` makes the worker for that cell die
+    abruptly (simulating an OOM-killed or segfaulted process);
+    ``REPRO_FAULT_HANG_K=<k>`` makes it sleep
+    ``REPRO_FAULT_HANG_SECS`` (default 30) seconds, simulating a hung
+    worker.  Both are inert unless the variables are set.
+    """
+    crash = os.environ.get("REPRO_FAULT_CRASH_K")
+    if crash is not None and int(crash) == k:
+        os._exit(3)
+    hang = os.environ.get("REPRO_FAULT_HANG_K")
+    if hang is not None and int(hang) == k:
+        time.sleep(float(os.environ.get("REPRO_FAULT_HANG_SECS", "30")))
+
+
+def _sweep_cell(args) -> tuple[int, float, float, dict[str, Any] | None]:
     """Process-pool worker: one (graph, k) cell of a profile sweep."""
-    graph, k, n_samples, seed_seq = args
+    graph, k, n_samples, seed_seq, collect_metrics = args
+    _fault_drill(k)
     # The spawned SeedSequence is passed whole (it pickles fine):
     # reconstructing from `.entropy` alone would drop the spawn_key and
     # hand every cell the same stream.
     rng = np.random.default_rng(seed_seq)
     t0 = time.perf_counter()
-    frac = sample_fail_fraction(graph, k, n_samples, rng)
-    return k, frac, time.perf_counter() - t0
+    snapshot = None
+    if collect_metrics:
+        # Capture the worker-side decoder.* counters so the parent can
+        # merge them: without this, --metrics output silently lacked
+        # decode telemetry whenever n_jobs > 1.
+        with capture(MetricsRegistry()) as reg:
+            frac = sample_fail_fraction(graph, k, n_samples, rng)
+        snapshot = reg.snapshot()
+    else:
+        frac = sample_fail_fraction(graph, k, n_samples, rng)
+    return k, frac, time.perf_counter() - t0, snapshot
+
+
+# ----------------------------------------------------------------------
+# Sweep checkpoints (crash-tolerant resumable sweeps)
+# ----------------------------------------------------------------------
+
+
+def _checkpoint_header(
+    graph: ErasureGraph,
+    samples_per_k: int,
+    exact_upto: int,
+    seed: SeedLike,
+) -> dict[str, Any]:
+    seed_fp = int(seed) if isinstance(seed, (int, np.integer)) else None
+    return {
+        "record": "header",
+        "graph": graph.name,
+        "num_nodes": graph.num_nodes,
+        "samples_per_k": samples_per_k,
+        "exact_upto": exact_upto,
+        "seed": seed_fp,
+    }
+
+
+def _read_checkpoint(
+    path: Path, header: dict[str, Any]
+) -> dict[int, float]:
+    """Completed cells from a checkpoint, validated against ``header``.
+
+    Tolerates a truncated final line (the run died mid-write).  Raises
+    ``ValueError`` if the file belongs to a different sweep — resuming
+    someone else's cells would silently corrupt the profile.
+    """
+    done: dict[int, float] = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from the interrupted run
+            if record.get("record") == "header":
+                for key in (
+                    "graph",
+                    "num_nodes",
+                    "samples_per_k",
+                    "exact_upto",
+                    "seed",
+                ):
+                    ours, theirs = header.get(key), record.get(key)
+                    if (
+                        ours is not None
+                        and theirs is not None
+                        and ours != theirs
+                    ):
+                        raise ValueError(
+                            f"checkpoint {path} is from a different "
+                            f"sweep: {key}={theirs!r}, expected "
+                            f"{ours!r}"
+                        )
+            elif record.get("record") == "cell":
+                done[int(record["k"])] = float(record["frac"])
+    return done
+
+
+class _CheckpointWriter:
+    """Append-per-cell JSONL writer; flushes every line."""
+
+    def __init__(self, path: Path, header: dict[str, Any], fresh: bool):
+        self.path = path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(path, "w" if fresh else "a", encoding="utf-8")
+        if fresh or path.stat().st_size == 0:
+            self._emit(header)
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def cell(self, k: int, frac: float, samples: int) -> None:
+        self._emit(
+            {"record": "cell", "k": k, "frac": frac, "samples": samples}
+        )
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant parallel execution
+# ----------------------------------------------------------------------
+
+
+def _run_cells_parallel(
+    tasks: dict[int, tuple],
+    n_jobs: int,
+    cell_timeout: float | None,
+    max_retries: int,
+    on_result,
+) -> list[int]:
+    """Run cells over a process pool, surviving crashes and hangs.
+
+    Dispatches every pending cell, collects results with a per-cell
+    timeout, and re-dispatches cells whose worker crashed
+    (``BrokenProcessPool``) or hung past the timeout — on a fresh pool,
+    since a casualty poisons its pool.  A crash or hang cannot be
+    attributed to one cell with certainty (a pool break kills every
+    in-flight future; a queued cell can time out behind a hung
+    neighbour), so only the *first* casualty of each round is charged
+    an attempt; the rest re-dispatch free.  A lone repeat offender is
+    therefore charged every round until it exhausts ``max_retries``
+    while its innocent neighbours complete, and total rounds stay
+    bounded by ``cells × (max_retries + 1)``.  Returns the k's that
+    exhausted their retries (the caller marks them uncovered).
+    """
+    reg = registry()
+    pending = dict(tasks)
+    attempts: dict[int, int] = {k: 0 for k in tasks}
+    uncovered: list[int] = []
+    while pending:
+        workers = min(n_jobs, os.cpu_count() or 1, len(pending))
+        reg.gauge("profile.workers").set(workers)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = {
+            pool.submit(_sweep_cell, task): k
+            for k, task in pending.items()
+        }
+        pool_poisoned = False
+        charged: int | None = None  # first casualty spends an attempt
+        for future, k in futures.items():
+            try:
+                result = future.result(timeout=cell_timeout)
+            except CellTimeout:
+                pool_poisoned = True
+                if future.cancel():
+                    continue  # never dispatched: re-run free
+                reg.counter("profile.cell_timeouts").inc()
+                reg.event("profile.cell_timeout", k=k)
+                charged = k if charged is None else charged
+            except Exception as exc:
+                pool_poisoned = True
+                if isinstance(exc, BrokenProcessPool):
+                    reg.counter("profile.worker_crashes").inc()
+                    reg.event("profile.worker_crash", k=k)
+                charged = k if charged is None else charged
+            else:
+                on_result(result)
+                del pending[k]
+        pool.shutdown(wait=not pool_poisoned, cancel_futures=True)
+        if charged is not None:
+            attempts[charged] += 1
+            if attempts[charged] > max_retries:
+                uncovered.append(charged)
+                del pending[charged]
+                reg.event("profile.cell_abandoned", k=charged)
+    return sorted(uncovered)
 
 
 def profile_graph(
@@ -118,6 +320,10 @@ def profile_graph(
     ks: Sequence[int] | None = None,
     seed: SeedLike = 0,
     n_jobs: int = 1,
+    cell_timeout: float | None = None,
+    max_retries: int = 2,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
 ) -> FailureProfile:
     """Full failure profile of a graph (the paper's per-graph curve).
 
@@ -128,16 +334,29 @@ def profile_graph(
     accepts an int or an existing :class:`numpy.random.Generator`
     (unified seeding convention).
 
+    Crash tolerance:
+
+    * ``checkpoint=`` appends each completed k-cell to a JSONL file as
+      it lands, so an interrupted sweep keeps its work;
+    * ``resume=True`` (re-)reads that file and reruns only unfinished
+      cells — byte-identical to an uninterrupted run at the same seed;
+    * ``cell_timeout=`` (seconds, ``n_jobs > 1`` only) bounds one
+      cell's runtime; ``max_retries`` bounds re-dispatch after a
+      worker crash or timeout.  Cells still failing are marked False in
+      the profile's ``coverage`` mask and filled by monotone
+      interpolation instead of aborting the sweep.
+
     Metrics: per-cell timings, sample counts, and worker fan-out are
-    recorded in the parent's registry regardless of ``n_jobs``; the
-    decoder-level counters (``decoder.*``) accrue inside worker
-    processes when ``n_jobs > 1`` and are not merged back.
+    recorded in the parent's registry regardless of ``n_jobs``;
+    worker-side ``decoder.*`` counters are snapshotted per cell and
+    merged back into the parent registry.
     """
     reg = registry()
     t_start = time.perf_counter() if reg.enabled else 0.0
     n = graph.num_nodes
     fail = np.zeros(n + 1, dtype=float)
     samples = np.zeros(n + 1, dtype=np.int64)
+    coverage = np.ones(n + 1, dtype=bool)
 
     exact_upto = min(exact_upto, n)
     with reg.timer("profile.exact_seconds"):
@@ -160,10 +379,36 @@ def profile_graph(
         for k in (ks if ks is not None else range(exact_upto + 1, n))
         if exact_upto < k < n
     ]
-    tasks = []
+    # Seeds are spawned positionally over the FULL k-grid before any
+    # resume filtering, so a resumed sweep hands every cell the same
+    # stream an uninterrupted run would.
     children = spawn_seeds(seed, len(sample_ks))
+
+    header = _checkpoint_header(graph, samples_per_k, exact_upto, seed)
+    done: dict[int, float] = {}
+    writer: _CheckpointWriter | None = None
+    if checkpoint is not None:
+        ckpt_path = Path(checkpoint)
+        if resume and ckpt_path.exists():
+            done = _read_checkpoint(ckpt_path, header)
+        writer = _CheckpointWriter(
+            ckpt_path, header, fresh=not (resume and ckpt_path.exists())
+        )
+
+    for k, frac in done.items():
+        if k in sample_ks:
+            fail[k] = frac
+            samples[k] = samples_per_k
+    if done:
+        reg.counter("profile.cells_resumed").inc(
+            sum(1 for k in done if k in sample_ks)
+        )
+
+    tasks: dict[int, tuple] = {}
     for k, child in zip(sample_ks, children):
-        tasks.append((graph, k, samples_per_k, child))
+        if k in done:
+            continue
+        tasks[k] = (graph, k, samples_per_k, child, bool(reg.enabled))
 
     def record_cell(k: int, seconds: float) -> None:
         reg.histogram("profile.cell_seconds").observe(seconds)
@@ -176,32 +421,51 @@ def profile_graph(
             samples_per_sec=samples_per_k / seconds if seconds > 0 else None,
         )
 
-    if n_jobs > 1 and len(tasks) > 1:
-        workers = min(n_jobs, os.cpu_count() or 1, len(tasks))
-        reg.gauge("profile.workers").set(workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for k, frac, cell_seconds in pool.map(_sweep_cell, tasks):
-                fail[k] = frac
-                samples[k] = samples_per_k
-                if reg.enabled:
-                    record_cell(k, cell_seconds)
-    else:
-        reg.gauge("profile.workers").set(1)
-        decoder = BatchPeelingDecoder(graph)
-        for graph_, k, n_samples, seed_seq in tasks:
-            rng = np.random.default_rng(seed_seq)
-            t_cell = time.perf_counter() if reg.enabled else 0.0
-            fail[k] = sample_fail_fraction(
-                graph_, k, n_samples, rng, decoder=decoder
-            )
-            samples[k] = n_samples
-            if reg.enabled:
-                record_cell(k, time.perf_counter() - t_cell)
+    def on_result(result) -> None:
+        k, frac, cell_seconds, snapshot = result
+        fail[k] = frac
+        samples[k] = samples_per_k
+        if writer is not None:
+            writer.cell(k, frac, samples_per_k)
+        if reg.enabled:
+            record_cell(k, cell_seconds)
+            if snapshot is not None:
+                reg.merge_snapshot(snapshot)
 
-    # If the caller sampled a sparse k-grid, fill the gaps by monotone
-    # interpolation so profile metrics stay meaningful.
-    if ks is not None:
-        known = np.flatnonzero((samples > 0) | (np.arange(n + 1) <= exact_upto))
+    uncovered: list[int] = []
+    try:
+        if n_jobs > 1 and len(tasks) > 1:
+            uncovered = _run_cells_parallel(
+                tasks, n_jobs, cell_timeout, max_retries, on_result
+            )
+        else:
+            reg.gauge("profile.workers").set(1)
+            decoder = BatchPeelingDecoder(graph)
+            for k, (graph_, _k, n_samples, seed_seq, _c) in tasks.items():
+                rng = np.random.default_rng(seed_seq)
+                t_cell = time.perf_counter() if reg.enabled else 0.0
+                fail[k] = sample_fail_fraction(
+                    graph_, k, n_samples, rng, decoder=decoder
+                )
+                samples[k] = n_samples
+                if writer is not None:
+                    writer.cell(k, float(fail[k]), n_samples)
+                if reg.enabled:
+                    record_cell(k, time.perf_counter() - t_cell)
+    finally:
+        if writer is not None:
+            writer.close()
+
+    for k in uncovered:
+        coverage[k] = False
+
+    # Fill unmeasured cells (sparse k-grid or crash-abandoned) by
+    # monotone interpolation so profile metrics stay meaningful.
+    if ks is not None or uncovered:
+        known = np.flatnonzero(
+            ((samples > 0) | (np.arange(n + 1) <= exact_upto))
+            & coverage
+        )
         known = np.union1d(known, [n])
         fail = np.interp(np.arange(n + 1), known, fail[known])
 
@@ -215,6 +479,7 @@ def profile_graph(
             graph=graph.name,
             cells=len(tasks),
             samples=int(samples.sum()),
+            uncovered=uncovered,
             seconds=total,
         )
     return FailureProfile(
@@ -223,4 +488,5 @@ def profile_graph(
         num_data=graph.num_data,
         fail_fraction=np.clip(fail, 0.0, 1.0),
         samples=samples,
+        coverage=coverage,
     )

@@ -1,11 +1,17 @@
 """Simulated archival storage: devices, stripes, archive, MAID, monitor."""
 
 from .archive import DataLossError, ObjectManifest, StripeRecord, TornadoArchive
-from .device import Device, DeviceArray, DeviceState
+from .device import Device, DeviceArray, DeviceState, TransientUnavailableError
 from .integrity import CorruptBlock, IntegrityReport, IntegrityScanner, corrupt_block
 from .maid import MAIDPowerModel, PowerReport, SessionMeter
 from .monitor import MonitorReport, StripeHealth, StripeMonitor
-from .retrieval import RetrievalPlan, plan_all, plan_data_first, plan_guided
+from .retrieval import (
+    RetrievalPlan,
+    plan_all,
+    plan_data_first,
+    plan_guided,
+    plan_with_fallback,
+)
 from .stripe import StripeMap, rotated_placement
 
 from .simulation import MissionConfig, MissionEvent, MissionReport, run_mission
@@ -34,8 +40,10 @@ __all__ = [
     "StripeMonitor",
     "StripeRecord",
     "TornadoArchive",
+    "TransientUnavailableError",
     "plan_all",
     "plan_data_first",
     "plan_guided",
+    "plan_with_fallback",
     "rotated_placement",
 ]

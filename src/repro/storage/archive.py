@@ -20,7 +20,9 @@ import numpy as np
 
 from ..core.codec import DecodeFailure, TornadoCodec
 from ..core.graph import ErasureGraph
-from .device import DeviceArray
+from ..obs.registry import registry
+from .device import DeviceArray, DeviceState, TransientUnavailableError
+from .retrieval import FALLBACK_CHAIN
 from .stripe import StripeMap, rotated_placement
 
 __all__ = ["DataLossError", "ObjectManifest", "StripeRecord", "TornadoArchive"]
@@ -122,12 +124,34 @@ class TornadoArchive:
         self.objects[name] = manifest
         return manifest
 
-    def get(self, name: str) -> bytes:
-        """Retrieve a whole object, reconstructing around failures."""
+    def get(self, name: str, *, retry=None) -> bytes:
+        """Retrieve a whole object, reconstructing around failures.
+
+        Without ``retry`` this reads every available block per stripe
+        (the historical behaviour).  With a retry policy (any object
+        implementing the :class:`repro.resilience.retry.RetryPolicy`
+        interface) reads run in *degraded mode*: each stripe is fetched
+        through the planner fallback chain ``plan_guided`` →
+        ``plan_data_first`` → ``plan_all``, and when the stripe is
+        undecodable only because devices are transiently unavailable the
+        read backs off (``retry.wait``) and re-plans, letting recovery
+        land instead of declaring loss.
+
+        Raises :class:`DataLossError` when a stripe is unrecoverable
+        from all surviving data, and
+        :class:`~repro.storage.device.TransientUnavailableError` when it
+        is unrecoverable *right now* but intact blocks sit on
+        transiently-unavailable devices (retryable).
+        """
         manifest = self._manifest(name)
         parts: list[bytes] = []
         for record in manifest.stripes:
-            data = self._read_stripe(manifest.name, record)
+            if retry is None:
+                data = self._read_stripe(manifest.name, record)
+            else:
+                data = self._read_stripe_degraded(
+                    manifest.name, record, retry
+                )
             parts.append(data.tobytes()[: record.payload_length])
         return b"".join(parts)
 
@@ -177,9 +201,7 @@ class TornadoArchive:
             try:
                 data = self.codec.decode_blocks(blocks, present)
             except DecodeFailure as exc:
-                raise DataLossError(
-                    name, record.index, exc.residual
-                ) from exc
+                raise self._decode_error(name, record, exc) from exc
             full = self.codec.encode_blocks(data)
             for node in missing:
                 dev = record.placement.device_of[node]
@@ -222,9 +244,111 @@ class TornadoArchive:
             present[node] = True
         return blocks, present
 
+    def _collect_plan_blocks(
+        self, name: str, record: StripeRecord, nodes: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read only the planned nodes of a stripe into a node matrix.
+
+        Raises :class:`TransientUnavailableError` if a planned device
+        became unavailable between planning and reading.
+        """
+        g = self.graph
+        blocks = np.zeros(
+            (g.num_nodes, self.codec.block_size), dtype=np.uint8
+        )
+        present = np.zeros(g.num_nodes, dtype=bool)
+        for node in nodes:
+            dev = record.placement.device_of[node]
+            key = _block_key(name, record.index, node)
+            if key not in self.devices[dev].blocks:
+                continue  # rebuilt-empty device: block awaits repair
+            raw = self.devices[dev].read_block(key)
+            blocks[node] = np.frombuffer(raw, dtype=np.uint8)
+            present[node] = True
+        return blocks, present
+
+    def _transient_devices(self, record: StripeRecord) -> tuple[int, ...]:
+        """Stripe devices that are transiently unavailable right now."""
+        return tuple(
+            dev
+            for dev in record.placement.device_of
+            if self.devices[dev].state is DeviceState.UNAVAILABLE
+        )
+
+    def _decode_error(
+        self, name: str, record: StripeRecord, exc: DecodeFailure
+    ) -> Exception:
+        """Classify a decode failure: real loss vs transient outage.
+
+        If intact blocks of the stripe sit on transiently-unavailable
+        devices, the stripe may become recoverable once they return, so
+        the failure is reported as retryable rather than as data loss.
+        """
+        transient = self._transient_devices(record)
+        if transient:
+            return TransientUnavailableError(
+                f"object {name!r} stripe {record.index}: undecodable "
+                f"while devices {list(transient)} are transiently "
+                "unavailable (retry may succeed)",
+                transient,
+            )
+        return DataLossError(name, record.index, exc.residual)
+
     def _read_stripe(self, name: str, record: StripeRecord) -> np.ndarray:
         blocks, present = self._collect_blocks(name, record)
         try:
             return self.codec.decode_blocks(blocks, present)
         except DecodeFailure as exc:
-            raise DataLossError(name, record.index, exc.residual) from exc
+            raise self._decode_error(name, record, exc) from exc
+
+    def _read_stripe_degraded(
+        self, name: str, record: StripeRecord, retry
+    ) -> np.ndarray:
+        """Planned stripe read with fallback chain and retry/backoff.
+
+        Strategies are tried in order guided → data-first → all; a
+        strategy is skipped if its plan cannot decode, and a decode
+        attempt that fails (blocks missing on rebuilt-empty devices,
+        device lost mid-read) falls through to the next strategy.  When
+        the whole chain fails and transient devices are involved, the
+        read backs off via ``retry.wait`` and starts over against fresh
+        availability; otherwise it raises immediately.
+        """
+        reg = registry()
+        attempt = 0
+        while True:
+            avail = self.devices.available_mask
+            for planner in FALLBACK_CHAIN:
+                plan = planner(self.graph, record.placement, avail)
+                if not plan.decodable:
+                    continue
+                if planner is not FALLBACK_CHAIN[0]:
+                    reg.counter("resilience.reads.fallbacks").inc()
+                try:
+                    blocks, present = self._collect_plan_blocks(
+                        name, record, plan.nodes
+                    )
+                    data = self.codec.decode_blocks(blocks, present)
+                except (DecodeFailure, TransientUnavailableError):
+                    continue
+                if attempt:
+                    reg.counter("resilience.reads.recovered").inc()
+                return data
+            reg.counter("resilience.reads.degraded").inc()
+            if not self._transient_devices(record):
+                # Nothing will come back on its own: surface real loss
+                # (plan_all's residual gives the canonical error).
+                blocks, present = self._collect_blocks(name, record)
+                try:
+                    self.codec.decode_blocks(blocks, present)
+                except DecodeFailure as exc:
+                    raise self._decode_error(name, record, exc) from exc
+            if not retry.wait(attempt):
+                raise TransientUnavailableError(
+                    f"object {name!r} stripe {record.index}: still "
+                    f"undecodable after {attempt + 1} degraded-read "
+                    "attempts",
+                    self._transient_devices(record),
+                )
+            reg.counter("resilience.reads.retries").inc()
+            attempt += 1

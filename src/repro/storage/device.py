@@ -8,6 +8,16 @@ and they expose access counters for the power/retrieval studies.
 Failure injection drives every experiment: deterministic (`fail`),
 random k-of-n (`fail_random`), and Bernoulli AFR draws
 (`fail_bernoulli`) matching the reliability model's Eq. 2 assumptions.
+
+Beyond the paper's clean permanent losses, devices also model the
+failure modes real archives see (see :mod:`repro.resilience`):
+
+* **transient unavailability** (``interrupt``/``restore``) — the device
+  is temporarily unreachable (drawer power loss, expander reset) but its
+  data is intact; reads raise :class:`TransientUnavailableError` so
+  callers can retry instead of declaring loss;
+* **latent sector errors** (``lose_block``) — a single stored block is
+  silently gone, discovered only when read or scrubbed.
 """
 
 from __future__ import annotations
@@ -21,7 +31,25 @@ import numpy as np
 from ..obs.registry import registry
 from ..obs.seeding import SeedLike, resolve_rng
 
-__all__ = ["DeviceState", "Device", "DeviceArray"]
+__all__ = [
+    "DeviceState",
+    "Device",
+    "DeviceArray",
+    "TransientUnavailableError",
+]
+
+
+class TransientUnavailableError(IOError):
+    """A device (or stripe) is temporarily unreachable; data is intact.
+
+    Distinct from :class:`~repro.storage.archive.DataLossError`: the
+    right response is retry-with-backoff (the device will come back),
+    not loss accounting.
+    """
+
+    def __init__(self, message: str, device_ids: Iterable[int] = ()):
+        self.device_ids = tuple(device_ids)
+        super().__init__(message)
 
 
 class DeviceState(enum.Enum):
@@ -29,6 +57,7 @@ class DeviceState(enum.Enum):
 
     ONLINE = "online"  # spinning, serving reads
     STANDBY = "standby"  # spun down (MAID); data intact, access costs a spin-up
+    UNAVAILABLE = "unavailable"  # transiently unreachable; data intact
     FAILED = "failed"  # data lost until rebuilt
 
 
@@ -46,7 +75,7 @@ class Device:
     @property
     def available(self) -> bool:
         """Whether the device can serve data (possibly after a spin-up)."""
-        return self.state is not DeviceState.FAILED
+        return self.state in (DeviceState.ONLINE, DeviceState.STANDBY)
 
     def write_block(self, key: str, payload: bytes) -> None:
         self._require_alive()
@@ -72,6 +101,29 @@ class Device:
             self.state = DeviceState.STANDBY
             registry().counter("storage.spin_downs").inc()
 
+    def interrupt(self) -> None:
+        """Make the device transiently unreachable (data intact)."""
+        if self.state in (DeviceState.ONLINE, DeviceState.STANDBY):
+            self.state = DeviceState.UNAVAILABLE
+            registry().counter("storage.interruptions").inc()
+
+    def restore(self) -> None:
+        """Recover a transiently-unavailable device (data intact)."""
+        if self.state is DeviceState.UNAVAILABLE:
+            self.state = DeviceState.ONLINE
+            registry().counter("storage.recoveries").inc()
+
+    def lose_block(self, key: str) -> bool:
+        """Latent sector error: silently drop one stored block.
+
+        Returns whether the block existed.  The loss is discovered only
+        when the block is next read, scanned, or scrubbed.
+        """
+        existed = self.blocks.pop(key, None) is not None
+        if existed:
+            registry().counter("storage.latent_errors").inc()
+        return existed
+
     def fail(self) -> None:
         """Destroy the device and its contents."""
         self.state = DeviceState.FAILED
@@ -93,6 +145,11 @@ class Device:
     def _require_alive(self) -> None:
         if self.state is DeviceState.FAILED:
             raise IOError(f"device {self.device_id} has failed")
+        if self.state is DeviceState.UNAVAILABLE:
+            raise TransientUnavailableError(
+                f"device {self.device_id} is transiently unavailable",
+                (self.device_id,),
+            )
 
 
 class DeviceArray:
@@ -124,6 +181,14 @@ class DeviceArray:
             d.device_id
             for d in self.devices
             if d.state is DeviceState.FAILED
+        ]
+
+    @property
+    def unavailable_ids(self) -> list[int]:
+        return [
+            d.device_id
+            for d in self.devices
+            if d.state is DeviceState.UNAVAILABLE
         ]
 
     def total_spin_ups(self) -> int:
@@ -162,6 +227,16 @@ class DeviceArray:
                 d.fail()
                 failed.append(d.device_id)
         return failed
+
+    def interrupt(self, device_ids: Iterable[int]) -> None:
+        """Transiently interrupt a set of devices (data intact)."""
+        for did in device_ids:
+            self.devices[did].interrupt()
+
+    def restore(self, device_ids: Iterable[int]) -> None:
+        """Recover a set of transiently-unavailable devices."""
+        for did in device_ids:
+            self.devices[did].restore()
 
     def rebuild_all(self) -> None:
         for d in self.devices:

@@ -18,7 +18,7 @@ import zlib
 from dataclasses import dataclass
 
 from ..core.codec import DecodeFailure
-from .archive import DataLossError, TornadoArchive, _block_key
+from .archive import TornadoArchive, _block_key
 
 __all__ = ["CorruptBlock", "IntegrityReport", "IntegrityScanner"]
 
@@ -144,8 +144,11 @@ class IntegrityScanner:
             try:
                 data = codec.decode_blocks(blocks, present)
             except DecodeFailure as exc:
-                raise DataLossError(
-                    name, record.index, exc.residual
+                # Transient-aware: corruption on a stripe that is only
+                # undecodable while devices are out is retryable, not
+                # loss (see TornadoArchive._decode_error).
+                raise self.archive._decode_error(
+                    name, record, exc
                 ) from exc
             full = codec.encode_blocks(data)
             for bad in bads:

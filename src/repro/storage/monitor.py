@@ -17,7 +17,9 @@ from functools import lru_cache
 
 from ..core.critical import first_failure
 from ..core.graph import ErasureGraph
+from ..obs.registry import registry
 from .archive import TornadoArchive
+from .device import TransientUnavailableError
 
 __all__ = ["StripeHealth", "MonitorReport", "StripeMonitor"]
 
@@ -108,7 +110,11 @@ class StripeMonitor:
         Returns ``object name -> blocks rewritten``.  Objects whose
         stripes are already unrecoverable raise through as
         :class:`~repro.storage.archive.DataLossError` — surfacing loss
-        is the monitor's job, not hiding it.
+        is the monitor's job, not hiding it.  Objects that are merely
+        undecodable while devices are transiently unavailable are
+        *skipped* (not in the returned dict): the next cycle retries
+        them once the devices recover, and the
+        ``monitor.skipped_unavailable`` counter records each deferral.
         """
         report = self.scan()
         endangered = {
@@ -118,5 +124,17 @@ class StripeMonitor:
         }
         out: dict[str, int] = {}
         for name in sorted(endangered):
-            out[name] = self.archive.repair(name)
+            try:
+                out[name] = self.archive.repair(name)
+            except TransientUnavailableError:
+                registry().counter("monitor.skipped_unavailable").inc()
         return out
+
+    def queue_depth(self) -> int:
+        """Number of stripes currently queued for repair."""
+        report = self.scan()
+        return sum(
+            1
+            for s in report.stripes
+            if s.margin <= self.repair_margin and s.missing_blocks
+        )

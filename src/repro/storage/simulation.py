@@ -47,10 +47,15 @@ class MissionConfig:
 
 @dataclass(frozen=True)
 class MissionEvent:
-    """One notable occurrence in the mission log."""
+    """One notable occurrence in the mission log.
+
+    Baseline missions emit "failure" | "replacement" | "repair" |
+    "loss"; fault-injection campaigns (:mod:`repro.resilience`) add
+    "fault" | "recovery" | "degraded" | "scrub".
+    """
 
     step: int
-    kind: str  # "failure" | "replacement" | "repair" | "loss"
+    kind: str
     detail: str
 
 
@@ -89,12 +94,29 @@ def run_mission(
     archive: TornadoArchive,
     config: MissionConfig,
     rng: SeedLike = None,
+    *,
+    injector=None,
+    observer=None,
 ) -> MissionReport:
     """Simulate one archival mission over the given archive.
 
     The archive should already hold its objects.  Device failures use
     the array's Bernoulli injection; failed devices come back (empty)
     after the replacement lag and the monitor rewrites their blocks.
+
+    ``injector`` (see :class:`repro.resilience.FaultInjector`) is called
+    each step after the baseline Bernoulli draws to apply plan-driven
+    faults — transient outages, correlated drawer events, latent errors,
+    corruption — and to jitter replacement lags
+    (``injector.replacement_extra``).  Any device it leaves FAILED
+    enters the normal replacement pipeline.
+
+    ``observer(step, archive, report, repaired)`` runs at the end of
+    every step with the monitor's scan report and the repair results;
+    it may return extra :class:`MissionEvent` records, and may raise
+    :class:`DataLossError` to record a loss and end the mission (the
+    campaign engine uses this for scrub-detected unrecoverable
+    corruption).
     """
     rng = resolve_rng(rng if rng is not None else 0)
     monitor = StripeMonitor(archive, repair_margin=config.repair_margin)
@@ -116,14 +138,24 @@ def run_mission(
                 MissionEvent(step, "replacement", f"device {d} rebuilt")
             )
 
-        # 2. stochastic failures
+        # 2. stochastic failures, then plan-driven faults
         failed = archive.devices.fail_bernoulli(p_step, rng)
         for d in failed:
-            device_failures += 1
-            pending[d] = step + config.replacement_lag_steps
             events.append(
                 MissionEvent(step, "failure", f"device {d} failed")
             )
+        if injector is not None:
+            events.extend(injector.inject(step, archive, rng))
+
+        # 2b. every failed device not yet pending gets a replacement
+        # scheduled (covers both Bernoulli and injector-driven faults)
+        for d in archive.devices.failed_ids:
+            if d not in pending:
+                device_failures += 1
+                lag = config.replacement_lag_steps
+                if injector is not None:
+                    lag += injector.replacement_extra(rng)
+                pending[d] = step + lag
 
         # 3. monitor scan + proactive repair
         report = monitor.scan()
@@ -146,6 +178,17 @@ def run_mission(
                         step, "repair", f"{name}: {count} blocks rewritten"
                     )
                 )
+
+        # 4. campaign observer: scrubbing, degraded-read probes, ...
+        if observer is not None:
+            try:
+                extra = observer(step, archive, report, repaired)
+            except DataLossError as exc:
+                lost.append(exc.object_name)
+                events.append(MissionEvent(step, "loss", str(exc)))
+                break
+            if extra:
+                events.extend(extra)
 
     return MissionReport(
         config=config,

@@ -1,0 +1,113 @@
+"""Tests for the deterministic retry/backoff policy."""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestDelays:
+    def test_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, seed=42)
+        assert policy.delays() == policy.delays()
+        assert len(policy.delays()) == 5
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay=0.1,
+            multiplier=2.0,
+            max_delay=0.4,
+            jitter=0.0,
+            seed=0,
+        )
+        assert policy.delays() == pytest.approx(
+            [0.1, 0.2, 0.4, 0.4, 0.4, 0.4]
+        )
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(
+            max_attempts=50,
+            base_delay=1.0,
+            multiplier=1.0,
+            max_delay=1.0,
+            jitter=0.25,
+            seed=7,
+        )
+        for delay in policy.delays():
+            assert 0.75 <= delay <= 1.25
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(max_attempts=4, seed=1).delays()
+        b = RetryPolicy(max_attempts=4, seed=2).delays()
+        assert a != b
+
+
+class TestWait:
+    def test_sleeps_through_hook(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, jitter=0.0, seed=0, sleep=slept.append
+        )
+        assert policy.wait(0)
+        assert policy.wait(2)
+        assert slept == [policy.delays()[0], policy.delays()[2]]
+
+    def test_exhaustion_returns_false_without_sleeping(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=2, sleep=slept.append)
+        assert not policy.wait(2)
+        assert not policy.wait(99)
+        assert slept == []
+
+
+class TestCall:
+    def test_retries_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise IOError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, sleep=lambda _s: None)
+        assert policy.call(flaky) == "ok"
+        assert len(attempts) == 3
+
+    def test_reraises_after_exhaustion(self):
+        policy = RetryPolicy(max_attempts=1, sleep=lambda _s: None)
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise IOError("still down")
+
+        with pytest.raises(IOError):
+            policy.call(always_fails)
+        assert len(calls) == 2  # initial try + one retry
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _s: None)
+        calls = []
+
+        def raises_value_error():
+            calls.append(1)
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            policy.call(raises_value_error)
+        assert len(calls) == 1
+
+
+class TestValidation:
+    def test_rejects_negative_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=-1)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)

@@ -122,9 +122,24 @@ class TestSweepCellWorker:
         from repro.sim.montecarlo import _sweep_cell
 
         seed_seq = np.random.SeedSequence(1234)
-        k, frac, elapsed = _sweep_cell((small_tornado, 8, 500, seed_seq))
+        k, frac, elapsed, snapshot = _sweep_cell(
+            (small_tornado, 8, 500, seed_seq, False)
+        )
         rng = np.random.default_rng(np.random.SeedSequence(1234))
         direct = sample_fail_fraction(small_tornado, 8, 500, rng)
         assert k == 8
         assert frac == direct
         assert elapsed >= 0
+        assert snapshot is None
+
+    def test_worker_collects_metrics_snapshot(self, small_tornado):
+        from repro.sim.montecarlo import _sweep_cell
+
+        seed_seq = np.random.SeedSequence(1234)
+        *_, snapshot = _sweep_cell(
+            (small_tornado, 8, 500, seed_seq, True)
+        )
+        assert snapshot is not None
+        assert any(
+            name.startswith("decoder.") for name in snapshot["counters"]
+        )

@@ -118,6 +118,59 @@ class TestReliability:
         assert "P(fail)" in capsys.readouterr().out
 
 
+class TestMission:
+    def test_baseline_mission_survives(self, capsys):
+        code = main(["mission", "--years", "0.5", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outcome: all objects intact" in out
+        assert "baseline failures only" in out
+
+    def test_fault_plan_campaign(self, tmp_path, capsys):
+        from repro.resilience import (
+            FaultPlan,
+            SilentCorruption,
+            TransientOutages,
+        )
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(
+            faults=(
+                TransientOutages(rate=0.01),
+                SilentCorruption(rate=0.002),
+            )
+        ).save(plan_path)
+        code = main(
+            [
+                "mission",
+                "--years",
+                "1",
+                "--seed",
+                "3",
+                "--faults",
+                str(plan_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # loss is a report, not a crash
+        assert "transient, corruption" in out
+        assert "faults injected" in out
+
+    def test_mission_runs_are_reproducible(self, capsys):
+        argv = ["mission", "--years", "0.5", "--seed", "9", "--afr", "0.05"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_custom_graph_flag(self, graph_file, capsys):
+        code = main(
+            ["mission", "--graph", graph_file, "--years", "0.25"]
+        )
+        assert code == 0
+        assert "tornado-graph-3" in capsys.readouterr().out
+
+
 class TestMetricsFlag:
     def test_profile_emits_jsonl_and_manifest(
         self, graph_file, tmp_path, capsys
