@@ -16,6 +16,8 @@ Archival Storage" (HPDC 2006).  Subpackages:
 * :mod:`repro.resilience` — fault-injection campaigns, degraded-mode
   read retry policy, composable fault plans.
 * :mod:`repro.rs` — Reed-Solomon baseline codec.
+* :mod:`repro.serve` — async reconstruction serving: micro-batching,
+  plan caching, backpressure, deterministic load generation.
 * :mod:`repro.analysis` — tables, ASCII figures, profile caching.
 * :mod:`repro.obs` — metrics, run manifests, unified seeding.
 
@@ -42,6 +44,7 @@ from . import (
     reliability,
     resilience,
     rs,
+    serve,
     sim,
     storage,
 )
@@ -65,6 +68,13 @@ from .obs import (
     resolve_rng,
 )
 from .resilience import FaultPlan, RetryPolicy, run_campaign
+from .serve import (
+    LoadGenConfig,
+    ReconstructionService,
+    ServeConfig,
+    run_loadgen,
+    seeded_archive,
+)
 from .sim import (
     FailureProfile,
     measure_retrieval_overhead,
@@ -79,10 +89,13 @@ __all__ = [
     "ErasureGraph",
     "FailureProfile",
     "FaultPlan",
+    "LoadGenConfig",
     "MetricsRegistry",
     "ProfileCache",
+    "ReconstructionService",
     "RetryPolicy",
     "RunManifest",
+    "ServeConfig",
     "TornadoArchive",
     "TornadoCodec",
     "__version__",
@@ -106,8 +119,11 @@ __all__ = [
     "resolve_rng",
     "rs",
     "run_campaign",
+    "run_loadgen",
     "run_mission",
     "save_graphml",
+    "seeded_archive",
+    "serve",
     "sim",
     "storage",
     "tornado_catalog_graph",

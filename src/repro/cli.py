@@ -14,7 +14,17 @@ commands:
   graphs against RAID and mirroring;
 * ``repro mission`` — seeded archival-mission / fault-injection
   campaign over the full storage stack (``--faults PLAN.json`` loads a
-  composable :class:`repro.resilience.FaultPlan`).
+  composable :class:`repro.resilience.FaultPlan`);
+* ``repro serve`` — run the asyncio block-reconstruction service with
+  its line-JSON TCP front end over a seeded archive;
+* ``repro loadgen`` — drive an in-process service with a seeded
+  open-loop workload and report throughput/latency (``--out`` writes
+  the JSON report).
+
+Exit codes are consistent across subcommands: ``0`` success, ``1``
+operational failure (missing/corrupt input files, data loss, service
+errors — printed as ``error: ...`` on stderr), ``2`` usage error
+(argparse rejections and invalid flag combinations).
 
 Every subcommand accepts ``--metrics PATH`` (or the ``REPRO_METRICS``
 environment variable): the run then streams instrumentation events —
@@ -32,7 +42,23 @@ import os
 import sys
 from typing import Sequence
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "UsageError"]
+
+
+class UsageError(Exception):
+    """Invalid flag combination detected inside a handler (exit 2).
+
+    Argparse catches malformed invocations before handlers run; this
+    covers constraints argparse cannot express (e.g. ``--resume``
+    without ``--checkpoint``), keeping the exit-code contract uniform:
+    usage problems exit 2, operational failures exit 1.
+    """
+
+
+# Failures of the operation itself (unreadable inputs, corrupt graphs,
+# data loss, service errors) — reported as `error: ...` with exit 1,
+# never a traceback.
+_OPERATIONAL_ERRORS = (OSError, ValueError, KeyError, RuntimeError)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,6 +200,79 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--read-interval", type=int, default=4,
                    help="steps between degraded-read probes (0 disables)")
 
+    serving = argparse.ArgumentParser(add_help=False)
+    serving.add_argument(
+        "--graph",
+        default=None,
+        help="GraphML file (default: catalog Tornado Graph 3)",
+    )
+    serving.add_argument("--objects", type=int, default=4,
+                         help="objects stored in the archive (default 4)")
+    serving.add_argument("--object-size", type=int, default=4096,
+                         help="bytes per object (default 4096)")
+    serving.add_argument(
+        "--severity",
+        type=int,
+        default=0,
+        help="failed devices at start (seeded; default 0)",
+    )
+    serving.add_argument("--seed", type=int, default=0)
+    serving.add_argument(
+        "--window",
+        type=float,
+        default=0.002,
+        help="micro-batch window in seconds (0 disables batching)",
+    )
+    serving.add_argument("--max-batch", type=int, default=32,
+                         help="requests per micro-batch (default 32)")
+    serving.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="decode pool processes (0 = inline; default 0)",
+    )
+    serving.add_argument("--queue-limit", type=int, default=256,
+                         help="admission-control bound (default 256)")
+    serving.add_argument(
+        "--plan-capacity",
+        type=int,
+        default=256,
+        help="LRU capacity of the peeling-plan cache (0 disables)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the block-reconstruction service (line-JSON over TCP)",
+        parents=[common, serving],
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed; default 0)")
+    p.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop after this long (default: run until interrupted)",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="seeded open-loop load generation against an in-process service",
+        parents=[common, serving],
+    )
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="open-loop arrival rate, req/s (default 500)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument(
+        "--unbatched",
+        action="store_true",
+        help="baseline mode: zero batch window and no plan cache",
+    )
+    p.add_argument("--out", default=None,
+                   help="write the load report as JSON to this path")
+
     p = sub.add_parser(
         "render",
         help="SVG rendering of a graph under a loss pattern (paper §3)",
@@ -228,6 +327,8 @@ def _cmd_profile(args) -> int:
     from .core import load_graphml
     from .sim import DEFAULT_EXACT_UPTO, profile_graph
 
+    if args.resume and not args.checkpoint:
+        raise UsageError("--resume requires --checkpoint")
     graph = load_graphml(args.graph)
     exact_upto = (
         DEFAULT_EXACT_UPTO if args.exact_upto is None else args.exact_upto
@@ -366,6 +467,124 @@ def _cmd_mission(args) -> int:
     return 0 if report.survived else 1
 
 
+def _serving_stack(args):
+    """Shared serve/loadgen setup: seeded archive + service config."""
+    from .resilience import RetryPolicy
+    from .serve import ServeConfig, seeded_archive
+
+    if args.severity < 0:
+        raise UsageError("--severity must be non-negative")
+    graph = None
+    if args.graph:
+        from .core import load_graphml
+
+        graph = load_graphml(args.graph)
+    archive, names = seeded_archive(
+        graph,
+        objects=args.objects,
+        object_size=args.object_size,
+        severity=args.severity,
+        seed=args.seed,
+    )
+    unbatched = getattr(args, "unbatched", False)
+    config = ServeConfig(
+        queue_limit=args.queue_limit,
+        batch_window=0.0 if unbatched else args.window,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        plan_capacity=0 if unbatched else args.plan_capacity,
+        retry=RetryPolicy(seed=args.seed),
+    )
+    return archive, names, config
+
+
+def _print_serve_summary(stats) -> None:
+    counters = stats["counters"]
+    plan = stats["plan_cache"]
+    print(
+        f"served {counters.get('serve.completed', 0)} requests in "
+        f"{counters.get('serve.batches', 0)} batches "
+        f"({counters.get('serve.coalesced', 0)} coalesced, "
+        f"{counters.get('serve.shed', 0)} shed, "
+        f"{counters.get('serve.retries', 0)} retries, "
+        f"{counters.get('serve.worker_crashes', 0)} worker crashes); "
+        f"plan cache {plan['hits']} hits / {plan['misses']} misses"
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ReconstructionService, start_frontend
+
+    archive, names, config = _serving_stack(args)
+
+    async def run() -> int:
+        async with ReconstructionService(archive, config) as service:
+            server = await start_frontend(service, args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(
+                f"serving {len(names)} objects on {host}:{port} "
+                f"({archive.graph.name}, severity {args.severity})",
+                flush=True,
+            )
+            try:
+                if args.max_seconds is not None:
+                    await asyncio.sleep(args.max_seconds)
+                else:
+                    await asyncio.Event().wait()
+            except asyncio.CancelledError:  # pragma: no cover
+                pass
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.drain()
+                _print_serve_summary(service.stats())
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print("interrupted; drained", file=sys.stderr)
+        return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+    import json
+
+    from .serve import LoadGenConfig, ReconstructionService, run_loadgen
+
+    if args.requests < 1:
+        raise UsageError("--requests must be positive")
+    if args.rate <= 0:
+        raise UsageError("--rate must be positive")
+    archive, names, config = _serving_stack(args)
+    load = LoadGenConfig(
+        requests=args.requests,
+        rate=args.rate,
+        seed=args.seed,
+        deadline=args.deadline,
+    )
+
+    async def run():
+        async with ReconstructionService(archive, config) as service:
+            report = await run_loadgen(service, names, load)
+            await service.drain()
+            return report, service.stats()
+
+    report, stats = asyncio.run(run())
+    mode = "unbatched" if args.unbatched else "batched"
+    print(f"{archive.graph.name} [{mode}]: {report.describe()}")
+    _print_serve_summary(stats)
+    if args.out:
+        payload = {"mode": mode, "report": report.to_dict(), "stats": stats}
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    return 1 if report.errors else 0
+
+
 def _cmd_render(args) -> int:
     from .analysis import save_svg, svg_failure_graph
     from .core import load_graphml, render_failure
@@ -387,12 +606,13 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "reliability": _cmd_reliability,
     "mission": _cmd_mission,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "render": _cmd_render,
 }
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _run_command(args) -> int:
     metrics_path = args.metrics or os.environ.get("REPRO_METRICS")
     if not metrics_path:
         return _COMMANDS[args.command](args)
@@ -416,6 +636,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return code
     finally:
         sink.close()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _run_command(args)
+    except UsageError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 2
+    except _OPERATIONAL_ERRORS as exc:
+        # KeyError's str() is just the repr of the key; unwrap it.
+        message = exc.args[0] if type(exc) is KeyError and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

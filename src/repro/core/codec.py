@@ -104,11 +104,9 @@ class TornadoCodec:
         present = np.asarray(present, dtype=bool)
         if present.shape != (g.num_nodes,):
             raise ValueError("present mask must have one entry per node")
-        work = np.array(blocks, dtype=np.uint8, copy=True)
-        if work.shape != (g.num_nodes, self.block_size):
-            raise ValueError("blocks matrix has the wrong shape")
-        work[~present] = 0
-
+        present = np.asarray(present, dtype=bool)
+        if present.shape != (g.num_nodes,):
+            raise ValueError("present mask must have one entry per node")
         missing = np.flatnonzero(~present)
         result = self._decoder.decode(missing)
         if not result.success:
@@ -116,7 +114,33 @@ class TornadoCodec:
                 n for n in result.residual if n in set(g.data_nodes)
             )
             raise DecodeFailure(data_stuck or result.residual)
-        for ci, node in result.steps:
+        return self.decode_blocks_with_schedule(blocks, present, result.steps)
+
+    def decode_blocks_with_schedule(
+        self,
+        blocks: np.ndarray,
+        present: np.ndarray,
+        steps,
+    ) -> np.ndarray:
+        """Replay a precomputed peeling schedule on block contents.
+
+        ``steps`` is the ``(constraint_index, node)`` recovery schedule
+        from :meth:`repro.core.decoder.PeelingDecoder.decode` for the
+        *same* erasure pattern as ``present``.  Separating scheduling
+        from replay lets a serving layer compute the plan once per
+        (graph, erasure mask) and reuse it across many stripes (see
+        :mod:`repro.serve.plancache`); replay is pure XOR with no graph
+        search.
+        """
+        g = self.graph
+        present = np.asarray(present, dtype=bool)
+        if present.shape != (g.num_nodes,):
+            raise ValueError("present mask must have one entry per node")
+        work = np.array(blocks, dtype=np.uint8, copy=True)
+        if work.shape != (g.num_nodes, self.block_size):
+            raise ValueError("blocks matrix has the wrong shape")
+        work[~present] = 0
+        for ci, node in steps:
             others = [m for m in self._members[ci] if m != node]
             np.bitwise_xor.reduce(work[others], axis=0, out=work[node])
         return work[list(g.data_nodes)]

@@ -24,6 +24,7 @@ instrumentation sites never need set-up code.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -45,13 +46,27 @@ __all__ = [
 
 @dataclass
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
+
+    Metrics handed out by a :class:`MetricsRegistry` share the
+    registry's lock so concurrent writers (the serve loop, pool-worker
+    merge paths, instrumented library threads) never lose updates; a
+    standalone metric constructed without a lock stays lock-free.
+    """
 
     name: str
     value: int = 0
+    _lock: threading.RLock | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        lock = self._lock
+        if lock is None:
+            self.value += n
+        else:
+            with lock:
+                self.value += n
 
 
 @dataclass
@@ -60,12 +75,20 @@ class Gauge:
 
     name: str
     value: float = 0.0
+    _lock: threading.RLock | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, n: float = 1.0) -> None:
-        self.value += n
+        lock = self._lock
+        if lock is None:
+            self.value += n
+        else:
+            with lock:
+                self.value += n
 
 
 @dataclass
@@ -83,8 +106,19 @@ class Histogram:
     sq_total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    _lock: threading.RLock | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def observe(self, value: float) -> None:
+        lock = self._lock
+        if lock is None:
+            self._observe(value)
+        else:
+            with lock:
+                self._observe(value)
+
+    def _observe(self, value: float) -> None:
         v = float(value)
         self.count += 1
         self.total += v
@@ -127,6 +161,14 @@ class Histogram:
         count = int(summary.get("count", 0))
         if count == 0:
             return
+        lock = self._lock
+        if lock is None:
+            self._merge(count, summary)
+        else:
+            with lock:
+                self._merge(count, summary)
+
+    def _merge(self, count: int, summary: dict[str, float]) -> None:
         mean = float(summary["mean"])
         stddev = float(summary.get("stddev", 0.0))
         self.count += count
@@ -195,6 +237,13 @@ class NullRegistry:
 class MetricsRegistry:
     """Active metrics store with create-on-first-use semantics.
 
+    Safe for concurrent writers: every metric the registry hands out
+    shares one re-entrant lock, so increments and histogram
+    observations from multiple threads (the serve dispatch loop, pool
+    worker-merge paths, instrumented simulation threads) are never
+    lost, and :meth:`snapshot` sees a consistent view.  The fast path
+    is one uncontended lock acquisition per update.
+
     Parameters
     ----------
     sink:
@@ -211,6 +260,7 @@ class MetricsRegistry:
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
         self.events: list[dict[str, Any]] = []
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Metric accessors
@@ -219,19 +269,30 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
         if c is None:
-            c = self.counters[name] = Counter(name)
+            with self._lock:
+                c = self.counters.get(name)
+                if c is None:
+                    c = self.counters[name] = Counter(name, _lock=self._lock)
         return c
 
     def gauge(self, name: str) -> Gauge:
         g = self.gauges.get(name)
         if g is None:
-            g = self.gauges[name] = Gauge(name)
+            with self._lock:
+                g = self.gauges.get(name)
+                if g is None:
+                    g = self.gauges[name] = Gauge(name, _lock=self._lock)
         return g
 
     def histogram(self, name: str) -> Histogram:
         h = self.histograms.get(name)
         if h is None:
-            h = self.histograms[name] = Histogram(name)
+            with self._lock:
+                h = self.histograms.get(name)
+                if h is None:
+                    h = self.histograms[name] = Histogram(
+                        name, _lock=self._lock
+                    )
         return h
 
     # ------------------------------------------------------------------
@@ -241,10 +302,11 @@ class MetricsRegistry:
     def event(self, kind: str, **fields: Any) -> None:
         """Record a structured event (JSONL line if a sink is attached)."""
         record = {"event": kind, "ts": time.time(), **fields}
-        if self.sink is not None:
-            self.sink.emit(record)
-        else:
-            self.events.append(record)
+        with self._lock:
+            if self.sink is not None:
+                self.sink.emit(record)
+            else:
+                self.events.append(record)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[Histogram]:
@@ -277,14 +339,19 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
-        """JSON-serialisable view of every metric."""
-        return {
-            "counters": {n: c.value for n, c in sorted(self.counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
-            "histograms": {
-                n: h.summary() for n, h in sorted(self.histograms.items())
-            },
-        }
+        """JSON-serialisable, internally consistent view of every metric."""
+        with self._lock:
+            return {
+                "counters": {
+                    n: c.value for n, c in sorted(self.counters.items())
+                },
+                "gauges": {
+                    n: g.value for n, g in sorted(self.gauges.items())
+                },
+                "histograms": {
+                    n: h.summary() for n, h in sorted(self.histograms.items())
+                },
+            }
 
     def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` from another registry into this one.
@@ -295,10 +362,11 @@ class MetricsRegistry:
         ``decoder.*`` counters from pool workers and how campaign
         probes report into an enclosing ``--metrics`` run.
         """
-        for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).inc(int(value))
-        for name, summary in snapshot.get("histograms", {}).items():
-            self.histogram(name).merge_summary(summary)
+        with self._lock:  # one atomic merge, not N independent updates
+            for name, value in snapshot.get("counters", {}).items():
+                self.counter(name).inc(int(value))
+            for name, summary in snapshot.get("histograms", {}).items():
+                self.histogram(name).merge_summary(summary)
 
 
 @dataclass

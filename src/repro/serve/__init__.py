@@ -1,0 +1,57 @@
+"""Serving layer: async archival block reconstruction under load.
+
+The operational endpoint the rest of the stack builds toward — clients
+request objects from a Tornado-coded archive, and the service
+reconstructs around failures at load, within explicit limits:
+
+* :class:`ReconstructionService` / :class:`ServeConfig` — bounded
+  admission queue with visible load shedding, micro-batching, plan
+  caching, per-request deadlines, process-pool decode with crash
+  recovery, degraded-read retry, graceful drain;
+* :class:`MicroBatcher` — pure, clock-injected request coalescing;
+* :class:`PlanCache` — LRU of peeling schedules keyed by
+  (graph hash, erasure mask);
+* :func:`run_loadgen` / :class:`LoadGenConfig` / :class:`LoadReport` —
+  deterministic open-loop load generation and latency accounting;
+* :func:`seeded_archive` — the shared serving fixture;
+* :func:`start_frontend` — line-JSON TCP front end (``repro serve``).
+
+See ``docs/SERVE.md`` for architecture, tuning, and backpressure
+semantics; ``repro loadgen`` and
+``benchmarks/bench_x12_serve_throughput.py`` measure it.
+"""
+
+from .batcher import Batch, MicroBatcher
+from .errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from .frontend import start_frontend
+from .loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    arrival_schedule,
+    run_loadgen,
+    seeded_archive,
+)
+from .plancache import PlanCache, graph_key
+from .service import ReconstructionService, ServeConfig
+
+__all__ = [
+    "Batch",
+    "DeadlineExceededError",
+    "LoadGenConfig",
+    "LoadReport",
+    "MicroBatcher",
+    "PlanCache",
+    "ReconstructionService",
+    "ServeConfig",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "arrival_schedule",
+    "graph_key",
+    "run_loadgen",
+    "seeded_archive",
+    "start_frontend",
+]

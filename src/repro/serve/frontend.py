@@ -1,0 +1,112 @@
+"""Line-oriented JSON front end for the reconstruction service.
+
+``repro serve`` binds this to a TCP port: one JSON object per line in,
+one per line out.  Operations::
+
+    {"op": "get", "name": "object-000"}        -> {"ok": true, "size": N,
+                                                   "sha256": "..."}
+    {"op": "get", "name": "...", "deadline": 0.5}
+    {"op": "stats"}                            -> {"ok": true, "stats": {...}}
+    {"op": "ping"}                             -> {"ok": true, "pong": true}
+
+Responses to ``get`` carry the object's size and SHA-256 rather than
+the payload itself — the simulated archive serves integrity-checkable
+reconstructions, not bulk bytes, and keeping responses one short line
+makes the protocol trivially scriptable.  Errors are structured and
+explicit, mirroring the service's no-silent-drops contract::
+
+    {"ok": false, "error": "ServiceOverloadedError", "message": "..."}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+
+from .service import ReconstructionService
+
+__all__ = ["start_frontend"]
+
+
+async def _handle_request(
+    service: ReconstructionService, request: dict
+) -> dict:
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    if op == "get":
+        name = request.get("name")
+        if not isinstance(name, str):
+            return {
+                "ok": False,
+                "error": "BadRequest",
+                "message": "'get' needs a string 'name'",
+            }
+        deadline = request.get("deadline")
+        data = await service.submit(name, deadline=deadline)
+        return {
+            "ok": True,
+            "name": name,
+            "size": len(data),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        }
+    return {
+        "ok": False,
+        "error": "BadRequest",
+        "message": f"unknown op {op!r}",
+    }
+
+
+async def start_frontend(
+    service: ReconstructionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.base_events.Server:
+    """Start the TCP front end; ``port=0`` binds an ephemeral port.
+
+    The caller owns both life cycles: close the returned server, then
+    drain/close the service.
+    """
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    response = {
+                        "ok": False,
+                        "error": "BadRequest",
+                        "message": f"invalid JSON: {exc}",
+                    }
+                else:
+                    try:
+                        response = await _handle_request(service, request)
+                    except Exception as exc:
+                        response = {
+                            "ok": False,
+                            "error": type(exc).__name__,
+                            "message": str(exc),
+                        }
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except asyncio.CancelledError:
+            # Server shutdown cancels in-flight handlers (on 3.11
+            # ``wait_closed`` does not wait for them); finish normally
+            # so the streams connection callback doesn't log the
+            # cancellation as an unhandled error.
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)

@@ -1,0 +1,540 @@
+"""Asyncio block-reconstruction service over a :class:`TornadoArchive`.
+
+This is the layer that turns the codec + storage + resilience stack
+into a *system under load*: clients submit whole-object read requests;
+the service admits them through a bounded queue (shedding visibly when
+full), coalesces concurrent requests into micro-batches, computes each
+peeling-decode plan once per (graph, erasure mask) via the
+:class:`~repro.serve.plancache.PlanCache`, and replays the schedules —
+inline on the event loop or on a ``ProcessPoolExecutor`` — with
+per-request deadlines, degraded-read retry, and crash-tolerant pool
+rebuild.
+
+Life cycle::
+
+    service = ReconstructionService(archive, ServeConfig(...))
+    async with service:                 # start() ... close()
+        data = await service.submit("object-000")
+        print(service.stats())          # snapshot endpoint
+
+Backpressure semantics: admission control is a hard bound on *pending*
+requests (queued + batched + in flight).  A submit over the bound
+raises :class:`~repro.serve.errors.ServiceOverloadedError` immediately
+— requests are never silently dropped, and every shed is counted in
+``serve.shed``.  Deadlines are enforced at batch formation and at
+completion; an expired request resolves with
+:class:`~repro.serve.errors.DeadlineExceededError`.
+
+Observability: the service owns an always-on
+:class:`~repro.obs.MetricsRegistry` (queue-depth gauge, batch-size and
+latency histograms, shed/retry/crash counters) exposed via
+:meth:`ReconstructionService.stats`; on :meth:`close` the snapshot is
+merged into the process-wide registry when one is active, so ``repro
+... --metrics`` runs capture serving metrics alongside everything else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..obs.registry import MetricsRegistry, metrics_enabled, registry
+from ..resilience.retry import RetryPolicy
+from ..storage.archive import DataLossError, TornadoArchive
+from ..storage.device import DeviceState, TransientUnavailableError
+from .batcher import Batch, MicroBatcher
+from .errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from .plancache import PlanCache, graph_key
+from .worker import crash as _worker_crash
+from .worker import decode_jobs
+
+__all__ = ["ReconstructionService", "ServeConfig"]
+
+_STOP = object()  # queue sentinel: drain requested
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of the reconstruction service (see docs/SERVE.md).
+
+    Parameters
+    ----------
+    queue_limit:
+        Admission-control bound on pending requests; submits beyond it
+        shed with :class:`ServiceOverloadedError`.
+    batch_window:
+        Seconds a micro-batch stays open collecting requests.  ``0``
+        disables batching (each request dispatches alone).
+    max_batch:
+        Requests per batch before it closes early.
+    workers:
+        Process-pool size for decode work; ``0`` decodes inline on the
+        event loop (deterministic, no IPC — the right mode for tests
+        and small deployments).
+    worker_retries:
+        Pool rebuild-and-retry attempts after a worker crash
+        (``BrokenProcessPool``) before failing the affected batch.
+    default_deadline:
+        Deadline in seconds applied to requests that do not carry one
+        (``None`` = no deadline).
+    plan_capacity:
+        LRU capacity of the peeling-plan cache; ``0`` plans every
+        request from scratch (the unbatched baseline).
+    retry:
+        Optional :class:`~repro.resilience.RetryPolicy` for degraded
+        reads: when a stripe is undecodable only because devices are
+        transiently unavailable, planning backs off and re-runs on the
+        policy's deterministic schedule instead of failing.  A policy
+        with an injected ``sleep`` hook is honoured (tests, virtual
+        clocks); otherwise the service awaits ``asyncio.sleep`` so the
+        event loop keeps serving other batches during backoff.
+    """
+
+    queue_limit: int = 256
+    batch_window: float = 0.002
+    max_batch: int = 32
+    workers: int = 0
+    worker_retries: int = 2
+    default_deadline: float | None = None
+    plan_capacity: int = 256
+    retry: RetryPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
+        if self.worker_retries < 0:
+            raise ValueError("worker_retries must be non-negative")
+        if self.plan_capacity < 0:
+            raise ValueError("plan_capacity must be non-negative")
+
+
+@dataclass
+class _Request:
+    """One admitted read request awaiting its batch."""
+
+    name: str
+    future: asyncio.Future
+    submitted_at: float
+    deadline_at: float | None = None
+    done: bool = field(default=False, compare=False)
+
+
+class ReconstructionService:
+    """Micro-batching asyncio front end for archive reconstructions.
+
+    Parameters
+    ----------
+    archive:
+        The :class:`~repro.storage.TornadoArchive` to serve.
+    config:
+        A :class:`ServeConfig`; defaults are sensible for simulation.
+    clock:
+        Injectable monotonic clock used for deadlines, batching, and
+        latency metrics — tests drive it deterministically.
+    """
+
+    def __init__(
+        self,
+        archive: TornadoArchive,
+        config: ServeConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.archive = archive
+        self.config = config or ServeConfig()
+        self.metrics = MetricsRegistry()
+        self.plans = PlanCache(self.config.plan_capacity)
+        self._clock = clock
+        self._batch_key = graph_key(archive.graph)
+        self._batcher = MicroBatcher(
+            window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+            clock=clock,
+        )
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._pending = 0
+        self._state = "idle"
+        self._dispatcher: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._pool: ProcessPoolExecutor | None = None
+        # Graph structure shipped to workers (small, pickled per batch).
+        g = archive.graph
+        self._members = [tuple(m) for m in g.constraint_members()]
+        self._data_nodes = list(g.data_nodes)
+
+    # ------------------------------------------------------------------
+    # Life cycle
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    async def start(self) -> "ReconstructionService":
+        """Start the dispatch loop; idempotent errors on reuse."""
+        if self._state != "idle":
+            raise ServiceClosedError(f"service already {self._state}")
+        self._state = "running"
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def drain(self) -> None:
+        """Stop admitting, flush open batches, finish in-flight work.
+
+        Every request admitted before the drain completes normally;
+        only *new* submits are refused (:class:`ServiceClosedError`).
+        """
+        if self._state == "running":
+            self._state = "draining"
+            self._queue.put_nowait(_STOP)
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight))
+
+    async def close(self) -> None:
+        """Drain, release the worker pool, and publish final metrics."""
+        if self._state == "closed":
+            return
+        await self.drain()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._state = "closed"
+        if metrics_enabled():
+            registry().merge_snapshot(self.metrics.snapshot())
+
+    async def __aenter__(self) -> "ReconstructionService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Client interface
+    # ------------------------------------------------------------------
+
+    async def submit(self, name: str, *, deadline: float | None = None):
+        """Read object ``name``, reconstructing as needed.
+
+        Returns the object's bytes.  Raises
+        :class:`ServiceOverloadedError` (shed at admission),
+        :class:`DeadlineExceededError`, :class:`ServiceClosedError`,
+        :class:`~repro.storage.DataLossError`, or
+        :class:`~repro.storage.TransientUnavailableError` (transient
+        outage outlasted the retry policy).
+        """
+        return await self.try_submit(name, deadline=deadline)
+
+    def try_submit(
+        self, name: str, *, deadline: float | None = None
+    ) -> asyncio.Future:
+        """Admit a request synchronously; the future resolves later.
+
+        Admission control happens here, in the caller's task, so a shed
+        costs nothing but the exception.
+        """
+        if self._state != "running":
+            raise ServiceClosedError(
+                f"service is {self._state}; not accepting requests"
+            )
+        if self._pending >= self.config.queue_limit:
+            self.metrics.counter("serve.shed").inc()
+            raise ServiceOverloadedError(
+                f"queue at capacity ({self.config.queue_limit} pending)",
+                queue_depth=self._pending,
+            )
+        now = self._clock()
+        if deadline is None:
+            deadline = self.config.default_deadline
+        request = _Request(
+            name=name,
+            future=asyncio.get_running_loop().create_future(),
+            submitted_at=now,
+            deadline_at=None if deadline is None else now + deadline,
+        )
+        self._pending += 1
+        self.metrics.counter("serve.requests").inc()
+        self.metrics.gauge("serve.queue_depth").set(self._pending)
+        self._queue.put_nowait(request)
+        return request.future
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot endpoint: service state + plan cache + all metrics."""
+        return {
+            "state": self._state,
+            "pending": self._pending,
+            "plan_cache": self.plans.stats(),
+            **self.metrics.snapshot(),
+        }
+
+    def inject_worker_crash(self) -> None:
+        """Hard-kill one pool worker (chaos drill; needs workers > 0)."""
+        if self.config.workers <= 0:
+            raise ValueError("no process pool configured (workers=0)")
+        future = self._ensure_pool().submit(_worker_crash)
+        # The submission itself dies with the worker; swallow it so the
+        # drill never surfaces anywhere but the crash counters.
+        future.add_done_callback(lambda f: f.exception())
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            due_at = self._batcher.next_due()
+            if due_at is None:
+                item = await self._queue.get()
+            else:
+                timeout = max(0.0, due_at - self._clock())
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), timeout
+                    )
+                except asyncio.TimeoutError:
+                    for batch in self._batcher.pop_due():
+                        self._launch(batch)
+                    continue
+            if item is _STOP:
+                for batch in self._batcher.pop_all():
+                    self._launch(batch)
+                return
+            closed = self._batcher.add(self._batch_key, item)
+            if closed is not None:
+                self._launch(closed)
+            for batch in self._batcher.pop_due():
+                self._launch(batch)
+
+    def _launch(self, batch: Batch) -> None:
+        task = asyncio.create_task(self._run_batch(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self,
+        request: _Request,
+        *,
+        result: bytes | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        if request.done:
+            return
+        request.done = True
+        self._pending -= 1
+        self.metrics.gauge("serve.queue_depth").set(self._pending)
+        if not request.future.done():
+            if error is not None:
+                request.future.set_exception(error)
+            else:
+                request.future.set_result(result)
+
+    def _expire(self, request: _Request, where: str) -> None:
+        self.metrics.counter("serve.deadline_exceeded").inc()
+        self._finish(
+            request,
+            error=DeadlineExceededError(
+                f"request for {request.name!r} missed its deadline "
+                f"({where})"
+            ),
+        )
+
+    async def _run_batch(self, batch: Batch) -> None:
+        m = self.metrics
+        t0 = self._clock()
+        live: list[_Request] = []
+        for request in batch.items:
+            if (
+                request.deadline_at is not None
+                and t0 >= request.deadline_at
+            ):
+                self._expire(request, "while batching")
+            else:
+                live.append(request)
+        if not live:
+            return
+        m.counter("serve.batches").inc()
+        m.histogram("serve.batch_size").observe(len(live))
+        groups: dict[str, list[_Request]] = {}
+        for request in live:
+            groups.setdefault(request.name, []).append(request)
+        m.counter("serve.coalesced").inc(len(live) - len(groups))
+
+        jobs: dict[str, list[dict]] = {}
+        for name, requests in list(groups.items()):
+            try:
+                jobs[name] = await self._build_job(name)
+            except Exception as exc:
+                m.counter("serve.plan_failures").inc()
+                for request in requests:
+                    self._finish(request, error=exc)
+                del groups[name]
+        if not groups:
+            return
+        try:
+            results = await self._execute(jobs)
+        except Exception as exc:
+            m.counter("serve.decode_failures").inc()
+            for requests in groups.values():
+                for request in requests:
+                    self._finish(request, error=exc)
+            return
+
+        now = self._clock()
+        for name, requests in groups.items():
+            data = results[name]
+            for request in requests:
+                if (
+                    request.deadline_at is not None
+                    and now >= request.deadline_at
+                ):
+                    self._expire(request, "mid-batch")
+                else:
+                    m.counter("serve.completed").inc()
+                    m.histogram("serve.request_latency_seconds").observe(
+                        now - request.submitted_at
+                    )
+                    self._finish(request, result=data)
+        m.histogram("serve.batch_latency_seconds").observe(
+            self._clock() - t0
+        )
+
+    # ------------------------------------------------------------------
+    # Planning (with degraded-read retry)
+    # ------------------------------------------------------------------
+
+    async def _build_job(self, name: str) -> list[dict]:
+        manifest = self.archive.objects.get(name)
+        if manifest is None:
+            raise KeyError(f"no archived object named {name!r}")
+        retry = self.config.retry
+        delays = retry.delays() if retry is not None else []
+        attempt = 0
+        while True:
+            try:
+                return self._plan_stripes(manifest)
+            except TransientUnavailableError:
+                if attempt >= len(delays):
+                    raise
+                self.metrics.counter("serve.retries").inc()
+                if retry.sleep is not None:
+                    # Injected sleep (tests / virtual clocks): the hook
+                    # repairs or advances the world synchronously.
+                    retry.wait(attempt)
+                else:
+                    await asyncio.sleep(delays[attempt])
+                attempt += 1
+
+    def _plan_stripes(self, manifest) -> list[dict]:
+        archive = self.archive
+        graph = archive.graph
+        m = self.metrics
+        stripes: list[dict] = []
+        for record in manifest.stripes:
+            blocks, present = archive.stripe_blocks(manifest.name, record)
+            missing = np.flatnonzero(~present)
+            hits_before = self.plans.hits
+            plan = self.plans.schedule(graph, missing)
+            if self.plans.hits > hits_before:
+                m.counter("serve.plan_cache.hits").inc()
+            else:
+                m.counter("serve.plan_cache.misses").inc()
+            if not plan.success:
+                transient = tuple(
+                    dev
+                    for dev in record.placement.device_of
+                    if archive.devices[dev].state
+                    is DeviceState.UNAVAILABLE
+                )
+                if transient:
+                    raise TransientUnavailableError(
+                        f"object {manifest.name!r} stripe {record.index}:"
+                        f" undecodable while devices {list(transient)} "
+                        "are transiently unavailable",
+                        transient,
+                    )
+                raise DataLossError(
+                    manifest.name, record.index, plan.residual
+                )
+            stripes.append(
+                {
+                    "blocks": blocks.tobytes(),
+                    "present": present.tobytes(),
+                    "steps": plan.steps,
+                    "length": record.payload_length,
+                }
+            )
+        return stripes
+
+    # ------------------------------------------------------------------
+    # Decode execution (inline or pooled, crash tolerant)
+    # ------------------------------------------------------------------
+
+    async def _execute(
+        self, jobs: dict[str, list[dict]]
+    ) -> dict[str, bytes]:
+        names = list(jobs)
+        payload = {
+            "members": self._members,
+            "data_nodes": self._data_nodes,
+            "num_nodes": self.archive.graph.num_nodes,
+            "block_size": self.archive.codec.block_size,
+            "jobs": [jobs[n] for n in names],
+        }
+        if self.config.workers <= 0:
+            result = decode_jobs(payload)
+        else:
+            result = await self._execute_pooled(payload)
+        self.metrics.merge_snapshot(result["metrics"])
+        return dict(zip(names, result["payloads"]))
+
+    async def _execute_pooled(self, payload: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        last_exc: BaseException | None = None
+        for _attempt in range(self.config.worker_retries + 1):
+            pool = self._ensure_pool()
+            try:
+                return await loop.run_in_executor(
+                    pool, decode_jobs, payload
+                )
+            except BrokenProcessPool as exc:
+                # A worker died mid-batch.  Count it, rebuild the pool,
+                # and re-dispatch: the service degrades, never dies.
+                last_exc = exc
+                self.metrics.counter("serve.worker_crashes").inc()
+                self._discard_pool(pool)
+        assert last_exc is not None
+        raise last_exc
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.workers
+            )
+        return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        if pool is self._pool:
+            self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)

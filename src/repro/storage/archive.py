@@ -213,6 +213,18 @@ class TornadoArchive:
                     repaired += 1
         return repaired
 
+    def stripe_blocks(
+        self, name: str, record: StripeRecord
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Surviving blocks of one stripe as ``(blocks, present)``.
+
+        Public entry point for serving layers (:mod:`repro.serve`) that
+        plan and decode outside the archive: the returned matrix has one
+        row per graph node, and ``present`` marks the rows actually read
+        from available devices.
+        """
+        return self._collect_blocks(name, record)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

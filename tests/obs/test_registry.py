@@ -1,5 +1,6 @@
 """Unit tests for the metrics registry (counters, timers, events)."""
 
+import threading
 import time
 
 import pytest
@@ -160,6 +161,93 @@ class TestGlobalState:
         assert snap["counters"] == {"c": 2}
         assert snap["gauges"] == {"g": 1.5}
         assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestConcurrency:
+    """The serve loop and worker-merge paths write from many threads;
+    no update may be lost and snapshots must stay consistent."""
+
+    def _hammer(self, fn, n_threads=8):
+        threads = [
+            threading.Thread(target=fn, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_increments_are_not_lost(self):
+        reg = MetricsRegistry()
+        per_thread = 5000
+
+        def work(_tid):
+            c = reg.counter("hot")
+            for _ in range(per_thread):
+                c.inc()
+
+        self._hammer(work)
+        assert reg.counter("hot").value == 8 * per_thread
+
+    def test_histogram_observations_are_not_lost(self):
+        reg = MetricsRegistry()
+        per_thread = 2000
+
+        def work(tid):
+            h = reg.histogram("lat")
+            for i in range(per_thread):
+                h.observe(float(tid * per_thread + i))
+
+        self._hammer(work)
+        h = reg.histogram("lat")
+        total_n = 8 * per_thread
+        assert h.count == total_n
+        assert h.total == sum(range(total_n))
+        assert h.min == 0.0
+        assert h.max == float(total_n - 1)
+
+    def test_create_on_first_use_races_yield_one_metric(self):
+        reg = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def work(_tid):
+            barrier.wait()
+            for i in range(200):
+                c = reg.counter(f"metric-{i}")
+                c.inc()
+                seen.append(c)
+
+        self._hammer(work)
+        # Every thread's counter object for a given name is the same
+        # instance, so no increments landed on an orphaned metric.
+        for i in range(200):
+            assert reg.counter(f"metric-{i}").value == 8
+
+    def test_concurrent_merge_snapshot(self):
+        reg = MetricsRegistry()
+        donor = MetricsRegistry()
+        donor.counter("merged").inc(3)
+        donor.histogram("spread").observe(1.0)
+        donor.histogram("spread").observe(5.0)
+        snap = donor.snapshot()
+
+        def work(_tid):
+            for _ in range(300):
+                reg.merge_snapshot(snap)
+
+        self._hammer(work)
+        assert reg.counter("merged").value == 8 * 300 * 3
+        assert reg.histogram("spread").count == 8 * 300 * 2
+
+    def test_concurrent_events_append(self):
+        reg = MetricsRegistry()
+
+        def work(tid):
+            for i in range(500):
+                reg.event("e", tid=tid, i=i)
+
+        self._hammer(work)
+        assert len(reg.events) == 8 * 500
 
 
 class TestInstrumentedPaths:

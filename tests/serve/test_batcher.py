@@ -1,0 +1,143 @@
+"""Micro-batcher edge cases, deterministic via an injected clock."""
+
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestZeroWindow:
+    def test_add_closes_immediately(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=0.0, clock=clock)
+        batch = b.add("k", "item")
+        assert batch is not None
+        assert batch.items == ["item"]
+        assert len(b) == 0
+        assert b.open_batches == 0
+
+    def test_each_item_gets_its_own_batch(self):
+        b = MicroBatcher(window=0.0, clock=FakeClock())
+        first = b.add("k", 1)
+        second = b.add("k", 2)
+        assert first is not second
+        assert len(first) == len(second) == 1
+
+
+class TestWindowedBatching:
+    def test_items_accumulate_until_window(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=1.0, clock=clock)
+        assert b.add("k", 1) is None
+        assert b.add("k", 2) is None
+        assert len(b) == 2
+        assert b.open_batches == 1
+
+    def test_empty_window_flush(self):
+        # pop_due with nothing open returns [], not an error — the
+        # dispatcher's timer can always fire safely.
+        clock = FakeClock()
+        b = MicroBatcher(window=1.0, clock=clock)
+        assert b.pop_due() == []
+        clock.advance(5.0)
+        assert b.pop_due() == []
+
+    def test_pop_due_respects_window(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=1.0, clock=clock)
+        b.add("k", 1)
+        clock.advance(0.5)
+        assert b.pop_due() == []  # not due yet
+        clock.advance(0.5)
+        (batch,) = b.pop_due()
+        assert batch.items == [1]
+        assert b.open_batches == 0
+
+    def test_pop_due_with_explicit_now(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=1.0, clock=clock)
+        b.add("k", 1)
+        assert b.pop_due(now=0.5) == []
+        assert len(b.pop_due(now=1.0)) == 1
+
+    def test_next_due_is_oldest_batch_expiry(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=1.0, clock=clock)
+        assert b.next_due() is None
+        b.add("a", 1)
+        clock.advance(0.25)
+        b.add("b", 2)
+        assert b.next_due() == pytest.approx(1.0)  # oldest opened at 0
+
+    def test_late_item_joins_open_batch_without_extending_it(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=1.0, clock=clock)
+        b.add("k", 1)
+        clock.advance(0.9)
+        b.add("k", 2)  # joins; window still anchored at opened_at=0
+        clock.advance(0.1)
+        (batch,) = b.pop_due()
+        assert batch.items == [1, 2]
+
+    def test_keys_expire_independently(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=1.0, clock=clock)
+        b.add("a", 1)
+        clock.advance(0.6)
+        b.add("b", 2)
+        clock.advance(0.4)  # t=1.0: only "a" is due
+        due = b.pop_due()
+        assert [batch.key for batch in due] == ["a"]
+        assert b.open_batches == 1
+
+
+class TestMaxBatch:
+    def test_full_batch_closes_early(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=10.0, max_batch=3, clock=clock)
+        assert b.add("k", 1) is None
+        assert b.add("k", 2) is None
+        batch = b.add("k", 3)
+        assert batch is not None
+        assert batch.items == [1, 2, 3]
+        assert b.open_batches == 0
+
+    def test_next_add_opens_a_fresh_batch(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=10.0, max_batch=2, clock=clock)
+        b.add("k", 1)
+        assert b.add("k", 2) is not None
+        assert b.add("k", 3) is None  # new batch, not the closed one
+        assert len(b) == 1
+
+
+class TestDrain:
+    def test_pop_all_returns_everything_regardless_of_age(self):
+        clock = FakeClock()
+        b = MicroBatcher(window=60.0, clock=clock)
+        b.add("a", 1)
+        b.add("b", 2)
+        batches = b.pop_all()
+        assert sorted(batch.key for batch in batches) == ["a", "b"]
+        assert len(b) == 0
+        assert b.pop_all() == []
+
+
+class TestValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(window=-0.1)
+
+    def test_zero_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)

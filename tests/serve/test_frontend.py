@@ -1,0 +1,100 @@
+"""TCP front-end protocol tests (ephemeral port, in-process service)."""
+
+import asyncio
+import hashlib
+import json
+
+from repro.core import tornado_graph
+from repro.serve import (
+    ReconstructionService,
+    ServeConfig,
+    seeded_archive,
+    start_frontend,
+)
+
+
+def small_archive():
+    graph = tornado_graph(16, seed=3, min_final_lefts=6)
+    return seeded_archive(
+        graph, objects=2, object_size=1024, block_size=64, seed=0
+    )
+
+
+async def _roundtrip(requests):
+    """Run one client session against a fresh service; returns replies."""
+    archive, names = small_archive()
+    expected = {name: archive.get(name) for name in names}
+    async with ReconstructionService(
+        archive, ServeConfig(batch_window=0.0)
+    ) as service:
+        server = await start_frontend(service, port=0)
+        try:
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            replies = []
+            for request in requests:
+                writer.write(request + b"\n")
+                await writer.drain()
+                replies.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            server.close()
+            await server.wait_closed()
+    return names, expected, replies
+
+
+class TestFrontend:
+    def test_get_returns_size_and_digest(self):
+        names, expected, (reply,) = asyncio.run(
+            _roundtrip([json.dumps({"op": "get", "name": "object-000"}).encode()])
+        )
+        data = expected["object-000"]
+        assert reply == {
+            "ok": True,
+            "name": "object-000",
+            "size": len(data),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        }
+
+    def test_ping_stats_and_errors(self):
+        _, _, replies = asyncio.run(
+            _roundtrip(
+                [
+                    json.dumps({"op": "ping"}).encode(),
+                    json.dumps({"op": "stats"}).encode(),
+                    json.dumps({"op": "get", "name": "missing"}).encode(),
+                    json.dumps({"op": "get"}).encode(),
+                    json.dumps({"op": "bogus"}).encode(),
+                    b"not json at all",
+                ]
+            )
+        )
+        ping, stats, missing, nameless, bogus, garbage = replies
+        assert ping == {"ok": True, "pong": True}
+        assert stats["ok"] is True
+        assert stats["stats"]["state"] == "running"
+        assert "counters" in stats["stats"]
+        assert missing["ok"] is False
+        assert missing["error"] == "KeyError"
+        assert nameless["ok"] is False
+        assert nameless["error"] == "BadRequest"
+        assert bogus["ok"] is False
+        assert "unknown op" in bogus["message"]
+        assert garbage["ok"] is False
+        assert "invalid JSON" in garbage["message"]
+
+    def test_multiple_gets_share_one_connection(self):
+        names, expected, replies = asyncio.run(
+            _roundtrip(
+                [
+                    json.dumps({"op": "get", "name": n}).encode()
+                    for n in ["object-000", "object-001", "object-000"]
+                ]
+            )
+        )
+        assert [r["ok"] for r in replies] == [True, True, True]
+        assert replies[0]["sha256"] == replies[2]["sha256"]
+        assert replies[1]["sha256"] == hashlib.sha256(
+            expected["object-001"]
+        ).hexdigest()

@@ -1,0 +1,112 @@
+"""Unit tests for the peeling-plan LRU cache."""
+
+import pytest
+
+from repro.core import tornado_graph
+from repro.core.decoder import PeelingDecoder
+from repro.graphs import tornado_catalog_graph
+from repro.serve import PlanCache, graph_key
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return tornado_graph(16, seed=3, min_final_lefts=6)
+
+
+class TestGraphKey:
+    def test_stable_for_same_structure(self, graph):
+        assert graph_key(graph) == graph_key(graph)
+
+    def test_differs_between_graphs(self, graph):
+        other = tornado_catalog_graph(3)
+        assert graph_key(graph) != graph_key(other)
+
+    def test_renaming_does_not_change_key(self, graph):
+        assert graph_key(graph) == graph_key(graph.renamed("other-name"))
+
+
+class TestPlanCache:
+    def test_schedule_matches_direct_decode(self, graph):
+        cache = PlanCache(capacity=8)
+        missing = [0, 1, 2]
+        direct = PeelingDecoder(graph).decode(missing)
+        cached = cache.schedule(graph, missing)
+        assert cached.success == direct.success
+        assert cached.steps == direct.steps
+
+    def test_hit_on_repeat_mask(self, graph):
+        cache = PlanCache(capacity=8)
+        first = cache.schedule(graph, [3, 1])
+        second = cache.schedule(graph, (1, 3))  # order-insensitive key
+        assert second is first
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_distinct_masks_are_distinct_entries(self, graph):
+        cache = PlanCache(capacity=8)
+        cache.schedule(graph, [0])
+        cache.schedule(graph, [1])
+        assert len(cache) == 2
+        assert cache.misses == 2
+
+    def test_lru_eviction(self, graph):
+        cache = PlanCache(capacity=2)
+        cache.schedule(graph, [0])
+        cache.schedule(graph, [1])
+        cache.schedule(graph, [0])  # refresh [0]
+        cache.schedule(graph, [2])  # evicts [1]
+        assert cache.evictions == 1
+        cache.schedule(graph, [0])
+        assert cache.hits == 2  # [0] survived both rounds
+        cache.schedule(graph, [1])  # gone: recomputed
+        assert cache.misses == 4
+
+    def test_capacity_zero_disables_caching(self, graph):
+        cache = PlanCache(capacity=0)
+        a = cache.schedule(graph, [0])
+        b = cache.schedule(graph, [0])
+        assert a is not b
+        assert cache.hits == 0
+        assert cache.misses == 2
+        assert len(cache) == 0
+
+    def test_failed_plans_are_cached_too(self, graph):
+        cache = PlanCache(capacity=8)
+        everything = list(range(graph.num_nodes))
+        plan = cache.schedule(graph, everything)
+        assert not plan.success
+        again = cache.schedule(graph, everything)
+        assert again is plan
+        assert cache.hits == 1
+
+    def test_clear(self, graph):
+        cache = PlanCache(capacity=8)
+        cache.schedule(graph, [0])
+        cache.clear()
+        assert len(cache) == 0
+        cache.schedule(graph, [0])
+        assert cache.misses == 2
+
+    def test_stats_shape(self, graph):
+        cache = PlanCache(capacity=4)
+        cache.schedule(graph, [0])
+        stats = cache.stats()
+        assert stats == {
+            "size": 1,
+            "capacity": 4,
+            "hits": 0,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=-1)
+
+    def test_two_graphs_share_one_cache(self, graph):
+        other = tornado_catalog_graph(3)
+        cache = PlanCache(capacity=8)
+        cache.schedule(graph, [0])
+        cache.schedule(other, [0])
+        assert len(cache) == 2
+        assert cache.misses == 2

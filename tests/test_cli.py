@@ -218,6 +218,93 @@ class TestMetricsFlag:
         assert list(tmp_path.iterdir()) == []
 
 
+class TestExitCodes:
+    """The CLI contract: 0 success, 1 operational failure, 2 usage error."""
+
+    def test_operational_failure_exits_1(self, capsys):
+        code = main(["analyze", "/no/such/graph.graphml"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_missing_fault_plan_exits_1(self, capsys):
+        code = main(
+            ["mission", "--years", "0.1", "--faults", "/no/plan.json"]
+        )
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_usage_error_exits_2(self, graph_file, capsys):
+        code = main(["profile", graph_file, "--resume"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("usage error:")
+        assert "--checkpoint" in err
+
+    def test_argparse_usage_error_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["frobnicate"])
+        assert exc_info.value.code == 2
+
+    def test_success_exits_0(self, graph_file):
+        assert main(["analyze", graph_file, "--max-k", "4"]) == 0
+
+
+class TestServeVerbs:
+    def test_loadgen_smoke(self, tmp_path, capsys):
+        out = tmp_path / "load.json"
+        code = main(
+            [
+                "loadgen",
+                "--requests",
+                "25",
+                "--rate",
+                "2000",
+                "--objects",
+                "2",
+                "--severity",
+                "2",
+                "--seed",
+                "5",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "req/s" in text
+        assert "25/25 completed" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["report"]["completed"] == 25
+        assert payload["stats"]["counters"]["serve.completed"] == 25
+
+    def test_loadgen_unbatched_flag(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--requests",
+                "10",
+                "--rate",
+                "5000",
+                "--objects",
+                "1",
+                "--unbatched",
+            ]
+        )
+        assert code == 0
+        assert "[unbatched]" in capsys.readouterr().out
+
+    def test_serve_smoke(self, capsys):
+        code = main(
+            ["serve", "--max-seconds", "0.2", "--objects", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 1 objects on 127.0.0.1:" in out
+
+
 class TestRender:
     def test_writes_svg_and_prints_report(
         self, graph_file, tmp_path, capsys
