@@ -50,12 +50,16 @@ from . import (
 )
 from .analysis import ProfileCache, default_cache
 from .core import (
+    BatchPeelingDecoder,
+    BitsetBatchDecoder,
     ErasureGraph,
     TornadoCodec,
     adjust_graph,
     analyze_worst_case,
     generate_certified,
     load_graphml,
+    make_batch_decoder,
+    resolve_engine,
     save_graphml,
     tornado_graph,
 )
@@ -86,6 +90,8 @@ from .storage import TornadoArchive, run_mission
 __version__ = "1.1.0"
 
 __all__ = [
+    "BatchPeelingDecoder",
+    "BitsetBatchDecoder",
     "ErasureGraph",
     "FailureProfile",
     "FaultPlan",
@@ -109,6 +115,7 @@ __all__ = [
     "generate_certified",
     "graphs",
     "load_graphml",
+    "make_batch_decoder",
     "measure_retrieval_overhead",
     "metrics_enabled",
     "obs",
@@ -116,6 +123,7 @@ __all__ = [
     "raid",
     "reliability",
     "resilience",
+    "resolve_engine",
     "resolve_rng",
     "rs",
     "run_campaign",

@@ -25,6 +25,7 @@ import time
 from pathlib import Path
 from typing import Sequence
 
+from ..core.decoder import resolve_engine
 from ..core.graph import ErasureGraph
 from ..obs.manifest import RunManifest
 from ..obs.registry import registry
@@ -82,8 +83,16 @@ class ProfileCache:
         exact_upto: int = 6,
         ks: Sequence[int] | None = None,
         n_jobs: int = 1,
+        engine: str = "auto",
     ) -> FailureProfile:
-        """Load a cached profile or simulate and store it."""
+        """Load a cached profile or simulate and store it.
+
+        ``engine`` picks the batch decode kernel for a cache fill.  It
+        does **not** participate in the cache key — engines produce
+        byte-identical profiles at the same seed — but the resolved
+        engine is recorded in the manifest sidecar so a cached number
+        can be traced to the kernel that computed it.
+        """
         reg = registry()
         path = self._path(graph, samples_per_k, seed, exact_upto, ks)
         if path.exists():
@@ -92,6 +101,7 @@ class ProfileCache:
             return FailureProfile.load(path)
         reg.counter("cache.misses").inc()
         reg.event("cache.miss", graph=graph.name, path=str(path))
+        engine = resolve_engine(engine)
         config = {
             "samples_per_k": samples_per_k,
             "seed": seed,
@@ -100,7 +110,11 @@ class ProfileCache:
             "n_jobs": n_jobs,
         }
         manifest = RunManifest.create(
-            "profile_graph", seed=seed, config=config, graph=graph.name
+            "profile_graph",
+            seed=seed,
+            config=config,
+            graph=graph.name,
+            decode_engine=engine,
         )
         t0 = time.perf_counter()
         profile = profile_graph(
@@ -110,6 +124,7 @@ class ProfileCache:
             exact_upto=exact_upto,
             ks=ks,
             n_jobs=n_jobs,
+            engine=engine,
         )
         if reg.enabled:
             reg.histogram("cache.fill_seconds").observe(

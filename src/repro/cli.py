@@ -140,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="re-dispatches per cell after a worker crash or timeout",
     )
+    p.add_argument(
+        "--engine",
+        choices=["auto", "bitset", "matmul"],
+        default="auto",
+        help="batch decode kernel (auto honours REPRO_DECODE_ENGINE; "
+        "results are identical either way)",
+    )
 
     p = sub.add_parser(
         "overhead",
@@ -150,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=2000)
     p.add_argument("--decoder", choices=["peeling", "ml"], default="peeling")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--engine",
+        choices=["auto", "bitset", "matmul", "scalar"],
+        default="auto",
+        help="peeling evaluation kernel (scalar = per-trial incremental "
+        "loop; results are identical either way)",
+    )
 
     p = sub.add_parser(
         "reliability",
@@ -343,6 +357,7 @@ def _cmd_profile(args) -> int:
         max_retries=args.max_retries,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        engine=args.engine,
     )
     if not prof.fully_covered:
         print(
@@ -372,6 +387,7 @@ def _cmd_overhead(args) -> int:
         n_trials=args.trials,
         seed=args.seed,
         decoder=args.decoder,
+        engine=args.engine,
     )
     print(
         f"{graph.name} [{args.decoder}]: mean downloads "

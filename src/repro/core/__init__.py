@@ -26,7 +26,21 @@ from .critical import (
     min_bad_stopping_set_containing,
     minimal_bad_stopping_sets,
 )
-from .decoder import BatchPeelingDecoder, DecodeResult, PeelingDecoder
+from .bitdecoder import (
+    BitsetBatchDecoder,
+    pack_cases,
+    packed_random_loss_masks,
+    unpack_cases,
+)
+from .decoder import (
+    DECODE_ENGINES,
+    BatchPeelingDecoder,
+    DecodeResult,
+    PeelingDecoder,
+    make_batch_decoder,
+    make_batch_decoder_from_matrix,
+    resolve_engine,
+)
 from .density import (
     DensityReport,
     density_report,
@@ -65,7 +79,9 @@ __all__ = [
     "AdjustmentResult",
     "AdjustmentStep",
     "BatchPeelingDecoder",
+    "BitsetBatchDecoder",
     "CascadePlan",
+    "DECODE_ENGINES",
     "Constraint",
     "CriticalReport",
     "DecodeFailure",
@@ -98,13 +114,18 @@ __all__ = [
     "heavy_tail_distribution",
     "is_stopping_set",
     "load_graphml",
+    "make_batch_decoder",
+    "make_batch_decoder_from_matrix",
     "match_edge_total",
+    "pack_cases",
+    "packed_random_loss_masks",
     "min_bad_stopping_set_containing",
     "minimal_bad_stopping_sets",
     "plan_cascade",
     "poisson_distribution",
     "random_bipartite_edges",
     "render_failure",
+    "resolve_engine",
     "rewire",
     "save_graphml",
     "shared_right_set_pairs",
@@ -112,4 +133,5 @@ __all__ = [
     "solve_poisson_alpha",
     "to_networkx",
     "tornado_graph",
+    "unpack_cases",
 ]

@@ -30,7 +30,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..obs.registry import registry
-from .decoder import BatchPeelingDecoder
+from .decoder import make_batch_decoder
 from .graph import ErasureGraph
 
 __all__ = [
@@ -351,15 +351,19 @@ def failing_set_counts(
 
 
 def exhaustive_failing_sets(
-    graph: ErasureGraph, k: int, batch_size: int = 8192
+    graph: ErasureGraph,
+    k: int,
+    batch_size: int = 8192,
+    engine: str = "auto",
 ) -> list[tuple[int, ...]]:
     """Brute-force enumeration of all failing k-sets (paper §3 method).
 
     Streams ``(num_nodes choose k)`` combinations through the batch
-    decoder.  Intended for cross-validation at small ``k``; the
-    branch-and-bound path is the production route.
+    decoder (``engine`` selects the kernel, bitset by default).
+    Intended for cross-validation at small ``k``; the branch-and-bound
+    path is the production route.
     """
-    decoder = BatchPeelingDecoder(graph)
+    decoder = make_batch_decoder(graph, engine=engine)
     failing: list[tuple[int, ...]] = []
     combos = itertools.combinations(range(graph.num_nodes), k)
     while True:

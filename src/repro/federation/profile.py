@@ -19,7 +19,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.decoder import BatchPeelingDecoder
+from ..core.bitdecoder import (
+    BitsetBatchDecoder,
+    packed_random_loss_masks,
+)
+from ..core.decoder import (
+    BatchPeelingDecoder,
+    make_batch_decoder_from_matrix,
+)
 from ..obs.seeding import SeedLike, resolve_rng
 from ..sim.results import FailureProfile
 from .multigraph import FederatedSystem
@@ -27,8 +34,14 @@ from .multigraph import FederatedSystem
 __all__ = ["federated_batch_decoder", "federated_profile"]
 
 
-def federated_batch_decoder(system: FederatedSystem) -> BatchPeelingDecoder:
-    """Batch decoder over the combined multi-site relation system."""
+def federated_batch_decoder(
+    system: FederatedSystem, engine: str = "auto"
+) -> BatchPeelingDecoder | BitsetBatchDecoder:
+    """Batch decoder over the combined multi-site relation system.
+
+    ``engine`` selects the decode kernel for the stacked relation
+    matrix (see :func:`repro.core.decoder.make_batch_decoder_from_matrix`).
+    """
     n = system.nodes_per_site
     total = system.num_devices
     rows: list[np.ndarray] = []
@@ -49,8 +62,8 @@ def federated_batch_decoder(system: FederatedSystem) -> BatchPeelingDecoder:
     membership = np.stack(rows)
     # Success = every logical block known somewhere; with the equality
     # relations, "site 0's copy is known" captures exactly that.
-    return BatchPeelingDecoder.from_matrix(
-        membership, system.data_nodes, total
+    return make_batch_decoder_from_matrix(
+        membership, system.data_nodes, total, engine=engine
     )
 
 
@@ -61,15 +74,18 @@ def federated_profile(
     seed: SeedLike = 0,
     ks: list[int] | None = None,
     name: str | None = None,
+    engine: str = "auto",
 ) -> FailureProfile:
     """Sampled ``P(data loss | k devices offline)`` for a federation.
 
     No exact small-``k`` head is spliced in (the joint critical-set
     counting problem is open here); use
     :func:`repro.federation.federated_first_failure` for the worst-case
-    boundary.
+    boundary.  ``engine`` picks the batch decode kernel; both engines
+    consume the same RNG stream and give identical profiles per seed.
     """
-    decoder = federated_batch_decoder(system)
+    decoder = federated_batch_decoder(system, engine=engine)
+    packed_path = hasattr(decoder, "decode_packed")
     n = system.num_devices
     fail = np.zeros(n + 1, dtype=float)
     samples = np.zeros(n + 1, dtype=np.int64)
@@ -80,12 +96,16 @@ def federated_profile(
     for k in sample_ks:
         if not 0 < k < n:
             continue
-        scores = rng.random((samples_per_k, n))
-        idx = np.argpartition(scores, k - 1, axis=1)[:, :k]
-        masks = np.zeros((samples_per_k, n), dtype=bool)
-        rows = np.repeat(np.arange(samples_per_k), k)
-        masks[rows, idx.ravel()] = True
-        ok = decoder.decode_batch(masks)
+        if packed_path:
+            packed = packed_random_loss_masks(n, k, samples_per_k, rng)
+            ok = decoder.decode_packed(packed, samples_per_k)
+        else:
+            scores = rng.random((samples_per_k, n))
+            idx = np.argpartition(scores, k - 1, axis=1)[:, :k]
+            masks = np.zeros((samples_per_k, n), dtype=bool)
+            rows = np.repeat(np.arange(samples_per_k), k)
+            masks[rows, idx.ravel()] = True
+            ok = decoder.decode_batch(masks)
         fail[k] = 1.0 - ok.mean()
         samples[k] = samples_per_k
 

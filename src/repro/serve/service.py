@@ -44,6 +44,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..core.decoder import DECODE_ENGINES, make_batch_decoder, resolve_engine
 from ..obs.registry import MetricsRegistry, metrics_enabled, registry
 from ..resilience.retry import RetryPolicy
 from ..storage.archive import DataLossError, TornadoArchive
@@ -98,6 +99,12 @@ class ServeConfig:
         with an injected ``sleep`` hook is honoured (tests, virtual
         clocks); otherwise the service awaits ``asyncio.sleep`` so the
         event loop keeps serving other batches during backoff.
+    decode_engine:
+        Batch decode kernel for the service's bulk erasure analysis
+        (:meth:`ReconstructionService.degraded_headroom`):
+        ``"auto"`` (default; honours ``REPRO_DECODE_ENGINE``),
+        ``"bitset"``, or ``"matmul"``.  Per-request XOR replay is
+        unaffected — schedules come from the scalar planner either way.
     """
 
     queue_limit: int = 256
@@ -108,10 +115,15 @@ class ServeConfig:
     default_deadline: float | None = None
     plan_capacity: int = 256
     retry: RetryPolicy | None = None
+    decode_engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
+        if self.decode_engine not in ("auto",) + DECODE_ENGINES:
+            raise ValueError(
+                f"decode_engine must be 'auto' or one of {DECODE_ENGINES}"
+            )
         if self.batch_window < 0:
             raise ValueError("batch_window must be non-negative")
         if self.max_batch < 1:
@@ -173,6 +185,10 @@ class ReconstructionService:
         self._dispatcher: asyncio.Task | None = None
         self._inflight: set[asyncio.Task] = set()
         self._pool: ProcessPoolExecutor | None = None
+        # Engine resolved once at construction so stats()/events report
+        # the kernel actually used, not "auto".
+        self.decode_engine = resolve_engine(self.config.decode_engine)
+        self._headroom_decoder = None  # built lazily on first probe
         # Graph structure shipped to workers (small, pickled per batch).
         g = archive.graph
         self._members = [tuple(m) for m in g.constraint_members()]
@@ -281,8 +297,86 @@ class ReconstructionService:
         return {
             "state": self._state,
             "pending": self._pending,
+            "decode_engine": self.decode_engine,
             "plan_cache": self.plans.stats(),
             **self.metrics.snapshot(),
+        }
+
+    def degraded_headroom(self) -> dict[str, Any]:
+        """Bulk what-if probe: can the archive absorb one more failure?
+
+        Builds one erasure case per archived stripe for the *current*
+        loss state plus one case per (stripe, device) for the state
+        after that device additionally fails, and pushes all of them
+        through a single engine-selected batch decode
+        (:func:`~repro.core.decoder.make_batch_decoder`).  This is the
+        serve-layer consumer of the batch kernels: a pool of hundreds
+        of scenarios decodes in one call instead of one scalar peel
+        each.
+
+        Returns the resolved engine, probe size, stripes already
+        unrecoverable, and the device ids whose failure would newly
+        break at least one stripe.  Devices already unavailable add
+        nothing beyond the current loss state, so they are never
+        flagged.
+        """
+        archive = self.archive
+        cases: list[list[int]] = []
+        meta: list[tuple[str, int, int | None]] = []
+        for name, manifest in archive.objects.items():
+            missing_map = archive.missing_blocks(name)
+            for record in manifest.stripes:
+                base = missing_map[record.index]
+                cases.append(base)
+                meta.append((name, record.index, None))
+                for node, dev in enumerate(record.placement.device_of):
+                    cases.append(base + [node])
+                    meta.append((name, record.index, dev))
+        if self._headroom_decoder is None:
+            self._headroom_decoder = make_batch_decoder(
+                archive.graph, engine=self.decode_engine
+            )
+        ok = (
+            self._headroom_decoder.decode_missing_sets(cases)
+            if cases
+            else np.zeros(0, dtype=bool)
+        )
+
+        base_ok: dict[tuple[str, int], bool] = {}
+        for (name, index, dev), good in zip(meta, ok):
+            if dev is None:
+                base_ok[(name, index)] = bool(good)
+        at_risk: set[int] = set()
+        for (name, index, dev), good in zip(meta, ok):
+            if dev is not None and base_ok[(name, index)] and not good:
+                at_risk.add(dev)
+        failing_now = sorted(
+            f"{name}/{index}"
+            for (name, index), good in base_ok.items()
+            if not good
+        )
+
+        m = self.metrics
+        m.counter("serve.headroom_probes").inc()
+        m.histogram("serve.headroom_cases").observe(len(cases))
+        m.gauge("serve.at_risk_devices").set(len(at_risk))
+        m.event(
+            "serve.headroom",
+            engine=self.decode_engine,
+            cases=len(cases),
+            at_risk_devices=sorted(at_risk),
+            stripes_failing_now=len(failing_now),
+        )
+        return {
+            "engine": self.decode_engine,
+            "stripes": len(base_ok),
+            "devices": len(archive.devices),
+            "cases": len(cases),
+            "stripes_failing_now": failing_now,
+            "at_risk_devices": sorted(at_risk),
+            "tolerates_any_single_failure": (
+                not at_risk and not failing_now
+            ),
         }
 
     def inject_worker_crash(self) -> None:

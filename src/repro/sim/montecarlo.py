@@ -5,7 +5,10 @@ offline-device count — 962,144,153 cases and 34 CPU-days per graph.
 This module reproduces the estimator with two scaling levers:
 
 * the **vectorised batch decoder** pushes thousands of cases through
-  BLAS matmuls per decode round (DESIGN.md §6), and
+  each decode round — by default the bit-packed engine peeling 64 cases
+  per ``uint64`` word (:mod:`repro.core.bitdecoder`; the float32 matmul
+  engine of DESIGN.md §6 remains selectable via ``engine=`` /
+  ``REPRO_DECODE_ENGINE`` and produces byte-identical profiles), and
 * sweeps across offline counts fan out over a **process pool**, one
   task per (graph, k) cell, seeded deterministically through
   ``numpy.random.SeedSequence.spawn`` so results are reproducible at any
@@ -49,7 +52,13 @@ from ..core.critical import (
     count_failing_sets,
     minimal_bad_stopping_sets,
 )
-from ..core.decoder import BatchPeelingDecoder
+from ..core.bitdecoder import packed_random_loss_masks
+from ..core.decoder import (
+    BatchPeelingDecoder,
+    BitsetBatchDecoder,
+    make_batch_decoder,
+    resolve_engine,
+)
 from ..core.graph import ErasureGraph
 from ..obs.registry import MetricsRegistry, capture, registry
 from ..obs.seeding import SeedLike, resolve_rng, spawn_seeds
@@ -89,13 +98,19 @@ def sample_fail_fraction(
     k: int,
     n_samples: int,
     rng: SeedLike = None,
-    decoder: BatchPeelingDecoder | None = None,
+    decoder: BatchPeelingDecoder | BitsetBatchDecoder | None = None,
+    engine: str = "auto",
 ) -> float:
     """Estimate P(fail | k offline) from ``n_samples`` random loss sets.
 
     ``rng`` follows the unified seeding convention: an int seed, an
     existing :class:`numpy.random.Generator`, or ``None`` for fresh
-    entropy (see :func:`repro.obs.seeding.resolve_rng`).
+    entropy (see :func:`repro.obs.seeding.resolve_rng`).  ``engine``
+    picks the batch decode kernel when no ``decoder`` is supplied (see
+    :func:`repro.core.decoder.make_batch_decoder`); either engine
+    consumes the same RNG stream, so estimates are identical at the
+    same seed.  The bitset engine decodes packed masks directly,
+    skipping the ``(batch, num_nodes)`` boolean intermediate.
     """
     if k == 0:
         return 0.0
@@ -103,13 +118,20 @@ def sample_fail_fraction(
         raise ValueError(f"k={k} exceeds {graph.num_nodes} nodes")
     rng = resolve_rng(rng)
     if decoder is None:
-        decoder = BatchPeelingDecoder(graph)
+        decoder = make_batch_decoder(graph, engine=engine)
+    packed_path = hasattr(decoder, "decode_packed")
     failures = 0
     remaining = n_samples
     while remaining > 0:
         batch = min(remaining, _MAX_BATCH)
-        masks = _random_loss_masks(graph.num_nodes, k, batch, rng)
-        ok = decoder.decode_batch(masks)
+        if packed_path:
+            packed = packed_random_loss_masks(
+                graph.num_nodes, k, batch, rng
+            )
+            ok = decoder.decode_packed(packed, batch)
+        else:
+            masks = _random_loss_masks(graph.num_nodes, k, batch, rng)
+            ok = decoder.decode_batch(masks)
         failures += int(batch - ok.sum())
         remaining -= batch
     return failures / n_samples
@@ -134,7 +156,10 @@ def _fault_drill(k: int) -> None:
 
 def _sweep_cell(args) -> tuple[int, float, float, dict[str, Any] | None]:
     """Process-pool worker: one (graph, k) cell of a profile sweep."""
-    graph, k, n_samples, seed_seq, collect_metrics = args
+    # Pre-engine task tuples had five fields; tolerate both shapes so
+    # externally constructed tasks keep working.
+    graph, k, n_samples, seed_seq, collect_metrics, *rest = args
+    engine = rest[0] if rest else "auto"
     _fault_drill(k)
     # The spawned SeedSequence is passed whole (it pickles fine):
     # reconstructing from `.entropy` alone would drop the spawn_key and
@@ -147,10 +172,14 @@ def _sweep_cell(args) -> tuple[int, float, float, dict[str, Any] | None]:
         # merge them: without this, --metrics output silently lacked
         # decode telemetry whenever n_jobs > 1.
         with capture(MetricsRegistry()) as reg:
-            frac = sample_fail_fraction(graph, k, n_samples, rng)
+            frac = sample_fail_fraction(
+                graph, k, n_samples, rng, engine=engine
+            )
         snapshot = reg.snapshot()
     else:
-        frac = sample_fail_fraction(graph, k, n_samples, rng)
+        frac = sample_fail_fraction(
+            graph, k, n_samples, rng, engine=engine
+        )
     return k, frac, time.perf_counter() - t0, snapshot
 
 
@@ -324,6 +353,7 @@ def profile_graph(
     max_retries: int = 2,
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
+    engine: str = "auto",
 ) -> FailureProfile:
     """Full failure profile of a graph (the paper's per-graph curve).
 
@@ -350,7 +380,14 @@ def profile_graph(
     recorded in the parent's registry regardless of ``n_jobs``;
     worker-side ``decoder.*`` counters are snapshotted per cell and
     merged back into the parent registry.
+
+    ``engine`` selects the batch decode kernel (bitset by default, see
+    :func:`repro.core.decoder.make_batch_decoder`); both engines draw
+    the same RNG stream, so profiles — and checkpoints — are
+    byte-identical across engines at the same seed.  The resolved
+    engine is recorded in the ``profile.done`` event.
     """
+    engine = resolve_engine(engine)
     reg = registry()
     t_start = time.perf_counter() if reg.enabled else 0.0
     n = graph.num_nodes
@@ -408,7 +445,9 @@ def profile_graph(
     for k, child in zip(sample_ks, children):
         if k in done:
             continue
-        tasks[k] = (graph, k, samples_per_k, child, bool(reg.enabled))
+        tasks[k] = (
+            graph, k, samples_per_k, child, bool(reg.enabled), engine
+        )
 
     def record_cell(k: int, seconds: float) -> None:
         reg.histogram("profile.cell_seconds").observe(seconds)
@@ -440,8 +479,8 @@ def profile_graph(
             )
         else:
             reg.gauge("profile.workers").set(1)
-            decoder = BatchPeelingDecoder(graph)
-            for k, (graph_, _k, n_samples, seed_seq, _c) in tasks.items():
+            decoder = make_batch_decoder(graph, engine=engine)
+            for k, (graph_, _k, n_samples, seed_seq, _c, _e) in tasks.items():
                 rng = np.random.default_rng(seed_seq)
                 t_cell = time.perf_counter() if reg.enabled else 0.0
                 fail[k] = sample_fail_fraction(
@@ -477,6 +516,7 @@ def profile_graph(
         reg.event(
             "profile.done",
             graph=graph.name,
+            engine=engine,
             cells=len(tasks),
             samples=int(samples.sum()),
             uncovered=uncovered,

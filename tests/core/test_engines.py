@@ -1,0 +1,254 @@
+"""Cross-engine decode agreement, packing helpers, engine selection.
+
+The bitset engine (:mod:`repro.core.bitdecoder`) must be
+indistinguishable from the matmul engine and the scalar decoder on
+every erasure pattern — the matmul engine stays alive precisely to be
+this differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.decoder as decoder_module
+from repro.core import (
+    DECODE_ENGINES,
+    BatchPeelingDecoder,
+    BitsetBatchDecoder,
+    PeelingDecoder,
+    make_batch_decoder,
+    pack_cases,
+    packed_random_loss_masks,
+    resolve_engine,
+    tornado_graph,
+    unpack_cases,
+)
+from repro.core.bitdecoder import missing_sets_to_unknown
+from repro.core.decoder import make_batch_decoder_from_matrix
+from repro.sim.montecarlo import _random_loss_masks
+
+
+def random_small_graphs():
+    """~50 random small cascades spanning sizes and degree mixes."""
+    graphs = []
+    for num_data in (8, 12, 16, 24):
+        for seed in range(13):
+            graphs.append(
+                tornado_graph(
+                    num_data, seed=seed, min_final_lefts=num_data // 2
+                )
+            )
+    return graphs[:50]
+
+
+class TestEngineAgreement:
+    def test_property_three_way_agreement(self):
+        """Scalar, matmul, and bitset agree case-for-case on ~50 graphs."""
+        rng = np.random.default_rng(2024)
+        for graph in random_small_graphs():
+            n = graph.num_nodes
+            scalar = PeelingDecoder(graph)
+            matmul = BatchPeelingDecoder(graph)
+            bitset = BitsetBatchDecoder(graph)
+            k = int(rng.integers(1, n))
+            masks = _random_loss_masks(n, k, 64, rng)
+            # Edge rows: none lost, all lost.
+            masks[0] = False
+            masks[1] = True
+            ok_mat = matmul.decode_batch(masks)
+            ok_bit = bitset.decode_batch(masks)
+            assert np.array_equal(ok_mat, ok_bit), graph.name
+            assert ok_mat[0] and not ok_mat[1]
+            for row in range(0, 64, 7):
+                assert ok_mat[row] == scalar.is_recoverable(
+                    np.flatnonzero(masks[row])
+                ), (graph.name, row)
+
+    def test_duplicate_nodes_in_missing_sets(self, small_tornado):
+        sets = [[0, 0, 1], [3, 3, 3], [], [5, 4, 5, 4]]
+        mat = BatchPeelingDecoder(small_tornado).decode_missing_sets(sets)
+        bit = BitsetBatchDecoder(small_tornado).decode_missing_sets(sets)
+        assert np.array_equal(mat, bit)
+        assert mat[2]  # nothing lost
+
+    def test_empty_batch(self, small_tornado):
+        for engine in DECODE_ENGINES:
+            dec = make_batch_decoder(small_tornado, engine)
+            out = dec.decode_batch(
+                np.zeros((0, small_tornado.num_nodes), dtype=bool)
+            )
+            assert out.shape == (0,)
+
+    def test_shape_validation(self, small_tornado):
+        for engine in DECODE_ENGINES:
+            dec = make_batch_decoder(small_tornado, engine)
+            with pytest.raises(ValueError):
+                dec.decode_batch(np.zeros((4, 7), dtype=bool))
+
+    def test_from_matrix_agreement(self):
+        """Raw-matrix construction (federation path) agrees too."""
+        rng = np.random.default_rng(5)
+        num_nodes, num_rel = 20, 14
+        membership = (rng.random((num_rel, num_nodes)) < 0.25).astype(
+            np.float32
+        )
+        membership[0] = 0.0  # all-zero row must be tolerated
+        membership[1] = 0.0
+        membership[1, 3] = 1.0  # single-member relation pins node 3
+        data_nodes = list(range(10))
+        mat = BatchPeelingDecoder.from_matrix(
+            membership, data_nodes, num_nodes
+        )
+        bit = BitsetBatchDecoder.from_matrix(
+            membership, data_nodes, num_nodes
+        )
+        masks = rng.random((256, num_nodes)) < 0.4
+        assert np.array_equal(
+            mat.decode_batch(masks), bit.decode_batch(masks)
+        )
+
+    def test_decode_packed_trims_pad_lanes(self, graph3):
+        rng = np.random.default_rng(9)
+        bit = BitsetBatchDecoder(graph3)
+        mat = BatchPeelingDecoder(graph3)
+        for batch in (1, 63, 64, 65, 130):
+            masks = _random_loss_masks(graph3.num_nodes, 30, batch, rng)
+            out = bit.decode_packed(pack_cases(masks), batch)
+            assert out.shape == (batch,)
+            assert np.array_equal(out, mat.decode_batch(masks))
+
+
+class TestPackingHelpers:
+    def test_pack_unpack_roundtrip(self, rng):
+        for batch in (1, 2, 63, 64, 65, 200):
+            masks = rng.random((batch, 17)) < 0.3
+            packed = pack_cases(masks)
+            assert packed.shape == (17, (batch + 63) // 64)
+            assert np.array_equal(unpack_cases(packed, batch), masks)
+
+    def test_packed_generator_matches_bool_generator(self):
+        """Same seed → identical masks and identical downstream state."""
+        for k in (1, 5, 42, 96):
+            r1 = np.random.default_rng(77)
+            r2 = np.random.default_rng(77)
+            packed = packed_random_loss_masks(96, k, 300, r1)
+            masks = _random_loss_masks(96, k, 300, r2)
+            assert np.array_equal(packed, pack_cases(masks)), k
+            # The generators consumed identical draws.
+            assert r1.random() == r2.random()
+
+    def test_packed_generator_exact_k(self):
+        rng = np.random.default_rng(3)
+        packed = packed_random_loss_masks(40, 7, 130, rng)
+        masks = unpack_cases(packed, 130)
+        assert (masks.sum(axis=1) == 7).all()
+
+    def test_packed_generator_k_zero(self):
+        rng = np.random.default_rng(3)
+        packed = packed_random_loss_masks(40, 0, 100, rng)
+        assert packed.shape == (40, 2)
+        assert not packed.any()
+
+    def test_missing_sets_to_unknown_rejects_bad_ids(self):
+        with pytest.raises(ValueError):
+            missing_sets_to_unknown([[0, 99]], 10)
+        with pytest.raises(ValueError):
+            missing_sets_to_unknown([[-1]], 10)
+
+
+class TestEngineSelection:
+    def test_default_is_bitset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DECODE_ENGINE", raising=False)
+        assert resolve_engine() == "bitset"
+        assert resolve_engine("auto") == "bitset"
+        assert resolve_engine(None) == "bitset"
+
+    def test_env_override_applies_to_auto_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODE_ENGINE", "matmul")
+        assert resolve_engine("auto") == "matmul"
+        assert resolve_engine("bitset") == "bitset"  # explicit wins
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown decode engine"):
+            resolve_engine("gpu")
+        monkeypatch.setenv("REPRO_DECODE_ENGINE", "typo")
+        with pytest.raises(ValueError, match="unknown decode engine"):
+            resolve_engine("auto")
+
+    def test_make_batch_decoder_classes(self, small_tornado, monkeypatch):
+        monkeypatch.delenv("REPRO_DECODE_ENGINE", raising=False)
+        assert isinstance(
+            make_batch_decoder(small_tornado), BitsetBatchDecoder
+        )
+        assert isinstance(
+            make_batch_decoder(small_tornado, "matmul"),
+            BatchPeelingDecoder,
+        )
+        monkeypatch.setenv("REPRO_DECODE_ENGINE", "matmul")
+        assert isinstance(
+            make_batch_decoder(small_tornado), BatchPeelingDecoder
+        )
+
+    def test_engine_attribute(self, small_tornado):
+        assert make_batch_decoder(small_tornado, "bitset").engine == "bitset"
+        assert make_batch_decoder(small_tornado, "matmul").engine == "matmul"
+
+    def test_from_matrix_selector(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DECODE_ENGINE", raising=False)
+        membership = np.eye(4, dtype=np.float32)
+        dec = make_batch_decoder_from_matrix(membership, [0, 1], 4)
+        assert isinstance(dec, BitsetBatchDecoder)
+        dec = make_batch_decoder_from_matrix(
+            membership, [0, 1], 4, engine="matmul"
+        )
+        assert isinstance(dec, BatchPeelingDecoder)
+
+
+class TestMatmulPrecisionGuard:
+    def test_guard_raises_past_float32_ids(self, monkeypatch, small_tornado):
+        monkeypatch.setattr(decoder_module, "_MATMUL_MAX_NODES", 16)
+        with pytest.raises(ValueError, match="bitset"):
+            BatchPeelingDecoder(small_tornado)  # 32 nodes >= mocked 16
+
+    def test_guard_covers_from_matrix(self, monkeypatch):
+        monkeypatch.setattr(decoder_module, "_MATMUL_MAX_NODES", 4)
+        with pytest.raises(ValueError, match="float32"):
+            BatchPeelingDecoder.from_matrix(
+                np.ones((1, 8), dtype=np.float32), [0], 8
+            )
+
+    def test_bitset_unaffected(self, monkeypatch, small_tornado):
+        monkeypatch.setattr(decoder_module, "_MATMUL_MAX_NODES", 16)
+        dec = BitsetBatchDecoder(small_tornado)
+        assert dec.decode_batch(
+            np.zeros((2, small_tornado.num_nodes), dtype=bool)
+        ).all()
+
+    def test_threshold_boundary(self, monkeypatch, small_tornado):
+        # Exactly at num_nodes the guard fires; one above it does not.
+        monkeypatch.setattr(
+            decoder_module, "_MATMUL_MAX_NODES", small_tornado.num_nodes
+        )
+        with pytest.raises(ValueError):
+            BatchPeelingDecoder(small_tornado)
+        monkeypatch.setattr(
+            decoder_module,
+            "_MATMUL_MAX_NODES",
+            small_tornado.num_nodes + 1,
+        )
+        BatchPeelingDecoder(small_tornado)
+
+
+class TestEngineMetrics:
+    def test_per_engine_case_counters(self, small_tornado):
+        from repro.obs import MetricsRegistry, capture
+
+        masks = np.zeros((10, small_tornado.num_nodes), dtype=bool)
+        with capture(MetricsRegistry()) as reg:
+            BitsetBatchDecoder(small_tornado).decode_batch(masks)
+            BatchPeelingDecoder(small_tornado).decode_batch(masks)
+        counters = reg.snapshot()["counters"]
+        assert counters["decoder.cases.bitset"] == 10
+        assert counters["decoder.cases.matmul"] == 10
+        assert counters["decoder.cases"] == 20

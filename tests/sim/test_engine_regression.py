@@ -1,0 +1,96 @@
+"""Engines are interchangeable: byte-identical results at the same seed.
+
+The acceptance bar for the bitset engine is not "statistically close" —
+both batch engines consume the exact same RNG stream (the packed mask
+generator replays ``_random_loss_masks``'s draws), so every profile,
+overhead curve, and checkpoint must match byte for byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import tornado_graph
+from repro.federation import FederatedSystem
+from repro.federation.profile import federated_profile
+from repro.sim import measure_retrieval_overhead, profile_graph
+from repro.sim.montecarlo import sample_fail_fraction
+
+
+class TestProfileByteIdentical:
+    def test_failure_profile_identical_across_engines(self, small_tornado):
+        sweep = dict(samples_per_k=600, exact_upto=3, seed=7)
+        p_bit = profile_graph(small_tornado, **sweep, engine="bitset")
+        p_mat = profile_graph(small_tornado, **sweep, engine="matmul")
+        assert p_bit.to_json() == p_mat.to_json()
+
+    def test_sparse_k_grid_identical(self, small_tornado):
+        sweep = dict(samples_per_k=500, exact_upto=2, seed=3, ks=[6, 10, 14])
+        p_bit = profile_graph(small_tornado, **sweep, engine="bitset")
+        p_mat = profile_graph(small_tornado, **sweep, engine="matmul")
+        assert p_bit.to_json() == p_mat.to_json()
+
+    def test_sample_fail_fraction_identical(self, small_tornado):
+        for k in (4, 9, 20):
+            f_bit = sample_fail_fraction(
+                small_tornado, k, 3000, rng=11, engine="bitset"
+            )
+            f_mat = sample_fail_fraction(
+                small_tornado, k, 3000, rng=11, engine="matmul"
+            )
+            assert f_bit == f_mat
+
+    def test_checkpoint_resumes_across_engines(self, small_tornado, tmp_path):
+        """A sweep checkpointed under one engine resumes under the other."""
+        sweep = dict(samples_per_k=400, exact_upto=3, seed=5)
+        baseline = profile_graph(small_tornado, **sweep, engine="matmul")
+        ckpt = tmp_path / "sweep.jsonl"
+        ks_all = list(
+            range(4, small_tornado.num_nodes)
+        )
+        first = profile_graph(
+            small_tornado,
+            **sweep,
+            ks=ks_all[: len(ks_all) // 2],
+            checkpoint=ckpt,
+            engine="matmul",
+        )
+        assert first is not None
+        resumed = profile_graph(
+            small_tornado,
+            **sweep,
+            checkpoint=ckpt,
+            resume=True,
+            engine="bitset",
+        )
+        assert resumed.to_json() == baseline.to_json()
+
+
+class TestOverheadIdentical:
+    def test_all_engines_identical_downloads(self, small_tornado):
+        results = {
+            engine: measure_retrieval_overhead(
+                small_tornado, n_trials=250, seed=13, engine=engine
+            )
+            for engine in ("scalar", "bitset", "matmul")
+        }
+        base = results["scalar"].downloads
+        assert np.array_equal(base, results["bitset"].downloads)
+        assert np.array_equal(base, results["matmul"].downloads)
+
+    def test_batched_floor_and_ceiling(self, small_tornado):
+        res = measure_retrieval_overhead(
+            small_tornado, n_trials=100, seed=1, engine="bitset"
+        )
+        assert (res.downloads >= small_tornado.num_data).all()
+        assert (res.downloads <= small_tornado.num_nodes).all()
+
+
+class TestFederatedIdentical:
+    def test_federated_profile_identical(self):
+        graph = tornado_graph(8, seed=1, min_final_lefts=4)
+        system = FederatedSystem([graph, graph])
+        kwargs = dict(samples_per_k=400, seed=5)
+        f_bit = federated_profile(system, **kwargs, engine="bitset")
+        f_mat = federated_profile(system, **kwargs, engine="matmul")
+        assert f_bit.to_json() == f_mat.to_json()
