@@ -19,7 +19,8 @@ Archival Storage" (HPDC 2006).  Subpackages:
 * :mod:`repro.serve` — async reconstruction serving: micro-batching,
   plan caching, backpressure, deterministic load generation.
 * :mod:`repro.analysis` — tables, ASCII figures, profile caching.
-* :mod:`repro.obs` — metrics, run manifests, unified seeding.
+* :mod:`repro.obs` — metrics, causal tracing, telemetry analysis, run
+  manifests, unified seeding.
 
 Stable API
 ----------
@@ -67,9 +68,12 @@ from .graphs import tornado_catalog_graph
 from .obs import (
     MetricsRegistry,
     RunManifest,
+    Tracer,
     capture,
     metrics_enabled,
+    render_prometheus,
     resolve_rng,
+    trace_capture,
 )
 from .resilience import FaultPlan, RetryPolicy, run_campaign
 from .serve import (
@@ -104,6 +108,7 @@ __all__ = [
     "ServeConfig",
     "TornadoArchive",
     "TornadoCodec",
+    "Tracer",
     "__version__",
     "adjust_graph",
     "analysis",
@@ -122,6 +127,7 @@ __all__ = [
     "profile_graph",
     "raid",
     "reliability",
+    "render_prometheus",
     "resilience",
     "resolve_engine",
     "resolve_rng",
@@ -136,5 +142,6 @@ __all__ = [
     "storage",
     "tornado_catalog_graph",
     "tornado_graph",
+    "trace_capture",
     "worst_case_search",
 ]

@@ -19,7 +19,11 @@ commands:
   its line-JSON TCP front end over a seeded archive;
 * ``repro loadgen`` — drive an in-process service with a seeded
   open-loop workload and report throughput/latency (``--out`` writes
-  the JSON report).
+  the JSON report);
+* ``repro obs`` — analyse telemetry JSONL offline: ``obs tail`` (last
+  events), ``obs report`` (per-phase latency table with p50/p90/p99),
+  ``obs trace-tree`` (reassembled span trees; exits 1 on orphaned
+  spans, which is what CI's obs-smoke asserts).
 
 Exit codes are consistent across subcommands: ``0`` success, ``1``
 operational failure (missing/corrupt input files, data loss, service
@@ -30,7 +34,11 @@ Every subcommand accepts ``--metrics PATH`` (or the ``REPRO_METRICS``
 environment variable): the run then streams instrumentation events —
 per-cell simulation timings, cache hits, decode counters — to a JSONL
 file and closes it with a ``run_manifest`` record capturing seed,
-arguments, package version, host, and wall time.
+arguments, package version, host, and wall time.  ``--trace PATH``
+(or ``REPRO_TRACE``) additionally records causal spans — request →
+batch → decode → worker, sweep → cell, campaign → probe — with
+deterministic IDs derived from ``--seed``; both flags may point at the
+same file to interleave the streams.  See ``docs/OBS.md``.
 
 Run ``python -m repro <command> --help`` for per-command options.
 """
@@ -73,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write instrumentation events + run manifest as JSONL "
         "(default: $REPRO_METRICS if set)",
+    )
+    common.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write trace spans as JSONL (deterministic IDs from "
+        "--seed; default: $REPRO_TRACE if set; may equal --metrics "
+        "to interleave both streams in one file)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -253,6 +269,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="LRU capacity of the peeling-plan cache (0 disables)",
     )
+    serving.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the service's run manifest (config, graph hash, "
+        "final snapshot) as JSON; defaults to "
+        "<metrics-or-trace path>.manifest.json when either is set",
+    )
 
     p = sub.add_parser(
         "serve",
@@ -299,6 +323,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated lost node ids (default: none)",
     )
     p.add_argument("--out", required=True, help="SVG output path")
+
+    p = sub.add_parser(
+        "obs",
+        help="analyse telemetry JSONL (events, spans, manifests)",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser(
+        "tail", help="show the last events of a telemetry file"
+    )
+    q.add_argument("file", help="JSONL telemetry file")
+    q.add_argument("-n", type=int, default=20,
+                   help="events to show (default 20)")
+    q.add_argument(
+        "--kind",
+        default=None,
+        help="filter by event-name prefix (e.g. serve. or trace.span)",
+    )
+
+    q = obs_sub.add_parser(
+        "report",
+        help="per-phase latency table (counts, totals, p50/p90/p99)",
+    )
+    q.add_argument("files", nargs="+", help="JSONL telemetry files")
+
+    q = obs_sub.add_parser(
+        "trace-tree",
+        help="reassemble and print span trees (flags orphaned spans)",
+    )
+    q.add_argument("file", help="JSONL trace file")
+    q.add_argument(
+        "--trace-id",
+        default=None,
+        help="show only the trace with this ID (prefix accepted)",
+    )
 
     return parser
 
@@ -526,6 +585,30 @@ def _print_serve_summary(stats) -> None:
         f"{counters.get('serve.worker_crashes', 0)} worker crashes); "
         f"plan cache {plan['hits']} hits / {plan['misses']} misses"
     )
+    latency = stats.get("histograms", {}).get(
+        "serve.request_latency_seconds"
+    )
+    if latency and latency.get("count"):
+        print(
+            "service-side latency "
+            f"p50 {latency['p50'] * 1e3:.2f}ms "
+            f"p90 {latency['p90'] * 1e3:.2f}ms "
+            f"p99 {latency['p99'] * 1e3:.2f}ms "
+            f"({latency['count']} measured)"
+        )
+
+
+def _service_manifest_path(args):
+    """Explicit --manifest, else derived beside --metrics/--trace."""
+    if args.manifest:
+        return args.manifest
+    anchor = (
+        args.metrics
+        or os.environ.get("REPRO_METRICS")
+        or args.trace
+        or os.environ.get("REPRO_TRACE")
+    )
+    return f"{anchor}.manifest.json" if anchor else None
 
 
 def _cmd_serve(args) -> int:
@@ -535,8 +618,15 @@ def _cmd_serve(args) -> int:
 
     archive, names, config = _serving_stack(args)
 
+    service = ReconstructionService(
+        archive,
+        config,
+        seed=args.seed,
+        manifest_path=_service_manifest_path(args),
+    )
+
     async def run() -> int:
-        async with ReconstructionService(archive, config) as service:
+        async with service:
             server = await start_frontend(service, args.host, args.port)
             host, port = server.sockets[0].getsockname()[:2]
             print(
@@ -583,8 +673,15 @@ def _cmd_loadgen(args) -> int:
         deadline=args.deadline,
     )
 
+    service = ReconstructionService(
+        archive,
+        config,
+        seed=args.seed,
+        manifest_path=_service_manifest_path(args),
+    )
+
     async def run():
-        async with ReconstructionService(archive, config) as service:
+        async with service:
             report = await run_loadgen(service, names, load)
             await service.drain()
             return report, service.stats()
@@ -599,6 +696,40 @@ def _cmd_loadgen(args) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"report written to {args.out}")
     return 1 if report.errors else 0
+
+
+def _cmd_obs(args) -> int:
+    from .obs import (
+        build_trace_trees,
+        format_phase_report,
+        format_tail,
+        load_events,
+        phase_stats,
+        render_trace_tree,
+        span_records,
+    )
+
+    if args.obs_command == "tail":
+        events = load_events(args.file)
+        print(format_tail(events, args.n, kind=args.kind))
+        return 0
+    if args.obs_command == "report":
+        events = []
+        for path in args.files:
+            events.extend(load_events(path))
+        print(format_phase_report(phase_stats(events)))
+        return 0
+    if args.obs_command == "trace-tree":
+        spans = span_records(load_events(args.file))
+        roots, orphans = build_trace_trees(spans)
+        print(
+            render_trace_tree(roots, orphans, trace_id=args.trace_id)
+        )
+        # Orphans mean a broken propagation path: fail loudly so CI's
+        # obs-smoke job catches regressions with the same command an
+        # operator would run.
+        return 1 if orphans else 0
+    raise UsageError(f"unknown obs command {args.obs_command!r}")
 
 
 def _cmd_render(args) -> int:
@@ -624,34 +755,71 @@ _COMMANDS = {
     "mission": _cmd_mission,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "obs": _cmd_obs,
     "render": _cmd_render,
 }
 
 
 def _run_command(args) -> int:
-    metrics_path = args.metrics or os.environ.get("REPRO_METRICS")
-    if not metrics_path:
+    metrics_path = getattr(args, "metrics", None) or os.environ.get(
+        "REPRO_METRICS"
+    )
+    trace_path = getattr(args, "trace", None) or os.environ.get(
+        "REPRO_TRACE"
+    )
+    if not metrics_path and not trace_path:
         return _COMMANDS[args.command](args)
 
-    from .obs import JsonlSink, MetricsRegistry, RunManifest, capture
+    from contextlib import ExitStack
 
-    sink = JsonlSink(metrics_path)
-    config = {
-        k: v for k, v in vars(args).items() if k not in ("command", "metrics")
-    }
-    manifest = RunManifest.create(
-        f"repro {args.command}",
-        seed=getattr(args, "seed", None),
-        config=config,
+    from .obs import (
+        JsonlSink,
+        MetricsRegistry,
+        RunManifest,
+        Tracer,
+        capture,
+        trace_capture,
     )
-    try:
-        with capture(MetricsRegistry(sink=sink)) as reg:
+
+    with ExitStack() as stack:
+        sinks: dict[str, JsonlSink] = {}
+
+        def sink_for(path: str) -> JsonlSink:
+            # --trace and --metrics pointing at the same file share one
+            # sink, interleaving spans with events (JsonlSink is
+            # thread-safe, so lines never tear).
+            if path not in sinks:
+                sinks[path] = JsonlSink(path)
+                stack.callback(sinks[path].close)
+            return sinks[path]
+
+        if trace_path:
+            stack.enter_context(
+                trace_capture(
+                    Tracer(
+                        sink=sink_for(trace_path),
+                        seed=getattr(args, "seed", 0) or 0,
+                    )
+                )
+            )
+        if not metrics_path:
+            return _COMMANDS[args.command](args)
+
+        config = {
+            k: v
+            for k, v in vars(args).items()
+            if k not in ("command", "metrics", "trace")
+        }
+        manifest = RunManifest.create(
+            f"repro {args.command}",
+            seed=getattr(args, "seed", None),
+            config=config,
+        )
+        with capture(MetricsRegistry(sink=sink_for(metrics_path))) as reg:
             code = _COMMANDS[args.command](args)
             reg.event("metrics_summary", **reg.snapshot())
             reg.event("run_manifest", **manifest.finish().to_dict())
         return code
-    finally:
-        sink.close()
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -2,35 +2,62 @@
 
 Dependency-free instrumentation layer threaded through the library's
 hot paths — batch decoding, Monte Carlo profiling, worst-case search,
-storage devices, and the profile cache:
+storage devices, the profile cache, and the serving stack:
 
-* :class:`MetricsRegistry` — counters, gauges, streaming histograms,
-  ``timer()``/``span()`` context managers, structured events;
-* :class:`JsonlSink` — line-oriented event log for live tailing;
+* :class:`MetricsRegistry` — counters, gauges, quantile histograms
+  (log-spaced buckets, p50/p90/p99 in every summary, lossless
+  bucket-wise merges), ``timer()``/``span()`` context managers,
+  structured events;
+* :class:`Tracer` / :mod:`repro.obs.trace` — causal tracing with
+  deterministic trace/span IDs, contextvar-scoped current span, and
+  cross-process context propagation (request → batch → pool worker);
+* :class:`JsonlSink` — line-oriented, thread-safe event log for live
+  tailing;
+* :mod:`repro.obs.analyze` — trace trees, per-phase latency reports,
+  event tails (backs the ``repro obs`` CLI family);
+* :func:`render_prometheus` — Prometheus text exposition of any
+  registry snapshot;
 * :class:`RunManifest` — provenance (seed, config, version, host, wall
-  time) for every run, stored beside cached profiles;
+  time) for every run, stored beside cached profiles and emitted per
+  service lifecycle;
 * :mod:`repro.obs.seeding` — the unified ``seed: int | Generator``
   convention shared by every public simulation entry point.
 
 Collection is off by default and costs nearly nothing when off (see
 :mod:`repro.obs.registry`).  Enable per run via ``repro ...
---metrics out.jsonl``, the ``REPRO_METRICS`` environment variable, or
-programmatically::
+--metrics out.jsonl --trace trace.jsonl``, the ``REPRO_METRICS`` /
+``REPRO_TRACE`` environment variables, or programmatically::
 
     from repro.obs import capture
 
     with capture() as metrics:
         profile_graph(graph, samples_per_k=1000)
     print(metrics.snapshot()["counters"])
+
+See ``docs/OBS.md`` for the event schema, trace model, and CLI tour.
 """
 
+from .analyze import (
+    SpanNode,
+    build_trace_trees,
+    format_phase_report,
+    format_tail,
+    load_events,
+    phase_stats,
+    render_trace_tree,
+    span_records,
+)
 from .manifest import RunManifest
+from .prom import render_prometheus
 from .registry import (
+    BUCKET_GAMMA,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    bucket_midpoint,
+    bucket_upper_bound,
     capture,
     disable,
     enable,
@@ -39,8 +66,25 @@ from .registry import (
 )
 from .seeding import SeedLike, derive_seed, resolve_rng, spawn_seeds
 from .sink import JsonlSink, read_jsonl
+from .trace import (
+    Span,
+    Tracer,
+    add_trace_event,
+    context_seed,
+    current_context,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    start_span,
+    trace_capture,
+    trace_span,
+    tracer,
+    tracing_enabled,
+    use_context,
+)
 
 __all__ = [
+    "BUCKET_GAMMA",
     "Counter",
     "Gauge",
     "Histogram",
@@ -49,13 +93,38 @@ __all__ = [
     "NullRegistry",
     "RunManifest",
     "SeedLike",
+    "Span",
+    "SpanNode",
+    "Tracer",
+    "add_trace_event",
+    "bucket_midpoint",
+    "bucket_upper_bound",
+    "build_trace_trees",
     "capture",
+    "context_seed",
+    "current_context",
+    "current_span",
     "derive_seed",
     "disable",
+    "disable_tracing",
     "enable",
+    "enable_tracing",
+    "format_phase_report",
+    "format_tail",
+    "load_events",
     "metrics_enabled",
+    "phase_stats",
     "read_jsonl",
     "registry",
+    "render_prometheus",
+    "render_trace_tree",
     "resolve_rng",
+    "span_records",
     "spawn_seeds",
+    "start_span",
+    "trace_capture",
+    "trace_span",
+    "tracer",
+    "tracing_enabled",
+    "use_context",
 ]

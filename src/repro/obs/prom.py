@@ -1,0 +1,95 @@
+"""Prometheus text-format rendering of registry snapshots.
+
+Turns any :meth:`~repro.obs.registry.MetricsRegistry.snapshot` into the
+Prometheus exposition format (version 0.0.4) so a running service — or
+a finished run's ``metrics_summary`` event — can be scraped or pushed
+without adding a client-library dependency:
+
+* counters render as ``counter`` samples,
+* gauges as ``gauge`` samples,
+* histograms as native Prometheus histograms: cumulative ``_bucket``
+  series with ``le`` labels taken from the log-spaced bucket bounds
+  (:func:`~repro.obs.registry.bucket_upper_bound`), plus ``_sum`` and
+  ``_count``.
+
+Dotted metric names become underscore-separated (``serve.batch_size``
+→ ``repro_serve_batch_size``).  The line-JSON TCP front end serves
+this via ``{"op": "metrics"}`` (see :mod:`repro.serve.frontend`).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from .registry import bucket_upper_bound
+
+__all__ = ["render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    name = _NAME_RE.sub("_", prefix + name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers stay integral, inf is +Inf."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _histogram_lines(name: str, summary: Mapping[str, Any]) -> list[str]:
+    lines = [f"# TYPE {name} histogram"]
+    count = int(summary.get("count", 0))
+    buckets = summary.get("buckets", {}) or {}
+    bounds = sorted(
+        (bucket_upper_bound(key), int(n)) for key, n in buckets.items()
+    )
+    cum = 0
+    for upper, n in bounds:
+        cum += n
+        lines.append(f'{name}_bucket{{le="{_fmt(upper)}"}} {cum}')
+    # +Inf uses the full observation count: legacy summaries carry no
+    # buckets, and non-finite observations are counted but unbucketed.
+    lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+    total = summary.get("total", 0.0)
+    lines.append(f"{name}_sum {_fmt(float(total))}")
+    lines.append(f"{name}_count {count}")
+    return lines
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], prefix: str = "repro_"
+) -> str:
+    """Render a registry snapshot in Prometheus text format.
+
+    ``snapshot`` is the dict shape produced by
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot` (also embedded
+    in ``metrics_summary`` events and service ``stats()`` responses).
+    Unknown keys are ignored, so service stats dicts render directly.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(float(value))}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(float(value))}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        lines.extend(
+            _histogram_lines(_metric_name(name, prefix), summary)
+        )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -31,11 +31,14 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 __all__ = [
+    "BUCKET_GAMMA",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
+    "bucket_midpoint",
+    "bucket_upper_bound",
     "capture",
     "disable",
     "enable",
@@ -91,13 +94,54 @@ class Gauge:
                 self.value += n
 
 
+# Log-spaced quantile buckets.  Bucket ``i`` covers
+# (GAMMA**(i-1), GAMMA**i]; reporting the geometric midpoint bounds the
+# relative quantile error by sqrt(GAMMA) - 1 (~2.5% at GAMMA = 1.05).
+# Keys are strings so bucket maps survive JSON round-trips unchanged:
+# "i" for positive values, "n<i>" for negative values, "z" for zero.
+BUCKET_GAMMA = 1.05
+_LOG_GAMMA = math.log(BUCKET_GAMMA)
+
+
+def _bucket_key(v: float) -> str | None:
+    """Sparse log-bucket key for a finite value (None = unbucketable)."""
+    if not math.isfinite(v):
+        return None
+    if v > 0:
+        return str(math.ceil(math.log(v) / _LOG_GAMMA))
+    if v == 0:
+        return "z"
+    return "n" + str(math.ceil(math.log(-v) / _LOG_GAMMA))
+
+
+def bucket_midpoint(key: str) -> float:
+    """Representative value of a bucket (geometric midpoint)."""
+    if key == "z":
+        return 0.0
+    if key.startswith("n"):
+        return -math.exp((int(key[1:]) - 0.5) * _LOG_GAMMA)
+    return math.exp((int(key) - 0.5) * _LOG_GAMMA)
+
+
+def bucket_upper_bound(key: str) -> float:
+    """Inclusive upper bound of a bucket (Prometheus ``le`` value)."""
+    if key == "z":
+        return 0.0
+    if key.startswith("n"):
+        return -math.exp((int(key[1:]) - 1) * _LOG_GAMMA)
+    return math.exp(int(key) * _LOG_GAMMA)
+
+
 @dataclass
 class Histogram:
     """Streaming summary of observed values (no stored samples).
 
-    Tracks count/sum/min/max plus the sum of squares, which is enough
-    for mean and standard deviation without keeping the observations —
-    important for million-sample simulation runs.
+    Tracks count/sum/min/max plus the sum of squares (mean and standard
+    deviation without keeping observations — important for
+    million-sample runs) and a sparse log-spaced bucket map giving
+    quantiles (p50/p90/p99) within ~2.5% relative error.  Buckets merge
+    bucket-wise across process boundaries, so worker→parent
+    :meth:`merge_summary` folds are lossless.
     """
 
     name: str
@@ -106,6 +150,7 @@ class Histogram:
     sq_total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    buckets: dict[str, int] = field(default_factory=dict)
     _lock: threading.RLock | None = field(
         default=None, repr=False, compare=False
     )
@@ -127,6 +172,10 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        key = _bucket_key(v)
+        if key is not None:
+            b = self.buckets
+            b[key] = b.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -139,24 +188,60 @@ class Histogram:
         var = self.sq_total / self.count - self.mean**2
         return math.sqrt(max(0.0, var))
 
-    def summary(self) -> dict[str, float]:
+    def quantile(self, q: float) -> float:
+        """Bucket-estimated q-quantile, clamped to the observed range.
+
+        Accurate to ~2.5% relative error (see ``BUCKET_GAMMA``).  Falls
+        back to the mean when no bucketed mass exists (e.g. a histogram
+        built purely from pre-bucket legacy summaries).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        bucketed = sum(self.buckets.values())
+        if bucketed == 0:
+            return self.mean
+        target = q * bucketed
+        cum = 0
+        value = 0.0
+        for value, n in sorted(
+            (bucket_midpoint(k), n) for k, n in self.buckets.items()
+        ):
+            cum += n
+            if cum >= target:
+                break
+        lo = self.min if math.isfinite(self.min) else value
+        hi = self.max if math.isfinite(self.max) else value
+        return min(max(value, lo), hi)
+
+    def summary(self) -> dict[str, Any]:
         if self.count == 0:
             return {"count": 0}
         return {
             "count": self.count,
             "total": self.total,
+            "sq_total": self.sq_total,
             "mean": self.mean,
             "stddev": self.stddev,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "buckets": dict(self.buckets),
         }
 
-    def merge_summary(self, summary: dict[str, float]) -> None:
+    def merge_summary(self, summary: dict[str, Any]) -> None:
         """Fold another histogram's :meth:`summary` into this one.
 
         Used to merge worker-process metrics back into the parent
-        registry; the sum of squares is reconstructed from mean and
-        stddev, which is exact up to float rounding.
+        registry.  Buckets merge bucket-wise (lossless, so quantiles
+        survive the round trip); ``sq_total`` is taken verbatim when
+        present and reconstructed from mean/stddev for legacy
+        summaries.  Non-finite moments or bounds in a summary (hand
+        built, or damaged in serialisation) are skipped rather than
+        poisoning this histogram.
         """
         count = int(summary.get("count", 0))
         if count == 0:
@@ -168,14 +253,31 @@ class Histogram:
             with lock:
                 self._merge(count, summary)
 
-    def _merge(self, count: int, summary: dict[str, float]) -> None:
-        mean = float(summary["mean"])
-        stddev = float(summary.get("stddev", 0.0))
+    def _merge(self, count: int, summary: dict[str, Any]) -> None:
         self.count += count
-        self.total += float(summary["total"])
-        self.sq_total += (stddev * stddev + mean * mean) * count
-        self.min = min(self.min, float(summary["min"]))
-        self.max = max(self.max, float(summary["max"]))
+        total = float(summary.get("total", 0.0))
+        if math.isfinite(total):
+            self.total += total
+        sq = summary.get("sq_total")
+        if sq is None:
+            mean = float(summary.get("mean", 0.0))
+            stddev = float(summary.get("stddev", 0.0))
+            if not math.isfinite(mean):
+                mean = 0.0
+            if not math.isfinite(stddev):
+                stddev = 0.0
+            sq = (stddev * stddev + mean * mean) * count
+        if math.isfinite(float(sq)):
+            self.sq_total += float(sq)
+        mn = float(summary.get("min", math.inf))
+        if math.isfinite(mn) and mn < self.min:
+            self.min = mn
+        mx = float(summary.get("max", -math.inf))
+        if math.isfinite(mx) and mx > self.max:
+            self.max = mx
+        b = self.buckets
+        for key, n in summary.get("buckets", {}).items():
+            b[key] = b.get(key, 0) + int(n)
 
 
 class _NullMetric:
@@ -194,6 +296,12 @@ class _NullMetric:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> dict[str, int]:
+        return {"count": 0}
 
 
 _NULL_METRIC = _NullMetric()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, IO
 
@@ -33,25 +34,34 @@ class JsonlSink:
     The file is opened lazily on the first event and flushed per line,
     so a crashed run still leaves every completed event on disk.
     Usable as a context manager.
+
+    Safe for concurrent writers: the service event loop, pool-merge
+    callbacks, and instrumented library threads may all share one sink,
+    so serialisation + write + flush happen under a lock — no
+    interleaved or torn JSON lines.
     """
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
         self._fh: IO[str] | None = None
+        self._lock = threading.Lock()
         self.emitted = 0
 
     def emit(self, record: dict[str, Any]) -> None:
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(record, default=_default) + "\n")
-        self._fh.flush()
-        self.emitted += 1
+        line = json.dumps(record, default=_default) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line)
+            self._fh.flush()
+            self.emitted += 1
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..obs.registry import MetricsRegistry, capture, registry
 from ..obs.seeding import SeedLike, derive_seed, resolve_rng
+from ..obs.trace import trace_span
 from ..storage.archive import TornadoArchive
 from ..storage.device import TransientUnavailableError
 from ..storage.integrity import IntegrityScanner
@@ -147,6 +148,14 @@ class _CampaignObserver:
 
     def _scrub(self, step: int) -> list[MissionEvent]:
         events = []
+        with trace_span(
+            "resilience.scrub", step=step, objects=len(self.names)
+        ):
+            events.extend(self._scrub_objects(step))
+        return events
+
+    def _scrub_objects(self, step: int) -> list[MissionEvent]:
+        events = []
         for name in self.names:
             try:
                 fixed = self.scanner.scrub(name)
@@ -181,7 +190,9 @@ class _CampaignObserver:
         # numbers back into any enclosing --metrics run afterwards.
         local = MetricsRegistry()
         try:
-            with capture(local):
+            with capture(local), trace_span(
+                "resilience.read_probe", step=step, object=name
+            ):
                 self.archive.get(name, retry=self.retry)
         except TransientUnavailableError as exc:
             self.transient_read_failures += 1
@@ -235,7 +246,11 @@ def run_campaign(
         archive, config, retry, config.mission.repair_margin
     )
     reg = registry()
-    with reg.timer("resilience.campaign_seconds"):
+    with reg.timer("resilience.campaign_seconds"), trace_span(
+        "resilience.campaign",
+        steps=config.mission.num_steps,
+        objects=len(archive.objects),
+    ) as campaign_span:
         mission = run_mission(
             archive,
             config.mission,
@@ -243,6 +258,7 @@ def run_campaign(
             injector=injector,
             observer=observer,
         )
+        campaign_span.set_attr("survived", mission.survived)
     reg.counter("resilience.campaigns").inc()
     reg.event(
         "resilience.campaign",

@@ -40,6 +40,7 @@ from typing import Iterable
 import numpy as np
 
 from ..obs.registry import registry
+from ..obs.trace import add_trace_event
 from ..storage.device import DeviceState
 from ..storage.simulation import MissionEvent
 
@@ -224,6 +225,9 @@ class FaultInjector:
     def _count(self, kind: str) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         registry().counter(f"resilience.faults.{kind}").inc()
+        # A traced campaign sees each injected fault as a point event
+        # on the ambient span (the campaign or mission-step span).
+        add_trace_event("resilience.fault", kind=kind)
 
     def _outage_steps(
         self, mean: float, rng: np.random.Generator

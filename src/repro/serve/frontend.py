@@ -7,7 +7,12 @@ one per line out.  Operations::
                                                    "sha256": "..."}
     {"op": "get", "name": "...", "deadline": 0.5}
     {"op": "stats"}                            -> {"ok": true, "stats": {...}}
+    {"op": "metrics"}                          -> {"ok": true, "metrics": "..."}
     {"op": "ping"}                             -> {"ok": true, "pong": true}
+
+``metrics`` returns the service's registry snapshot rendered in the
+Prometheus text exposition format (see :mod:`repro.obs.prom`), so a
+scraper can poll the same port clients use.
 
 Responses to ``get`` carry the object's size and SHA-256 rather than
 the payload itself — the simulated archive serves integrity-checkable
@@ -24,6 +29,7 @@ import asyncio
 import hashlib
 import json
 
+from ..obs.prom import render_prometheus
 from .service import ReconstructionService
 
 __all__ = ["start_frontend"]
@@ -37,6 +43,11 @@ async def _handle_request(
         return {"ok": True, "pong": True}
     if op == "stats":
         return {"ok": True, "stats": service.stats()}
+    if op == "metrics":
+        return {
+            "ok": True,
+            "metrics": render_prometheus(service.metrics.snapshot()),
+        }
     if op == "get":
         name = request.get("name")
         if not isinstance(name, str):

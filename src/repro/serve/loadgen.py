@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.graph import ErasureGraph
 from ..obs.seeding import SeedLike, resolve_rng, spawn_seeds
+from ..obs.trace import trace_span
 from ..storage.archive import TornadoArchive
 from ..storage.device import DeviceArray
 from .errors import DeadlineExceededError, ServiceOverloadedError
@@ -160,18 +161,24 @@ async def run_loadgen(
 
     # Pace against absolute scheduled times: sleep only when ahead of
     # schedule and catch up in bursts when behind, so the offered load
-    # is independent of how fast the service absorbs it.
-    t_start = time.perf_counter()
-    scheduled = t_start
-    tasks = []
-    for gap, name in zip(gaps, picks):
-        scheduled += gap
-        delay = scheduled - time.perf_counter()
-        if delay > 0:
-            await asyncio.sleep(delay)
-        tasks.append(asyncio.create_task(one(name, scheduled)))
-    await asyncio.gather(*tasks)
-    elapsed = time.perf_counter() - t_start
+    # is independent of how fast the service absorbs it.  The umbrella
+    # span makes every request span a child of this run, so a traced
+    # loadgen produces one tree per request under one loadgen root.
+    with trace_span(
+        "loadgen.run", requests=config.requests, rate=config.rate
+    ) as run_span:
+        t_start = time.perf_counter()
+        scheduled = t_start
+        tasks = []
+        for gap, name in zip(gaps, picks):
+            scheduled += gap
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.create_task(one(name, scheduled)))
+        await asyncio.gather(*tasks)
+        elapsed = time.perf_counter() - t_start
+        run_span.set_attr("completed", counts["completed"])
 
     if latencies:
         arr = np.asarray(latencies)

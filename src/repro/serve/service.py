@@ -27,25 +27,38 @@ completion; an expired request resolves with
 
 Observability: the service owns an always-on
 :class:`~repro.obs.MetricsRegistry` (queue-depth gauge, batch-size and
-latency histograms, shed/retry/crash counters) exposed via
-:meth:`ReconstructionService.stats`; on :meth:`close` the snapshot is
-merged into the process-wide registry when one is active, so ``repro
-... --metrics`` runs capture serving metrics alongside everything else.
+request-latency quantile histograms — ``stats()`` reports service-side
+p50/p90/p99 — shed/retry/crash counters); on :meth:`close` the
+snapshot is merged into the process-wide registry when one is active,
+so ``repro ... --metrics`` runs capture serving metrics alongside
+everything else.  When tracing is enabled
+(:func:`repro.obs.trace_capture`), every request gets a span, every
+batch a child span parented under its first request (other coalesced
+requests are linked by trace ID), and every decode attempt — inline or
+pool — a further child carrying a ``retry`` attribute, with worker-side
+spans shipped back across the process boundary.  Each service lifecycle
+additionally emits a :class:`~repro.obs.RunManifest` (config, graph
+hash, engine, seed, final snapshot) to ``manifest_path``, mirroring
+what the profile cache does for cached sweeps.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
 from ..core.decoder import DECODE_ENGINES, make_batch_decoder, resolve_engine
+from ..obs.manifest import RunManifest
 from ..obs.registry import MetricsRegistry, metrics_enabled, registry
+from ..obs.trace import start_span, trace_span, tracer
 from ..resilience.retry import RetryPolicy
 from ..storage.archive import DataLossError, TornadoArchive
 from ..storage.device import DeviceState, TransientUnavailableError
@@ -145,6 +158,7 @@ class _Request:
     submitted_at: float
     deadline_at: float | None = None
     done: bool = field(default=False, compare=False)
+    span: Any = field(default=None, compare=False, repr=False)
 
 
 class ReconstructionService:
@@ -159,6 +173,13 @@ class ReconstructionService:
     clock:
         Injectable monotonic clock used for deadlines, batching, and
         latency metrics — tests drive it deterministically.
+    seed:
+        Provenance-only: recorded in the lifecycle
+        :class:`~repro.obs.RunManifest` (the seed that built the
+        archive fixture); the service itself draws no randomness.
+    manifest_path:
+        Where :meth:`close` writes the lifecycle manifest (JSON).
+        ``None`` keeps it in-memory only (:attr:`manifest`).
     """
 
     def __init__(
@@ -167,10 +188,15 @@ class ReconstructionService:
         config: ServeConfig | None = None,
         *,
         clock: Callable[[], float] = time.monotonic,
+        seed: int | None = None,
+        manifest_path: str | os.PathLike | None = None,
     ):
         self.archive = archive
         self.config = config or ServeConfig()
         self.metrics = MetricsRegistry()
+        self._seed = seed
+        self._manifest_path = manifest_path
+        self.manifest: RunManifest | None = None
         self.plans = PlanCache(self.config.plan_capacity)
         self._clock = clock
         self._batch_key = graph_key(archive.graph)
@@ -207,6 +233,28 @@ class ReconstructionService:
         if self._state != "idle":
             raise ServiceClosedError(f"service already {self._state}")
         self._state = "running"
+        # Lifecycle provenance, mirroring ProfileCache's sidecars: one
+        # manifest per service run, finished (wall time + final
+        # snapshot) on close.
+        cfg = self.config
+        self.manifest = RunManifest.create(
+            "serve",
+            seed=self._seed,
+            config={
+                "queue_limit": cfg.queue_limit,
+                "batch_window": cfg.batch_window,
+                "max_batch": cfg.max_batch,
+                "workers": cfg.workers,
+                "worker_retries": cfg.worker_retries,
+                "default_deadline": cfg.default_deadline,
+                "plan_capacity": cfg.plan_capacity,
+                "decode_engine": cfg.decode_engine,
+            },
+            graph=self.archive.graph.name,
+            graph_hash=self._batch_key,
+            engine=self.decode_engine,
+            objects=len(self.archive.objects),
+        )
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
         return self
 
@@ -226,7 +274,15 @@ class ReconstructionService:
             await asyncio.gather(*list(self._inflight))
 
     async def close(self) -> None:
-        """Drain, release the worker pool, and publish final metrics."""
+        """Drain, release the worker pool, and publish final metrics.
+
+        Publishes three things: the metrics snapshot into the global
+        registry (when one is active), the finished lifecycle
+        :class:`~repro.obs.RunManifest` (saved to ``manifest_path``
+        and, under ``--metrics``, emitted as a ``serve.run_manifest``
+        event), and — when tracing — nothing extra: spans were already
+        recorded as they ended.
+        """
         if self._state == "closed":
             return
         await self.drain()
@@ -234,8 +290,23 @@ class ReconstructionService:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         self._state = "closed"
+        snapshot = self.metrics.snapshot()
+        if self.manifest is not None:
+            finished = self.manifest.finish()
+            self.manifest = replace(
+                finished,
+                extra={**finished.extra, "final_snapshot": snapshot},
+            )
+            if self._manifest_path is not None:
+                path = Path(self._manifest_path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                self.manifest.save(path)
         if metrics_enabled():
-            registry().merge_snapshot(self.metrics.snapshot())
+            registry().merge_snapshot(snapshot)
+            if self.manifest is not None:
+                registry().event(
+                    "serve.run_manifest", **self.manifest.to_dict()
+                )
 
     async def __aenter__(self) -> "ReconstructionService":
         return await self.start()
@@ -285,6 +356,12 @@ class ReconstructionService:
             future=asyncio.get_running_loop().create_future(),
             submitted_at=now,
             deadline_at=None if deadline is None else now + deadline,
+            # Umbrella span for the request's whole lifetime; parented
+            # under the submitter's ambient span (e.g. loadgen.run) but
+            # not activated — it ends in the dispatch loop's context.
+            span=start_span(
+                "serve.request", activate=False, object=name
+            ),
         )
         self._pending += 1
         self.metrics.counter("serve.requests").inc()
@@ -438,6 +515,10 @@ class ReconstructionService:
         request.done = True
         self._pending -= 1
         self.metrics.gauge("serve.queue_depth").set(self._pending)
+        if request.span is not None:
+            request.span.end(
+                outcome="ok" if error is None else type(error).__name__
+            )
         if not request.future.done():
             if error is not None:
                 request.future.set_exception(error)
@@ -446,6 +527,8 @@ class ReconstructionService:
 
     def _expire(self, request: _Request, where: str) -> None:
         self.metrics.counter("serve.deadline_exceeded").inc()
+        if request.span is not None:
+            request.span.set_attr("expired_at", where)
         self._finish(
             request,
             error=DeadlineExceededError(
@@ -475,21 +558,51 @@ class ReconstructionService:
             groups.setdefault(request.name, []).append(request)
         m.counter("serve.coalesced").inc(len(live) - len(groups))
 
+        # The batch span parents under the first request's span; other
+        # coalesced requests from *different* traces are recorded as
+        # links so no request loses its connection to the shared decode
+        # (requests sharing the batch's own trace need no link — they
+        # are siblings in the same tree).
+        own_trace = live[0].span.trace_id if live[0].span else None
+        links = sorted(
+            {
+                r.span.trace_id
+                for r in live[1:]
+                if r.span is not None
+                and r.span.trace_id
+                and r.span.trace_id != own_trace
+            }
+        )
+        batch_span = start_span(
+            "serve.batch",
+            parent=live[0].span if live[0].span else None,
+            activate=False,
+            size=len(live),
+            objects=len(groups),
+        )
+        if links:
+            batch_span.set_attr("links", links)
+
         jobs: dict[str, list[dict]] = {}
         for name, requests in list(groups.items()):
             try:
                 jobs[name] = await self._build_job(name)
             except Exception as exc:
                 m.counter("serve.plan_failures").inc()
+                batch_span.add_event(
+                    "plan_failure", object=name, error=type(exc).__name__
+                )
                 for request in requests:
                     self._finish(request, error=exc)
                 del groups[name]
         if not groups:
+            batch_span.end(error="plan_failure")
             return
         try:
-            results = await self._execute(jobs)
+            results = await self._execute(jobs, batch_span)
         except Exception as exc:
             m.counter("serve.decode_failures").inc()
+            batch_span.end(error=type(exc).__name__)
             for requests in groups.values():
                 for request in requests:
                     self._finish(request, error=exc)
@@ -510,6 +623,7 @@ class ReconstructionService:
                         now - request.submitted_at
                     )
                     self._finish(request, result=data)
+        batch_span.end()
         m.histogram("serve.batch_latency_seconds").observe(
             self._clock() - t0
         )
@@ -586,7 +700,7 @@ class ReconstructionService:
     # ------------------------------------------------------------------
 
     async def _execute(
-        self, jobs: dict[str, list[dict]]
+        self, jobs: dict[str, list[dict]], parent: Any = None
     ) -> dict[str, bytes]:
         names = list(jobs)
         payload = {
@@ -597,29 +711,64 @@ class ReconstructionService:
             "jobs": [jobs[n] for n in names],
         }
         if self.config.workers <= 0:
-            result = decode_jobs(payload)
+            with trace_span(
+                "serve.decode", parent=parent, retry=0, mode="inline"
+            ) as span:
+                ctx = span.context()
+                if ctx is not None:
+                    payload["trace"] = ctx
+                result = decode_jobs(payload)
+            self._ingest_spans(result)
         else:
-            result = await self._execute_pooled(payload)
+            result = await self._execute_pooled(payload, parent)
         self.metrics.merge_snapshot(result["metrics"])
         return dict(zip(names, result["payloads"]))
 
-    async def _execute_pooled(self, payload: dict) -> dict:
+    async def _execute_pooled(
+        self, payload: dict, parent: Any = None
+    ) -> dict:
         loop = asyncio.get_running_loop()
         last_exc: BaseException | None = None
-        for _attempt in range(self.config.worker_retries + 1):
+        for attempt in range(self.config.worker_retries + 1):
             pool = self._ensure_pool()
+            # One span per attempt, all under the same batch (and hence
+            # trace): a crash-retry shows up as a failed retry=0 span
+            # next to the successful retry=1 span, same trace ID.
+            span = start_span(
+                "serve.decode",
+                parent=parent,
+                activate=False,
+                retry=attempt,
+                mode="pool",
+            )
+            ctx = span.context()
+            if ctx is not None:
+                payload["trace"] = ctx
             try:
-                return await loop.run_in_executor(
+                result = await loop.run_in_executor(
                     pool, decode_jobs, payload
                 )
             except BrokenProcessPool as exc:
                 # A worker died mid-batch.  Count it, rebuild the pool,
                 # and re-dispatch: the service degrades, never dies.
+                span.end(error="BrokenProcessPool")
                 last_exc = exc
                 self.metrics.counter("serve.worker_crashes").inc()
                 self._discard_pool(pool)
+            else:
+                span.end()
+                self._ingest_spans(result)
+                return result
         assert last_exc is not None
         raise last_exc
+
+    def _ingest_spans(self, result: dict) -> None:
+        """Adopt span records shipped back from a decode worker."""
+        spans = result.get("spans")
+        if spans:
+            active = tracer()
+            if active is not None:
+                active.ingest(spans)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

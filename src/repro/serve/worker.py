@@ -12,6 +12,15 @@ Keeping the functions at module top level makes them picklable for
 service state means the inline (``workers=0``) path can call them
 directly for deterministic tests.
 
+Trace propagation: the payload optionally carries a ``trace`` context
+(``{"trace_id", "span_id"}``) serialised by the service.  The worker
+rehydrates it into a local, deterministically seeded
+:class:`~repro.obs.trace.Tracer` (IDs derive from the parent context,
+not from ``uuid`` or the pid), wraps the decode in a child span, and
+ships the finished span records back in the result for the parent
+tracer to ingest — so a slow decode in a pool worker still appears in
+the request's span tree.
+
 :func:`crash` is the fault-injection hook: submitting it hard-kills the
 worker process, which surfaces in the parent as ``BrokenProcessPool``
 — exactly the failure the service's pool-rebuild path must absorb.
@@ -25,6 +34,7 @@ from typing import Any
 import numpy as np
 
 from ..obs.registry import MetricsRegistry
+from ..obs.trace import Tracer, context_seed
 
 __all__ = ["crash", "decode_jobs"]
 
@@ -37,9 +47,11 @@ def decode_jobs(payload: dict[str, Any]) -> dict[str, Any]:
     ``jobs`` — one entry per distinct object, each a list of stripe
     dicts with raw ``blocks`` bytes, a ``present`` byte mask, the
     peeling ``steps`` schedule, and the stripe's payload ``length``.
+    An optional ``trace`` context links the work into the dispatching
+    request's trace (see module docstring).
 
-    Returns ``{"payloads": [bytes, ...], "metrics": snapshot}`` with
-    payloads aligned to ``jobs``.
+    Returns ``{"payloads": [bytes, ...], "metrics": snapshot,
+    "spans": [record, ...]}`` with payloads aligned to ``jobs``.
     """
     members = payload["members"]
     data_nodes = list(payload["data_nodes"])
@@ -48,6 +60,18 @@ def decode_jobs(payload: dict[str, Any]) -> dict[str, Any]:
     metrics = MetricsRegistry()
     stripes_decoded = metrics.counter("serve.worker.stripes_decoded")
     xor_steps = metrics.counter("serve.worker.xor_steps")
+
+    ctx = payload.get("trace")
+    tracer = None
+    span = None
+    if ctx is not None:
+        tracer = Tracer(seed=context_seed(ctx, "serve.worker"))
+        span = tracer.start_span(
+            "serve.worker.decode",
+            parent=ctx,
+            activate=False,
+            objects=len(payload["jobs"]),
+        )
 
     payloads: list[bytes] = []
     for job in payload["jobs"]:
@@ -70,7 +94,13 @@ def decode_jobs(payload: dict[str, Any]) -> dict[str, Any]:
             parts.append(data.tobytes()[: stripe["length"]])
             stripes_decoded.inc()
         payloads.append(b"".join(parts))
-    return {"payloads": payloads, "metrics": metrics.snapshot()}
+    if span is not None:
+        span.end(stripes=stripes_decoded.value)
+    return {
+        "payloads": payloads,
+        "metrics": metrics.snapshot(),
+        "spans": tracer.export() if tracer is not None else [],
+    }
 
 
 def crash(_ignored: Any = None) -> None:  # pragma: no cover - kills itself

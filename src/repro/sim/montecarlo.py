@@ -62,6 +62,7 @@ from ..core.decoder import (
 from ..core.graph import ErasureGraph
 from ..obs.registry import MetricsRegistry, capture, registry
 from ..obs.seeding import SeedLike, resolve_rng, spawn_seeds
+from ..obs.trace import Tracer, context_seed, start_span, tracer
 from .results import FailureProfile
 
 __all__ = [
@@ -154,13 +155,30 @@ def _fault_drill(k: int) -> None:
         time.sleep(float(os.environ.get("REPRO_FAULT_HANG_SECS", "30")))
 
 
-def _sweep_cell(args) -> tuple[int, float, float, dict[str, Any] | None]:
-    """Process-pool worker: one (graph, k) cell of a profile sweep."""
-    # Pre-engine task tuples had five fields; tolerate both shapes so
-    # externally constructed tasks keep working.
+def _sweep_cell(args):
+    """Process-pool worker: one (graph, k) cell of a profile sweep.
+
+    Returns ``(k, frac, seconds, snapshot, spans)``.
+    """
+    # Pre-engine task tuples had five fields and pre-trace tuples six;
+    # tolerate every shape so externally constructed tasks keep working.
     graph, k, n_samples, seed_seq, collect_metrics, *rest = args
     engine = rest[0] if rest else "auto"
+    ctx = rest[1] if len(rest) > 1 else None
     _fault_drill(k)
+    cell_tracer = None
+    span = None
+    if ctx is not None:
+        # Worker-local tracer seeded from the sweep span + k, so cell
+        # span IDs are reproducible regardless of worker scheduling.
+        cell_tracer = Tracer(seed=context_seed(ctx, "profile.cell", k))
+        span = cell_tracer.start_span(
+            "profile.cell",
+            parent=ctx,
+            activate=False,
+            k=k,
+            samples=n_samples,
+        )
     # The spawned SeedSequence is passed whole (it pickles fine):
     # reconstructing from `.entropy` alone would drop the spawn_key and
     # hand every cell the same stream.
@@ -180,7 +198,10 @@ def _sweep_cell(args) -> tuple[int, float, float, dict[str, Any] | None]:
         frac = sample_fail_fraction(
             graph, k, n_samples, rng, engine=engine
         )
-    return k, frac, time.perf_counter() - t0, snapshot
+    if span is not None:
+        span.end(frac=frac)
+    spans = cell_tracer.export() if cell_tracer is not None else []
+    return k, frac, time.perf_counter() - t0, snapshot, spans
 
 
 # ----------------------------------------------------------------------
@@ -441,12 +462,24 @@ def profile_graph(
             sum(1 for k in done if k in sample_ks)
         )
 
+    # Sweep-level span: cells (local or pool-side) parent under it, so
+    # a traced sweep reassembles into one tree per profile_graph call.
+    sweep_span = start_span(
+        "profile.sweep",
+        graph=graph.name,
+        engine=engine,
+        cells=len(sample_ks),
+        samples_per_k=samples_per_k,
+    )
+    sweep_ctx = sweep_span.context()
+
     tasks: dict[int, tuple] = {}
     for k, child in zip(sample_ks, children):
         if k in done:
             continue
         tasks[k] = (
-            graph, k, samples_per_k, child, bool(reg.enabled), engine
+            graph, k, samples_per_k, child, bool(reg.enabled), engine,
+            sweep_ctx,
         )
 
     def record_cell(k: int, seconds: float) -> None:
@@ -461,7 +494,8 @@ def profile_graph(
         )
 
     def on_result(result) -> None:
-        k, frac, cell_seconds, snapshot = result
+        # Older 4-tuple results (no spans) are still accepted.
+        k, frac, cell_seconds, snapshot, *extra = result
         fail[k] = frac
         samples[k] = samples_per_k
         if writer is not None:
@@ -470,6 +504,10 @@ def profile_graph(
             record_cell(k, cell_seconds)
             if snapshot is not None:
                 reg.merge_snapshot(snapshot)
+        if extra and extra[0]:
+            active = tracer()
+            if active is not None:
+                active.ingest(extra[0])
 
     uncovered: list[int] = []
     try:
@@ -480,18 +518,40 @@ def profile_graph(
         else:
             reg.gauge("profile.workers").set(1)
             decoder = make_batch_decoder(graph, engine=engine)
-            for k, (graph_, _k, n_samples, seed_seq, _c, _e) in tasks.items():
+            for k, task in tasks.items():
+                graph_, _k, n_samples, seed_seq = task[:4]
                 rng = np.random.default_rng(seed_seq)
                 t_cell = time.perf_counter() if reg.enabled else 0.0
+                # Mint the cell span exactly like a pool worker would
+                # (context-seeded local tracer), so span IDs are
+                # identical at any n_jobs.
+                cell_span = None
+                if sweep_ctx is not None:
+                    cell_tracer = Tracer(
+                        seed=context_seed(sweep_ctx, "profile.cell", k)
+                    )
+                    cell_span = cell_tracer.start_span(
+                        "profile.cell",
+                        parent=sweep_ctx,
+                        activate=False,
+                        k=k,
+                        samples=n_samples,
+                    )
                 fail[k] = sample_fail_fraction(
                     graph_, k, n_samples, rng, decoder=decoder
                 )
+                if cell_span is not None:
+                    cell_span.end(frac=float(fail[k]))
+                    active = tracer()
+                    if active is not None:
+                        active.ingest(cell_tracer.export())
                 samples[k] = n_samples
                 if writer is not None:
                     writer.cell(k, float(fail[k]), n_samples)
                 if reg.enabled:
                     record_cell(k, time.perf_counter() - t_cell)
     finally:
+        sweep_span.end(uncovered=len(uncovered))
         if writer is not None:
             writer.close()
 

@@ -1,0 +1,88 @@
+"""Tests for Prometheus text-format exposition (repro.obs.prom)."""
+
+from repro.obs import MetricsRegistry, render_prometheus
+
+
+def snapshot_with_everything():
+    reg = MetricsRegistry()
+    reg.counter("serve.completed").inc(7)
+    reg.gauge("serve.queue_depth").set(3)
+    h = reg.histogram("serve.request_latency_seconds")
+    for v in (0.001, 0.002, 0.004, 0.008):
+        h.observe(v)
+    return reg.snapshot()
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_histogram_types(self):
+        text = render_prometheus(snapshot_with_everything())
+        assert "# TYPE repro_serve_completed_total counter" in text
+        assert "repro_serve_completed_total 7" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text
+        assert (
+            "# TYPE repro_serve_request_latency_seconds histogram"
+            in text
+        )
+
+    def test_histogram_buckets_cumulative_and_capped(self):
+        text = render_prometheus(snapshot_with_everything())
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith(
+                "repro_serve_request_latency_seconds_bucket"
+            )
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)  # cumulative
+        assert lines[-1].startswith(
+            'repro_serve_request_latency_seconds_bucket{le="+Inf"}'
+        )
+        assert counts[-1] == 4
+        assert "repro_serve_request_latency_seconds_count 4" in text
+        assert "repro_serve_request_latency_seconds_sum" in text
+
+    def test_bucket_bounds_ascend(self):
+        text = render_prometheus(snapshot_with_everything())
+        bounds = []
+        for line in text.splitlines():
+            if '_bucket{le="' in line and "+Inf" not in line:
+                bounds.append(float(line.split('"')[1]))
+        assert bounds == sorted(bounds)
+
+    def test_dotted_names_sanitised(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b-c/d").inc()
+        text = render_prometheus(reg.snapshot())
+        assert "repro_a_b_c_d_total 1" in text
+
+    def test_legacy_bucketless_histogram_renders(self):
+        snap = {
+            "histograms": {
+                "old": {"count": 5, "total": 10.0, "mean": 2.0}
+            }
+        }
+        text = render_prometheus(snap)
+        assert 'repro_old_bucket{le="+Inf"} 5' in text
+        assert "repro_old_sum 10" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+    def test_custom_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        assert "acme_x_total 1" in render_prometheus(
+            reg.snapshot(), prefix="acme_"
+        )
+
+    def test_service_stats_dict_renders_directly(self):
+        # stats() embeds extra keys (state, plan_cache) beside the
+        # snapshot; the renderer must ignore them.
+        snap = snapshot_with_everything()
+        snap["state"] = "running"
+        snap["plan_cache"] = {"hits": 1}
+        text = render_prometheus(snap)
+        assert "repro_serve_completed_total 7" in text
+        assert "running" not in text

@@ -1,5 +1,6 @@
 """Unit tests for the metrics registry (counters, timers, events)."""
 
+import math
 import threading
 import time
 
@@ -295,3 +296,148 @@ class TestInstrumentedPaths:
         assert reg.counter("storage.spin_ups").value == 1
         assert reg.counter("storage.device_failures").value == 1
         assert reg.counter("storage.rebuilds").value == 1
+
+
+class TestQuantileHistograms:
+    """Log-spaced bucket quantiles (p50/p90/p99) and lossless merges."""
+
+    def test_quantiles_within_documented_tolerance(self):
+        import numpy as np
+
+        from repro.obs.registry import BUCKET_GAMMA, Histogram
+
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(0.5, 50.0, size=10_000)
+        h = Histogram("h")
+        for v in samples:
+            h.observe(float(v))
+        tol = math.sqrt(BUCKET_GAMMA) - 1  # documented bound (~2.5%)
+        for q in (0.50, 0.90, 0.99):
+            exact = float(np.quantile(samples, q))
+            assert abs(h.quantile(q) - exact) / exact <= tol
+
+    def test_quantile_clamped_to_observed_range(self):
+        from repro.obs.registry import Histogram
+
+        h = Histogram("h")
+        h.observe(3.0)
+        assert h.quantile(0.0) == 3.0
+        assert h.quantile(1.0) == 3.0
+
+    def test_quantile_rejects_out_of_range(self):
+        from repro.obs.registry import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_summary_carries_percentiles_and_buckets(self):
+        from repro.obs.registry import Histogram
+
+        h = Histogram("h")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert {"p50", "p90", "p99", "buckets", "sq_total"} <= set(s)
+        assert sum(s["buckets"].values()) == 3
+
+    def test_zero_and_negative_values_bucket(self):
+        from repro.obs.registry import Histogram
+
+        h = Histogram("h")
+        for v in (-2.0, 0.0, 2.0):
+            h.observe(v)
+        assert "z" in h.buckets
+        assert any(k.startswith("n") for k in h.buckets)
+        assert h.quantile(0.5) == 0.0
+
+    def test_merge_is_bucketwise_lossless(self):
+        import numpy as np
+
+        from repro.obs.registry import Histogram
+
+        rng = np.random.default_rng(1)
+        a, b, whole = Histogram("a"), Histogram("b"), Histogram("w")
+        for i, v in enumerate(rng.exponential(2.0, size=2_000)):
+            (a if i % 2 else b).observe(float(v))
+            whole.observe(float(v))
+        merged = Histogram("m")
+        merged.merge_summary(a.summary())
+        merged.merge_summary(b.summary())
+        assert merged.buckets == whole.buckets
+        assert merged.count == whole.count
+        assert merged.quantile(0.99) == whole.quantile(0.99)
+        assert merged.sq_total == pytest.approx(whole.sq_total)
+
+    def test_merge_count_one_summary_has_zero_stddev(self):
+        # A count==1 summary reports stddev 0.0; merging it must
+        # reconstruct sq_total = mean**2, not poison the variance.
+        from repro.obs.registry import Histogram
+
+        one = Histogram("one")
+        one.observe(5.0)
+        s = one.summary()
+        assert s["stddev"] == 0.0
+        legacy = {k: v for k, v in s.items() if k != "sq_total"}
+        m = Histogram("m")
+        m.merge_summary(legacy)
+        assert m.sq_total == pytest.approx(25.0)
+        assert m.stddev == 0.0
+
+    def test_merge_ignores_nonfinite_moments(self):
+        from repro.obs.registry import Histogram
+
+        m = Histogram("m")
+        m.observe(1.0)
+        m.merge_summary(
+            {
+                "count": 3,
+                "total": math.inf,
+                "sq_total": math.nan,
+                "min": -math.inf,
+                "max": math.inf,
+            }
+        )
+        assert m.count == 4
+        assert math.isfinite(m.total)
+        assert math.isfinite(m.sq_total)
+        assert m.min == 1.0 and m.max == 1.0
+
+    def test_merge_legacy_bucketless_summary(self):
+        # Pre-bucket summaries still merge; quantiles fall back to the
+        # mean when only legacy mass exists.
+        from repro.obs.registry import Histogram
+
+        m = Histogram("m")
+        m.merge_summary(
+            {"count": 4, "total": 8.0, "mean": 2.0, "stddev": 0.0,
+             "min": 1.0, "max": 3.0}
+        )
+        assert m.count == 4
+        assert m.quantile(0.5) == 2.0  # mean fallback
+
+    def test_bucket_bounds_invert_keys(self):
+        from repro.obs.registry import (
+            _bucket_key,
+            bucket_midpoint,
+            bucket_upper_bound,
+        )
+
+        for v in (0.003, 0.7, 1.0, 42.0, -0.9, -17.0):
+            key = _bucket_key(v)
+            mid = bucket_midpoint(key)
+            assert _bucket_key(mid) == key
+            if v > 0:
+                assert v <= bucket_upper_bound(key)
+            elif v < 0:
+                assert v <= bucket_upper_bound(key) or math.isclose(
+                    v, bucket_upper_bound(key)
+                )
+
+    def test_nonfinite_observations_counted_but_unbucketed(self):
+        from repro.obs.registry import Histogram
+
+        h = Histogram("h")
+        h.observe(math.inf)
+        h.observe(2.0)
+        assert h.count == 2
+        assert sum(h.buckets.values()) == 1

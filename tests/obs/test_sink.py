@@ -59,3 +59,44 @@ class TestJsonlRoundTrip:
         reg.sink.close()
         assert reg.events == []  # buffered nowhere else
         assert read_jsonl(path)[0]["x"] == 1
+
+
+class TestSinkThreadSafety:
+    def test_concurrent_emits_never_tear_lines(self, tmp_path):
+        """8 threads x 500 emits: every line must parse as standalone
+        JSON — the lock serialises writes so lines never interleave."""
+        import json
+        import threading
+
+        from repro.obs import JsonlSink
+
+        path = tmp_path / "stress.jsonl"
+        sink = JsonlSink(path)
+        n_threads, n_events = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid):
+            barrier.wait()
+            for i in range(n_events):
+                sink.emit(
+                    {"event": "stress", "tid": tid, "i": i,
+                     "pad": "x" * 200}
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+
+        seen = set()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                record = json.loads(line)  # raises on a torn line
+                seen.add((record["tid"], record["i"]))
+        assert len(seen) == n_threads * n_events
+        assert sink.emitted == n_threads * n_events

@@ -131,3 +131,44 @@ class TestLoss:
         assert not report.survived
         assert report.lost_objects
         assert report.loss_events
+
+
+class TestCampaignTracing:
+    def test_campaign_span_tree_and_fault_events(self, small_tornado):
+        from repro.obs.analyze import build_trace_trees, span_records
+        from repro.obs.trace import Tracer, trace_capture
+
+        with trace_capture(Tracer(seed=11)) as t:
+            report = run_once(small_tornado)
+
+        roots, orphans = build_trace_trees(span_records(t.records))
+        assert orphans == []
+        (root,) = roots
+        assert root.name == "resilience.campaign"
+        assert root.attrs["survived"] == report.survived
+        child_names = {c.name for c in root.children}
+        assert "resilience.read_probe" in child_names
+        assert "resilience.scrub" in child_names
+        # Injected faults surface as point events on the campaign span.
+        fault_events = [
+            e
+            for e in root.record["events"]
+            if e["name"] == "resilience.fault"
+        ]
+        # Every counted fault (recoveries included) appears as an event.
+        assert len(fault_events) == sum(report.fault_counts.values())
+        kinds = {e["kind"] for e in fault_events}
+        assert kinds <= set(report.fault_counts)
+
+    def test_tracing_does_not_perturb_results(self, small_tornado):
+        from repro.obs.trace import Tracer, trace_capture
+
+        baseline = run_once(small_tornado)
+        with trace_capture(Tracer(seed=11)):
+            traced = run_once(small_tornado)
+        assert traced.fault_counts == baseline.fault_counts
+        assert traced.survived == baseline.survived
+        assert traced.lost_objects == baseline.lost_objects
+        assert (
+            traced.repair_queue_depth == baseline.repair_queue_depth
+        )

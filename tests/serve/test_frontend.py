@@ -98,3 +98,22 @@ class TestFrontend:
         assert replies[1]["sha256"] == hashlib.sha256(
             expected["object-001"]
         ).hexdigest()
+
+    def test_metrics_op_renders_prometheus_text(self):
+        _, _, (get_reply, metrics_reply) = asyncio.run(
+            _roundtrip(
+                [
+                    json.dumps({"op": "get", "name": "object-000"}).encode(),
+                    json.dumps({"op": "metrics"}).encode(),
+                ]
+            )
+        )
+        assert get_reply["ok"] is True
+        assert metrics_reply["ok"] is True
+        text = metrics_reply["metrics"]
+        assert "# TYPE repro_serve_completed_total counter" in text
+        assert "repro_serve_completed_total 1" in text
+        # Request latency surfaces as a cumulative-bucket histogram.
+        assert "# TYPE repro_serve_request_latency_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_serve_request_latency_seconds_count 1" in text

@@ -122,7 +122,7 @@ class TestSweepCellWorker:
         from repro.sim.montecarlo import _sweep_cell
 
         seed_seq = np.random.SeedSequence(1234)
-        k, frac, elapsed, snapshot = _sweep_cell(
+        k, frac, elapsed, snapshot, spans = _sweep_cell(
             (small_tornado, 8, 500, seed_seq, False)
         )
         rng = np.random.default_rng(np.random.SeedSequence(1234))
@@ -131,15 +131,67 @@ class TestSweepCellWorker:
         assert frac == direct
         assert elapsed >= 0
         assert snapshot is None
+        assert spans == []  # no trace context shipped -> no spans
 
     def test_worker_collects_metrics_snapshot(self, small_tornado):
         from repro.sim.montecarlo import _sweep_cell
 
         seed_seq = np.random.SeedSequence(1234)
-        *_, snapshot = _sweep_cell(
+        k, frac, elapsed, snapshot, spans = _sweep_cell(
             (small_tornado, 8, 500, seed_seq, True)
         )
         assert snapshot is not None
         assert any(
             name.startswith("decoder.") for name in snapshot["counters"]
+        )
+
+
+class TestSweepTracing:
+    """Trace propagation through profile_graph's sequential and pooled
+    sweep paths: same tree shape and IDs at every worker count."""
+
+    def _traced_records(self, graph, n_jobs, seed=3):
+        from repro.obs.trace import Tracer, trace_capture
+
+        with trace_capture(Tracer(seed=seed)) as t:
+            profile_graph(
+                graph, samples_per_k=50, exact_upto=2, n_jobs=n_jobs
+            )
+        return t.records
+
+    def test_sequential_sweep_tree(self, small_tornado):
+        from repro.obs.analyze import build_trace_trees, span_records
+
+        records = self._traced_records(small_tornado, n_jobs=1)
+        roots, orphans = build_trace_trees(span_records(records))
+        assert orphans == []
+        (root,) = roots
+        assert root.name == "profile.sweep"
+        assert root.attrs["graph"] == small_tornado.name
+        cells = [c for c in root.children if c.name == "profile.cell"]
+        assert len(cells) == root.attrs["cells"]
+        for cell in cells:
+            assert 0.0 <= cell.attrs["frac"] <= 1.0
+
+    def test_parallel_sweep_matches_sequential_ids(self, small_tornado):
+        sequential = {
+            (r["name"], r["trace_id"], r["span_id"], r["parent_id"])
+            for r in self._traced_records(small_tornado, n_jobs=1)
+        }
+        parallel = {
+            (r["name"], r["trace_id"], r["span_id"], r["parent_id"])
+            for r in self._traced_records(small_tornado, n_jobs=2)
+        }
+        assert sequential == parallel
+
+    def test_untraced_sweep_identical_profile(self, small_tornado):
+        from repro.obs.trace import Tracer, trace_capture
+
+        plain = profile_graph(small_tornado, samples_per_k=50, seed=3)
+        with trace_capture(Tracer(seed=3)):
+            traced = profile_graph(
+                small_tornado, samples_per_k=50, seed=3
+            )
+        np.testing.assert_array_equal(
+            plain.fail_fraction, traced.fail_fraction
         )

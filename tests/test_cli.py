@@ -321,3 +321,171 @@ class TestRender:
         out = tmp_path / "clean.svg"
         assert main(["render", graph_file, "--out", str(out)]) == 0
         assert out.exists()
+
+
+class TestTraceFlag:
+    def test_loadgen_writes_trace_and_manifest(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        metrics = tmp_path / "m.jsonl"
+        trace = tmp_path / "t.jsonl"
+        code = main(
+            [
+                "loadgen",
+                "--requests",
+                "10",
+                "--rate",
+                "2000",
+                "--objects",
+                "1",
+                "--seed",
+                "3",
+                "--metrics",
+                str(metrics),
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        spans = [
+            e for e in read_jsonl(trace) if e["event"] == "trace.span"
+        ]
+        names = {s["name"] for s in spans}
+        assert {"loadgen.run", "serve.request", "serve.batch"} <= names
+        # Service lifecycle manifest lands next to the metrics file.
+        manifest = tmp_path / "m.jsonl.manifest.json"
+        assert manifest.exists()
+        import json
+
+        assert json.loads(manifest.read_text())["command"] == "serve"
+        # Summary reports service-side quantiles alongside loadgen's.
+        assert "service-side latency" in capsys.readouterr().out
+
+    def test_shared_path_interleaves_metrics_and_spans(
+        self, graph_file, tmp_path, capsys
+    ):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "both.jsonl"
+        code = main(
+            [
+                "profile",
+                graph_file,
+                "--samples",
+                "100",
+                "--metrics",
+                str(path),
+                "--trace",
+                str(path),
+            ]
+        )
+        assert code == 0
+        kinds = {e["event"] for e in read_jsonl(path)}
+        assert "trace.span" in kinds
+        assert "run_manifest" in kinds
+
+    def test_env_var_enables_tracing(
+        self, graph_file, tmp_path, capsys, monkeypatch
+    ):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "env-trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        assert main(["profile", graph_file, "--samples", "50"]) == 0
+        spans = read_jsonl(trace)
+        assert any(s["name"] == "profile.sweep" for s in spans)
+
+    def test_trace_ids_deterministic_across_runs(
+        self, graph_file, tmp_path, capsys
+    ):
+        from repro.obs import read_jsonl
+
+        def run_ids(path):
+            assert (
+                main(
+                    [
+                        "profile",
+                        graph_file,
+                        "--samples",
+                        "50",
+                        "--seed",
+                        "9",
+                        "--trace",
+                        str(path),
+                    ]
+                )
+                == 0
+            )
+            return [
+                (e["name"], e["trace_id"], e["span_id"])
+                for e in read_jsonl(path)
+            ]
+
+        first = run_ids(tmp_path / "a.jsonl")
+        second = run_ids(tmp_path / "b.jsonl")
+        assert first and first == second
+
+
+class TestObsVerbs:
+    @pytest.fixture()
+    def trace_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "trace.jsonl"
+        code = main(
+            [
+                "loadgen",
+                "--requests",
+                "8",
+                "--rate",
+                "2000",
+                "--objects",
+                "1",
+                "--seed",
+                "4",
+                "--trace",
+                str(path),
+            ]
+        )
+        assert code == 0
+        return str(path)
+
+    def test_trace_tree_orphan_free(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["obs", "trace-tree", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "loadgen.run" in out
+        assert "serve.request" in out
+        assert "orphaned spans: none" in out
+
+    def test_trace_tree_filters_by_trace_id(self, trace_file, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                ["obs", "trace-tree", trace_file, "--trace-id", "feed"]
+            )
+            == 0
+        )
+        assert "no matching traces" in capsys.readouterr().out
+
+    def test_report_renders_phase_table(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["obs", "report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out
+        assert "serve.request" in out
+        assert "p99" in out
+
+    def test_tail_filters_by_kind(self, trace_file, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                ["obs", "tail", trace_file, "--kind", "trace.span", "-n", "5"]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(lines) <= 5
+        assert all("trace.span" in line for line in lines)
+
+    def test_missing_file_exits_1(self, capsys):
+        assert main(["obs", "report", "/no/such/file.jsonl"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
