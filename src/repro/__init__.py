@@ -17,7 +17,11 @@ Archival Storage" (HPDC 2006).  Subpackages:
   read retry policy, composable fault plans.
 * :mod:`repro.rs` — Reed-Solomon baseline codec.
 * :mod:`repro.serve` — async reconstruction serving: micro-batching,
-  plan caching, backpressure, deterministic load generation.
+  plan caching, backpressure, deterministic load generation, the
+  versioned wire protocol, and the blocking clients.
+* :mod:`repro.cluster` — distributed archive cluster: coordinator /
+  storage-node split over the wire protocol, consistent-hash
+  placement, cross-node repair, multi-process load driving.
 * :mod:`repro.analysis` — tables, ASCII figures, profile caching.
 * :mod:`repro.obs` — metrics, causal tracing, telemetry analysis, run
   manifests, unified seeding.
@@ -37,6 +41,7 @@ deep module paths, which may move between releases::
 
 from . import (
     analysis,
+    cluster,
     core,
     federation,
     graphs,
@@ -48,6 +53,12 @@ from . import (
     serve,
     sim,
     storage,
+)
+from .cluster import (
+    ClusterCoordinator,
+    HashRing,
+    StorageNode,
+    run_cluster_loadgen,
 )
 from .analysis import ProfileCache, default_cache
 from .core import (
@@ -77,7 +88,9 @@ from .obs import (
 )
 from .resilience import FaultPlan, RetryPolicy, run_campaign
 from .serve import (
+    ClusterClient,
     LoadGenConfig,
+    ReconstructClient,
     ReconstructionService,
     ServeConfig,
     run_loadgen,
@@ -96,16 +109,21 @@ __version__ = "1.1.0"
 __all__ = [
     "BatchPeelingDecoder",
     "BitsetBatchDecoder",
+    "ClusterClient",
+    "ClusterCoordinator",
     "ErasureGraph",
     "FailureProfile",
     "FaultPlan",
+    "HashRing",
     "LoadGenConfig",
     "MetricsRegistry",
     "ProfileCache",
+    "ReconstructClient",
     "ReconstructionService",
     "RetryPolicy",
     "RunManifest",
     "ServeConfig",
+    "StorageNode",
     "TornadoArchive",
     "TornadoCodec",
     "Tracer",
@@ -114,6 +132,7 @@ __all__ = [
     "analysis",
     "analyze_worst_case",
     "capture",
+    "cluster",
     "core",
     "default_cache",
     "federation",
@@ -133,6 +152,7 @@ __all__ = [
     "resolve_rng",
     "rs",
     "run_campaign",
+    "run_cluster_loadgen",
     "run_loadgen",
     "run_mission",
     "save_graphml",

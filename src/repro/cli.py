@@ -22,8 +22,14 @@ commands:
   the JSON report);
 * ``repro obs`` — analyse telemetry JSONL offline: ``obs tail`` (last
   events), ``obs report`` (per-phase latency table with p50/p90/p99),
-  ``obs trace-tree`` (reassembled span trees; exits 1 on orphaned
-  spans, which is what CI's obs-smoke asserts).
+  ``obs trace-tree`` (reassembled span trees from one or more files —
+  several files stitch a cluster-wide tree; exits 1 on orphaned
+  spans, which is what CI's obs-smoke and cluster-smoke assert);
+* ``repro cluster`` — the distributed archive: ``cluster coordinator``
+  and ``cluster node`` run the daemons, ``cluster status`` inspects a
+  running cluster, and ``cluster loadgen`` spawns a whole cluster,
+  drives it under load, kills a node mid-run, repairs, rejoins, and
+  verifies zero data loss.
 
 Exit codes are consistent across subcommands: ``0`` success, ``1``
 operational failure (missing/corrupt input files, data loss, service
@@ -352,12 +358,129 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-tree",
         help="reassemble and print span trees (flags orphaned spans)",
     )
-    q.add_argument("file", help="JSONL trace file")
+    q.add_argument(
+        "files",
+        nargs="+",
+        help="JSONL trace files (several stitch one cluster-wide tree)",
+    )
     q.add_argument(
         "--trace-id",
         default=None,
         help="show only the trace with this ID (prefix accepted)",
     )
+
+    p = sub.add_parser(
+        "cluster",
+        help="distributed archive cluster (coordinator / storage nodes)",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    q = cluster_sub.add_parser(
+        "coordinator",
+        help="run the cluster coordinator daemon",
+        parents=[common],
+    )
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed; default 0)")
+    q.add_argument(
+        "--graph",
+        default=None,
+        help="GraphML file (default: catalog Tornado Graph 3)",
+    )
+    q.add_argument("--block-size", type=int, default=512,
+                   help="bytes per stored block (default 512)")
+    q.add_argument("--plan-capacity", type=int, default=256,
+                   help="LRU capacity of the peeling-plan cache")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop after this long (default: run until interrupted)",
+    )
+
+    q = cluster_sub.add_parser(
+        "node",
+        help="run one storage-node daemon",
+        parents=[common],
+    )
+    q.add_argument("--id", required=True, help="node identifier")
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed; default 0)")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="HOST:PORT",
+        help="self-register with this coordinator on startup",
+    )
+    q.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="per-node fault plan; its transient-outage specs drive "
+        "this node's availability process",
+    )
+    q.add_argument(
+        "--step-interval",
+        type=float,
+        default=0.0,
+        help="advance the fault process every this many seconds "
+        "(0 = only via node.admin step RPCs; default 0)",
+    )
+    q.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop after this long (default: run until interrupted)",
+    )
+
+    q = cluster_sub.add_parser(
+        "status",
+        help="print a coordinator's cluster-wide status as JSON",
+    )
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, required=True)
+
+    q = cluster_sub.add_parser(
+        "loadgen",
+        help="spawn a whole cluster, load it, kill a node, repair, verify",
+        parents=[common],
+    )
+    q.add_argument("--nodes", type=int, default=3,
+                   help="storage-node processes (default 3)")
+    q.add_argument("--objects", type=int, default=6)
+    q.add_argument("--object-size", type=int, default=4096)
+    q.add_argument("--block-size", type=int, default=512)
+    q.add_argument("--requests", type=int, default=60)
+    q.add_argument("--rate", type=float, default=100.0,
+                   help="open-loop arrival rate, req/s (default 100)")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--graph",
+        default=None,
+        help="GraphML file passed to the coordinator",
+    )
+    q.add_argument(
+        "--no-kill",
+        action="store_true",
+        help="skip the mid-run node kill",
+    )
+    q.add_argument(
+        "--no-rejoin",
+        action="store_true",
+        help="leave the killed node dead instead of rejoining it",
+    )
+    q.add_argument(
+        "--trace-dir",
+        default=None,
+        help="directory for per-process trace files "
+        "(coordinator.jsonl; pair with --trace for the driver's own)",
+    )
+    q.add_argument("--out", default=None,
+                   help="write the cluster report as JSON to this path")
 
     return parser
 
@@ -720,7 +843,12 @@ def _cmd_obs(args) -> int:
         print(format_phase_report(phase_stats(events)))
         return 0
     if args.obs_command == "trace-tree":
-        spans = span_records(load_events(args.file))
+        # Several files stitch into one forest: cluster runs write one
+        # trace file per process, and spans parent across them.
+        events = []
+        for path in args.files:
+            events.extend(load_events(path))
+        spans = span_records(events)
         roots, orphans = build_trace_trees(spans)
         print(
             render_trace_tree(roots, orphans, trace_id=args.trace_id)
@@ -730,6 +858,189 @@ def _cmd_obs(args) -> int:
         # operator would run.
         return 1 if orphans else 0
     raise UsageError(f"unknown obs command {args.obs_command!r}")
+
+
+def _cluster_graph(args):
+    if args.graph:
+        from .core import load_graphml
+
+        return load_graphml(args.graph)
+    from .graphs import tornado_catalog_graph
+
+    return tornado_catalog_graph(3)
+
+
+def _ready_line(role: str, host: str, port: int) -> None:
+    """The machine-readable handshake cluster drivers wait for."""
+    import json
+
+    print(
+        json.dumps(
+            {
+                "event": "cluster.ready",
+                "role": role,
+                "host": host,
+                "port": port,
+            }
+        ),
+        flush=True,
+    )
+
+
+async def _daemon_wait(max_seconds) -> None:
+    import asyncio
+
+    if max_seconds is not None:
+        await asyncio.sleep(max_seconds)
+    else:
+        await asyncio.Event().wait()
+
+
+def _cmd_cluster_coordinator(args) -> int:
+    import asyncio
+
+    from .cluster import ClusterCoordinator, start_coordinator
+
+    coordinator = ClusterCoordinator(
+        _cluster_graph(args),
+        block_size=args.block_size,
+        plan_capacity=args.plan_capacity,
+    )
+
+    async def run() -> int:
+        server = await start_coordinator(
+            coordinator, args.host, args.port
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        _ready_line("coordinator", host, port)
+        try:
+            await _daemon_wait(args.max_seconds)
+        finally:
+            server.close()
+            await server.wait_closed()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+
+
+def _cmd_cluster_node(args) -> int:
+    import asyncio
+
+    from .cluster import StorageNode, start_storage_node
+    from .resilience import FaultPlan
+
+    plan = FaultPlan.load(args.faults) if args.faults else None
+    node = StorageNode(args.id, seed=args.seed, fault_plan=plan)
+
+    async def run() -> int:
+        server = await start_storage_node(node, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        if args.coordinator:
+            from .serve import ClusterClient
+
+            try:
+                chost, cport = args.coordinator.rsplit(":", 1)
+            except ValueError:
+                raise UsageError(
+                    "--coordinator must look like HOST:PORT"
+                ) from None
+            client = ClusterClient(chost, int(cport))
+            try:
+                await asyncio.to_thread(
+                    client.join, node.node_id, host, port
+                )
+            finally:
+                await asyncio.to_thread(client.close)
+        _ready_line("node", host, port)
+
+        async def step_forever() -> None:
+            while True:
+                await asyncio.sleep(args.step_interval)
+                node.step()
+
+        stepper = (
+            asyncio.create_task(step_forever())
+            if args.step_interval > 0
+            else None
+        )
+        try:
+            await _daemon_wait(args.max_seconds)
+        finally:
+            if stepper is not None:
+                stepper.cancel()
+            server.close()
+            await server.wait_closed()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+
+
+def _cmd_cluster_status(args) -> int:
+    import json
+
+    from .serve import ClusterClient
+
+    with ClusterClient(args.host, args.port) as client:
+        status = client.status()
+    print(json.dumps(status, indent=2, sort_keys=True))
+    dead = [
+        node_id
+        for node_id, entry in status["nodes"].items()
+        if not entry["alive"]
+    ]
+    if dead:
+        print(f"dead nodes: {', '.join(dead)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cluster_loadgen(args) -> int:
+    import json
+
+    from .cluster import ClusterLoadConfig, run_cluster_loadgen
+
+    if args.requests < 1:
+        raise UsageError("--requests must be positive")
+    if args.rate <= 0:
+        raise UsageError("--rate must be positive")
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+    config = ClusterLoadConfig(
+        nodes=args.nodes,
+        objects=args.objects,
+        object_size=args.object_size,
+        block_size=args.block_size,
+        requests=args.requests,
+        rate=args.rate,
+        seed=args.seed,
+        kill_node=not args.no_kill,
+        rejoin=not args.no_rejoin,
+        graph=args.graph,
+        trace_dir=args.trace_dir,
+    )
+    report = run_cluster_loadgen(config)
+    print(report.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    return 1 if report.data_loss else 0
+
+
+def _cmd_cluster(args) -> int:
+    handlers = {
+        "coordinator": _cmd_cluster_coordinator,
+        "node": _cmd_cluster_node,
+        "status": _cmd_cluster_status,
+        "loadgen": _cmd_cluster_loadgen,
+    }
+    return handlers[args.cluster_command](args)
 
 
 def _cmd_render(args) -> int:
@@ -756,6 +1067,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "obs": _cmd_obs,
+    "cluster": _cmd_cluster,
     "render": _cmd_render,
 }
 
@@ -824,6 +1136,15 @@ def _run_command(args) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # `cluster loadgen --trace-dir D` should capture the driver's own
+    # client spans alongside the children's files, so one trace-tree
+    # invocation over D/*.jsonl stitches the whole cluster.
+    if (
+        getattr(args, "trace_dir", None)
+        and not getattr(args, "trace", None)
+    ):
+        os.makedirs(args.trace_dir, exist_ok=True)
+        args.trace = os.path.join(args.trace_dir, "driver.jsonl")
     try:
         return _run_command(args)
     except UsageError as exc:

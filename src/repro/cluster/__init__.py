@@ -1,0 +1,38 @@
+"""Distributed archive cluster: coordinator/storage-node split.
+
+The single-process serving stack (:mod:`repro.serve`) reconstructs
+objects from a device array it owns.  This package splits that stack
+over processes: storage *nodes* (:mod:`repro.cluster.node`) each hold
+a flat block store behind the shared line-JSON protocol, and one
+*coordinator* (:mod:`repro.cluster.coordinator`) owns the erasure
+graph, placement (a consistent-hash ring, :mod:`repro.cluster.ring`),
+object manifests, and the plan cache — serving reconstruction by
+bulk-fetching surviving blocks over TCP and peeling around whatever is
+dark or dead.  :mod:`repro.cluster.driver` spawns and exercises a
+whole cluster (kill a node, repair, rejoin) as one seeded run.
+"""
+
+from .coordinator import (
+    ClusterCoordinator,
+    ClusterManifest,
+    start_coordinator,
+)
+from .driver import (
+    ClusterLoadConfig,
+    ClusterLoadReport,
+    run_cluster_loadgen,
+)
+from .node import StorageNode, start_storage_node
+from .ring import HashRing
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterLoadConfig",
+    "ClusterLoadReport",
+    "ClusterManifest",
+    "HashRing",
+    "StorageNode",
+    "run_cluster_loadgen",
+    "start_coordinator",
+    "start_storage_node",
+]

@@ -1,0 +1,770 @@
+"""Cluster coordinator: object plane over remote storage nodes.
+
+The coordinator owns everything global — the erasure graph, the
+codec, object manifests, the placement ring, and the
+:class:`~repro.serve.plancache.PlanCache` — while the bytes live on
+storage-node processes (:mod:`repro.cluster.node`).  ``cluster.put``
+encodes an object into stripes and places each block; ``cluster.get``
+bulk-fetches surviving blocks from the live owners, treats everything
+else (dead node, transient node outage, vanished block) as the
+stripe's erasure mask, plans once through the shared cache, and
+replays the XOR schedule — degraded reads over TCP instead of over a
+device array.
+
+Placement is consistent hashing at *stripe* granularity with
+code-aware striding inside the stripe: the ring picks each stripe's
+anchor member, and graph nodes then stride round-robin across the
+membership (the cluster-level analogue of
+:func:`~repro.storage.stripe.rotated_placement`).  Striding is what
+makes node loss survivable: losing one of N members erases every N-th
+graph node of a stripe — a mask the catalog graphs decode for every
+anchor and phase at N >= 3 — whereas hashing each block independently
+would make it a *random* third of the stripe, which the same graphs
+fail to decode a third of the time.  The placement each stripe was
+written with is recorded in its manifest, so reads stay correct while
+membership drifts; ``repair()`` re-stripes onto the current membership
+and updates the records.
+
+Fault semantics mirror the single-process archive:
+
+* a node that answers ``unavailable`` is in a *transient outage* — its
+  blocks are intact and excluded from this read only;
+* a node that cannot be reached is *down* — possibly dead, and
+  ``cluster.repair`` will re-derive its blocks from the survivors and
+  re-home them onto the current ring;
+* a stripe short of decodable blocks raises
+  :class:`~repro.storage.archive.DataLossError` (wire code
+  ``data_loss``) — never a silent wrong answer.
+
+``repair()`` is also the re-shard pass: after membership changes
+(``cluster.join`` / ``cluster.leave``) it moves every block whose ring
+owner changed and rebuilds every block that no live node holds.  All
+cross-node repair traffic is metered as ``cluster.repair.bytes``
+(total, plus ``cluster.repair.bytes.<node_id>`` attributed to the
+receiving node) — the repair-bandwidth metric the archival-storage
+literature prices nodes by.
+
+Tracing: request handlers run under the caller's shipped context, node
+RPCs get child spans whose contexts travel in the RPC frames, and span
+records the nodes ship back are ingested here — so one coordinator
+trace file holds the full coordinator+node half of the cluster-wide
+span tree, parented under the client's spans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.codec import TornadoCodec
+from ..core.graph import ErasureGraph
+from ..obs.registry import registry
+from ..obs.trace import start_span, tracer, trace_span, use_context
+from ..serve.lineserver import start_line_server
+from ..serve.plancache import PlanCache
+from ..serve.protocol import (
+    AckResponse,
+    BlockDeleteRequest,
+    BlockFetchRequest,
+    BlockListRequest,
+    BlockPutRequest,
+    ClusterGetRequest,
+    ClusterJoinRequest,
+    ClusterLeaveRequest,
+    ClusterPutRequest,
+    ClusterRepairRequest,
+    ClusterStatusRequest,
+    Envelope,
+    ErrorResponse,
+    GetRequest,
+    MetricsRequest,
+    MetricsResponse,
+    NodeStatsRequest,
+    ObjectInfoResponse,
+    PingRequest,
+    PongResponse,
+    ProtocolError,
+    Request,
+    Response,
+    StatusResponse,
+    encode_request,
+    parse_response,
+)
+from ..obs.prom import render_prometheus
+from ..storage.archive import DataLossError
+from ..storage.blockstore import block_key
+from ..storage.device import TransientUnavailableError
+from .ring import HashRing
+
+__all__ = ["ClusterCoordinator", "ClusterManifest", "start_coordinator"]
+
+
+@dataclass(frozen=True)
+class ClusterStripe:
+    """One stored stripe: index, framing, and recorded placement.
+
+    ``placement[j]`` is the node id holding graph node ``j``'s block —
+    the membership striding in force when the stripe was last written
+    or repaired.  Reads trust the record, not the current ring, so
+    membership changes never corrupt reads that race a repair.
+    """
+
+    index: int
+    payload_length: int
+    placement: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ClusterManifest:
+    """Everything the coordinator must remember about one object."""
+
+    name: str
+    size: int
+    sha256: str
+    stripes: tuple[ClusterStripe, ...]
+
+
+@dataclass
+class NodeLink:
+    """One registered storage node and its (lazy) RPC connection."""
+
+    node_id: str
+    host: str
+    port: int
+    alive: bool = True
+    reader: asyncio.StreamReader | None = None
+    writer: asyncio.StreamWriter | None = None
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    _next_id: int = 0
+
+
+class NodeDownError(ConnectionError):
+    """A storage node could not be reached (distinct from an outage)."""
+
+
+class ClusterCoordinator:
+    """Placement, reconstruction, and repair over remote block stores."""
+
+    def __init__(
+        self,
+        graph: ErasureGraph,
+        *,
+        block_size: int = 4096,
+        plan_capacity: int = 256,
+    ):
+        self.graph = graph
+        self.codec = TornadoCodec(graph, block_size)
+        self.plans = PlanCache(plan_capacity)
+        self.ring = HashRing()
+        self.nodes: dict[str, NodeLink] = {}
+        self.manifests: dict[str, ClusterManifest] = {}
+        self._next_stripe = 0
+        self._mutex = asyncio.Lock()
+        # Repair-bandwidth accounting lives on the coordinator itself
+        # (status() must report it even when the metrics registry is
+        # the disabled null implementation) and is mirrored into the
+        # registry for Prometheus scrapes.
+        self.repair_bytes = 0
+        self.repair_bytes_by_node: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Node RPC plumbing
+    # ------------------------------------------------------------------
+
+    async def _rpc(self, link: NodeLink, request: Request) -> Response:
+        """One request/reply on a node's pooled connection.
+
+        Raises :class:`NodeDownError` (marking the link down) when the
+        node is unreachable; remote errors re-raise as their client
+        exceptions (``unavailable`` → transient outage, etc.).
+        """
+        span = start_span(
+            f"cluster.rpc.{request.op}",
+            activate=False,
+            node=link.node_id,
+        )
+        try:
+            async with link.lock:
+                link._next_id += 1
+                data = encode_request(
+                    request,
+                    request_id=link._next_id,
+                    trace=span.context() if span else None,
+                )
+                try:
+                    if link.writer is None:
+                        link.reader, link.writer = (
+                            await asyncio.open_connection(
+                                link.host, link.port
+                            )
+                        )
+                    link.writer.write(data)
+                    await link.writer.drain()
+                    line = await link.reader.readline()
+                except OSError as exc:
+                    self._drop_connection(link)
+                    raise NodeDownError(
+                        f"node {link.node_id!r} unreachable: {exc}"
+                    ) from exc
+                if not line:
+                    self._drop_connection(link)
+                    raise NodeDownError(
+                        f"node {link.node_id!r} closed the connection"
+                    )
+            link.alive = True
+            response, frame = parse_response(line)
+            t = tracer()
+            if t is not None and frame.get("spans"):
+                t.ingest(frame["spans"])
+            if isinstance(response, ErrorResponse):
+                response.raise_remote()
+            return response
+        except BaseException as exc:
+            span.end(error=type(exc).__name__)
+            raise
+        finally:
+            span.end()
+
+    def _drop_connection(self, link: NodeLink) -> None:
+        link.alive = False
+        if link.writer is not None:
+            link.writer.close()
+        link.reader = link.writer = None
+
+    def _live_links(self) -> list[NodeLink]:
+        return [
+            self.nodes[nid]
+            for nid in self.ring.members
+            if self.nodes[nid].alive
+        ]
+
+    async def probe(self) -> dict[str, bool]:
+        """Ping every registered node, refreshing liveness flags."""
+        liveness: dict[str, bool] = {}
+        for node_id in self.ring.members:
+            link = self.nodes[node_id]
+            try:
+                await self._rpc(link, PingRequest())
+                liveness[node_id] = True
+            except (NodeDownError, OSError):
+                liveness[node_id] = False
+        return liveness
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    async def register(
+        self, node_id: str, host: str, port: int
+    ) -> dict[str, Any]:
+        """Add (or re-add) a node and re-shard onto the new ring."""
+        async with self._mutex:
+            link = self.nodes.get(node_id)
+            if link is None:
+                link = NodeLink(node_id, host, port)
+                self.nodes[node_id] = link
+            else:
+                # A rejoin after a kill: forget the stale connection.
+                self._drop_connection(link)
+                link.host, link.port = host, port
+            link.alive = True
+            self.ring.add(node_id)
+            summary = await self._repair_locked()
+        summary["node_id"] = node_id
+        summary["members"] = list(self.ring.members)
+        return summary
+
+    async def deregister(self, node_id: str) -> dict[str, Any]:
+        """Remove a node from the ring and re-home its blocks."""
+        async with self._mutex:
+            if node_id not in self.ring:
+                raise KeyError(f"no cluster node named {node_id!r}")
+            self.ring.remove(node_id)
+            link = self.nodes.pop(node_id)
+            self._drop_connection(link)
+            summary = await self._repair_locked()
+        summary["node_id"] = node_id
+        summary["members"] = list(self.ring.members)
+        return summary
+
+    # ------------------------------------------------------------------
+    # Object plane
+    # ------------------------------------------------------------------
+
+    def _stripe_placement(
+        self, name: str, stripe_index: int
+    ) -> tuple[str, ...]:
+        """Anchor the stripe on the ring, stride blocks across members."""
+        members = self.ring.members
+        if not members:
+            raise TransientUnavailableError(
+                "cluster has no storage nodes"
+            )
+        anchor = members.index(
+            self.ring.owner(f"{name}/{stripe_index}")
+        )
+        count = len(members)
+        return tuple(
+            members[(anchor + j) % count]
+            for j in range(self.graph.num_nodes)
+        )
+
+    async def put(self, name: str, payload: bytes) -> dict[str, Any]:
+        """Encode an object and place every block by stripe striding."""
+        if not self.ring.members:
+            raise TransientUnavailableError(
+                "cluster has no storage nodes"
+            )
+        async with self._mutex:
+            stripes = self.codec.encode_payload(payload)
+            records: list[ClusterStripe] = []
+            placed = failed = 0
+            for encoded in stripes:
+                idx = self._next_stripe
+                self._next_stripe += 1
+                placement = self._stripe_placement(name, idx)
+                records.append(
+                    ClusterStripe(
+                        index=idx,
+                        payload_length=encoded.payload_length,
+                        placement=placement,
+                    )
+                )
+                results = await asyncio.gather(
+                    *(
+                        self._put_block(
+                            placement[node],
+                            block_key(name, idx, node),
+                            encoded.blocks[node].tobytes(),
+                        )
+                        for node in range(self.graph.num_nodes)
+                    )
+                )
+                placed += sum(results)
+                failed += len(results) - sum(results)
+            manifest = ClusterManifest(
+                name=name,
+                size=len(payload),
+                sha256=hashlib.sha256(payload).hexdigest(),
+                stripes=tuple(records),
+            )
+            self.manifests[name] = manifest
+        reg = registry()
+        reg.counter("cluster.put.objects").inc()
+        reg.counter("cluster.put.blocks").inc(placed)
+        if failed:
+            # Tolerated: the code decodes around them, and repair will
+            # rebuild them — but never silently.
+            reg.counter("cluster.put.failed_blocks").inc(failed)
+        return {
+            "name": name,
+            "size": manifest.size,
+            "sha256": manifest.sha256,
+            "stripes": len(records),
+            "blocks": placed,
+            "failed_blocks": failed,
+        }
+
+    async def _put_block(
+        self, node_id: str, key: str, data: bytes
+    ) -> bool:
+        link = self.nodes.get(node_id)
+        if link is None or not link.alive:
+            return False
+        try:
+            await self._rpc(link, BlockPutRequest(key=key, data=data))
+            return True
+        except (NodeDownError, TransientUnavailableError):
+            return False
+
+    async def get(
+        self, name: str, *, want_payload: bool = False
+    ) -> ObjectInfoResponse:
+        """Reconstruct an object from whatever the cluster still holds."""
+        manifest = self._manifest(name)
+        parts: list[bytes] = []
+        degraded = False
+        for record in manifest.stripes:
+            data, was_degraded = await self._read_stripe(name, record)
+            degraded = degraded or was_degraded
+            parts.append(data[: record.payload_length])
+        payload = b"".join(parts)
+        reg = registry()
+        reg.counter("cluster.get.objects").inc()
+        if degraded:
+            reg.counter("cluster.get.degraded").inc()
+        return ObjectInfoResponse(
+            name=name,
+            size=len(payload),
+            sha256=hashlib.sha256(payload).hexdigest(),
+            payload=payload if want_payload else None,
+        )
+
+    async def _read_stripe(
+        self, name: str, record: ClusterStripe
+    ) -> tuple[bytes, bool]:
+        blocks, present = await self._fetch_stripe(name, record)
+        missing = np.flatnonzero(~present)
+        if missing.size == 0:
+            data = blocks[list(self.graph.data_nodes)]
+            return data.tobytes(), False
+        plan = self.plans.schedule(self.graph, missing)
+        if not plan.success:
+            raise self._stripe_error(name, record.index, plan.residual)
+        data = self.codec.decode_blocks_with_schedule(
+            blocks, present, plan.steps
+        )
+        return data.tobytes(), True
+
+    async def _fetch_stripe(
+        self, name: str, record: ClusterStripe
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk-fetch one stripe's blocks from its *recorded* owners."""
+        keys = {
+            block_key(name, record.index, node): node
+            for node in range(self.graph.num_nodes)
+        }
+        assignment: dict[str, list[str]] = {}
+        for key, node in keys.items():
+            assignment.setdefault(record.placement[node], []).append(key)
+        return await self._fetch_blocks(assignment, keys)
+
+    async def _fetch_blocks(
+        self, assignment: dict[str, list[str]], keys: dict[str, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch ``assignment[node_id] -> keys`` concurrently.
+
+        Returns the (blocks, present) pair the decoder wants; a dead,
+        unreachable, or interrupted node simply contributes nothing to
+        ``present`` — absence *is* the erasure mask.
+        """
+        g = self.graph
+        blocks = np.zeros(
+            (g.num_nodes, self.codec.block_size), dtype=np.uint8
+        )
+        present = np.zeros(g.num_nodes, dtype=bool)
+
+        async def fetch(node_id: str, wanted: list[str]) -> dict[str, bytes]:
+            link = self.nodes.get(node_id)
+            if link is None or not link.alive:
+                return {}
+            try:
+                response = await self._rpc(
+                    link, BlockFetchRequest(keys=tuple(sorted(wanted)))
+                )
+            except (NodeDownError, TransientUnavailableError):
+                return {}
+            return dict(response.blocks or {})
+
+        fetched = await asyncio.gather(
+            *(fetch(nid, ks) for nid, ks in sorted(assignment.items()))
+        )
+        for held in fetched:
+            for key, data in held.items():
+                node = keys[key]
+                blocks[node] = np.frombuffer(data, dtype=np.uint8)
+                present[node] = True
+        return blocks, present
+
+    def _stripe_error(
+        self, name: str, stripe_index: int, residual
+    ) -> Exception:
+        """Classify an undecodable stripe: outage-blocked vs real loss."""
+        dark = [
+            nid
+            for nid in self.ring.members
+            if not self.nodes[nid].alive
+        ]
+        if dark:
+            return TransientUnavailableError(
+                f"object {name!r} stripe {stripe_index}: undecodable "
+                f"while nodes {dark} are unreachable (retry or repair "
+                "may succeed)"
+            )
+        return DataLossError(name, stripe_index, residual)
+
+    def _manifest(self, name: str) -> ClusterManifest:
+        try:
+            return self.manifests[name]
+        except KeyError:
+            raise KeyError(f"no cluster object named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Repair / re-shard
+    # ------------------------------------------------------------------
+
+    async def repair(self) -> dict[str, Any]:
+        """Re-home misplaced blocks, rebuild lost ones; meter the bytes."""
+        async with self._mutex:
+            return await self._repair_locked()
+
+    async def _repair_locked(self) -> dict[str, Any]:
+        totals = {
+            "moved_blocks": 0,
+            "moved_bytes": 0,
+            "rebuilt_blocks": 0,
+            "rebuilt_bytes": 0,
+            "unrepairable_blocks": 0,
+        }
+        if not self.ring.members or not self.manifests:
+            return totals
+        with trace_span("cluster.repair"):
+            await self.probe()
+            holders = await self._inventory()
+            for name in sorted(self.manifests):
+                manifest = self.manifests[name]
+                records: list[ClusterStripe] = []
+                changed = False
+                for record in manifest.stripes:
+                    updated, stats = await self._repair_stripe(
+                        name, record, holders
+                    )
+                    records.append(updated)
+                    changed = changed or updated is not record
+                    for field_name, value in stats.items():
+                        totals[field_name] += value
+                if changed:
+                    self.manifests[name] = ClusterManifest(
+                        name=manifest.name,
+                        size=manifest.size,
+                        sha256=manifest.sha256,
+                        stripes=tuple(records),
+                    )
+        return totals
+
+    async def _inventory(self) -> dict[str, set[str]]:
+        """key -> set of live node ids currently holding it."""
+        holders: dict[str, set[str]] = {}
+        for link in self._live_links():
+            try:
+                response = await self._rpc(link, BlockListRequest())
+            except (NodeDownError, TransientUnavailableError):
+                continue
+            for key in response.keys:
+                holders.setdefault(key, set()).add(link.node_id)
+        return holders
+
+    async def _repair_stripe(
+        self,
+        name: str,
+        record: ClusterStripe,
+        holders: dict[str, set[str]],
+    ) -> tuple[ClusterStripe, dict[str, int]]:
+        """Re-stripe one stripe onto the current membership.
+
+        Blocks already held somewhere are *moved* to their new owner;
+        blocks no live node holds are decoded from the survivors and
+        *rebuilt*.  The record flips to the new placement — and strays
+        are deleted — only once every block sits with its new owner,
+        so a partial repair (some target down mid-pass) leaves reads
+        working off the old locations and the next repair retries.
+        """
+        g = self.graph
+        stats = {
+            "moved_blocks": 0,
+            "moved_bytes": 0,
+            "rebuilt_blocks": 0,
+            "rebuilt_bytes": 0,
+            "unrepairable_blocks": 0,
+        }
+        desired = self._stripe_placement(name, record.index)
+        keys = [
+            block_key(name, record.index, node)
+            for node in range(g.num_nodes)
+        ]
+        need = [
+            node
+            for node in range(g.num_nodes)
+            if desired[node] not in holders.get(keys[node], ())
+        ]
+        if need:
+            # Gather the whole stripe from whoever still holds it.
+            key_nodes = {key: node for node, key in enumerate(keys)}
+            assignment: dict[str, list[str]] = {}
+            for key in keys:
+                for nid in sorted(holders.get(key, ())):
+                    link = self.nodes.get(nid)
+                    if link is not None and link.alive:
+                        assignment.setdefault(nid, []).append(key)
+                        break
+            blocks, present = await self._fetch_blocks(
+                assignment, key_nodes
+            )
+            rebuilt_nodes: set[int] = set()
+            if not present.all():
+                plan = self.plans.schedule(g, np.flatnonzero(~present))
+                if plan.success:
+                    data = self.codec.decode_blocks_with_schedule(
+                        blocks, present, plan.steps
+                    )
+                    full = self.codec.encode_blocks(data)
+                    rebuilt_nodes = set(
+                        np.flatnonzero(~present).tolist()
+                    )
+                    for node in rebuilt_nodes:
+                        blocks[node] = full[node]
+                    present[:] = True
+                else:
+                    stats["unrepairable_blocks"] = int(
+                        (~present).sum()
+                    )
+                    registry().counter(
+                        "cluster.repair.data_loss_stripes"
+                    ).inc()
+            placed_all = True
+            for node in range(g.num_nodes):
+                if not present[node]:
+                    placed_all = False
+                    continue
+                if desired[node] in holders.get(keys[node], ()):
+                    continue
+                payload = blocks[node].tobytes()
+                if await self._put_block(
+                    desired[node], keys[node], payload
+                ):
+                    holders.setdefault(keys[node], set()).add(
+                        desired[node]
+                    )
+                    self._meter_repair(desired[node], len(payload))
+                    if node in rebuilt_nodes:
+                        stats["rebuilt_blocks"] += 1
+                        stats["rebuilt_bytes"] += len(payload)
+                    else:
+                        stats["moved_blocks"] += 1
+                        stats["moved_bytes"] += len(payload)
+                else:
+                    placed_all = False
+            if not placed_all:
+                return record, stats
+        # Fully placed: stray copies are redundant now.
+        for node in range(g.num_nodes):
+            holding = holders.get(keys[node], set())
+            for nid in sorted(holding - {desired[node]}):
+                link = self.nodes.get(nid)
+                if link is None:
+                    holding.discard(nid)
+                    continue
+                try:
+                    await self._rpc(
+                        link, BlockDeleteRequest(key=keys[node])
+                    )
+                    holding.discard(nid)
+                except (NodeDownError, TransientUnavailableError):
+                    pass
+        if desired == record.placement:
+            return record, stats
+        return (
+            ClusterStripe(
+                index=record.index,
+                payload_length=record.payload_length,
+                placement=desired,
+            ),
+            stats,
+        )
+
+    def _meter_repair(self, node_id: str, nbytes: int) -> None:
+        self.repair_bytes += nbytes
+        self.repair_bytes_by_node[node_id] = (
+            self.repair_bytes_by_node.get(node_id, 0) + nbytes
+        )
+        reg = registry()
+        reg.counter("cluster.repair.bytes").inc(nbytes)
+        reg.counter(f"cluster.repair.bytes.{node_id}").inc(nbytes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    async def status(self) -> dict[str, Any]:
+        """Cluster-wide view: membership, liveness, stats, repair bytes."""
+        liveness = await self.probe()
+        nodes: dict[str, Any] = {}
+        for node_id in self.ring.members:
+            link = self.nodes[node_id]
+            entry: dict[str, Any] = {
+                "host": link.host,
+                "port": link.port,
+                "alive": liveness.get(node_id, False),
+            }
+            if entry["alive"]:
+                try:
+                    response = await self._rpc(link, NodeStatsRequest())
+                    entry["stats"] = response.stats
+                except (NodeDownError, TransientUnavailableError):
+                    entry["alive"] = False
+            nodes[node_id] = entry
+        return {
+            "nodes": nodes,
+            "objects": len(self.manifests),
+            "stripes": sum(
+                len(m.stripes) for m in self.manifests.values()
+            ),
+            "repair_bytes": self.repair_bytes,
+            "repair_bytes_by_node": dict(self.repair_bytes_by_node),
+            "plan_cache": {
+                "hits": self.plans.hits,
+                "misses": self.plans.misses,
+            },
+        }
+
+
+async def handle_request(
+    coordinator: ClusterCoordinator,
+    request: Request,
+    envelope: Envelope,
+) -> Response:
+    """Dispatch one typed coordinator request under the caller's trace."""
+    with use_context(envelope.trace):
+        if isinstance(request, PingRequest):
+            return PongResponse()
+        if isinstance(request, MetricsRequest):
+            return MetricsResponse(
+                metrics=render_prometheus(registry().snapshot())
+            )
+        if isinstance(request, ClusterPutRequest):
+            with trace_span("cluster.put", object=request.name):
+                info = await coordinator.put(
+                    request.name, request.payload
+                )
+            return AckResponse(info=info)
+        if isinstance(request, (ClusterGetRequest, GetRequest)):
+            want = getattr(request, "want_payload", False)
+            with trace_span("cluster.get", object=request.name):
+                return await coordinator.get(
+                    request.name, want_payload=want
+                )
+        if isinstance(request, ClusterStatusRequest):
+            return StatusResponse(status=await coordinator.status())
+        if isinstance(request, ClusterRepairRequest):
+            return AckResponse(info=await coordinator.repair())
+        if isinstance(request, ClusterJoinRequest):
+            with trace_span("cluster.join", node=request.node_id):
+                info = await coordinator.register(
+                    request.node_id, request.host, request.port
+                )
+            return AckResponse(info=info)
+        if isinstance(request, ClusterLeaveRequest):
+            with trace_span("cluster.leave", node=request.node_id):
+                info = await coordinator.deregister(request.node_id)
+            return AckResponse(info=info)
+    raise ProtocolError(
+        f"op {request.op!r} is not served by the coordinator",
+        code="unknown_op",
+    )
+
+
+async def start_coordinator(
+    coordinator: ClusterCoordinator,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.base_events.Server:
+    """Serve the coordinator on a TCP port (``port=0`` = ephemeral)."""
+
+    async def handler(request: Request, envelope: Envelope) -> Response:
+        return await handle_request(coordinator, request, envelope)
+
+    return await start_line_server(handler, host, port)

@@ -1,0 +1,384 @@
+"""Multi-process cluster load driver: spawn, load, kill, repair, verify.
+
+``repro cluster loadgen`` runs this end-to-end exercise of the
+coordinator/storage-node split:
+
+1. spawn one coordinator and N storage-node processes (each node
+   self-registers with the coordinator, which re-shards on every
+   join);
+2. put seeded objects through the coordinator and remember their
+   digests;
+3. replay a seeded open-loop workload of ``cluster.get`` requests
+   (the same :func:`~repro.serve.loadgen.arrival_schedule` law the
+   single-process load generator uses), verifying every reconstruction
+   against its put-time SHA-256;
+4. optionally SIGKILL one node mid-run — subsequent reads must decode
+   around it with zero failed requests;
+5. declare the killed node lost (``cluster.leave``), which rebuilds
+   its blocks onto the survivors and meters the cross-node repair
+   bytes;
+6. optionally restart the node and rejoin it, re-sharding blocks back;
+7. verify every object once more and report.
+
+Child processes get seeds derived from the driver seed via
+:func:`~repro.obs.seeding.spawn_seeds`, so no two processes mint
+colliding trace span IDs, while the whole run stays a pure function of
+one seed (modulo wall-clock latencies).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..obs.seeding import SeedLike, derive_seed, resolve_rng, spawn_seeds
+from ..obs.trace import trace_span
+from ..serve.client import ClusterClient
+from ..serve.loadgen import LoadGenConfig, arrival_schedule
+
+__all__ = ["ClusterLoadConfig", "ClusterLoadReport", "run_cluster_loadgen"]
+
+_READY_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class ClusterLoadConfig:
+    """Shape of one multi-process cluster exercise."""
+
+    nodes: int = 3
+    objects: int = 6
+    object_size: int = 4096
+    block_size: int = 512
+    requests: int = 60
+    rate: float = 100.0
+    seed: SeedLike = 0
+    kill_node: bool = True
+    kill_fraction: float = 0.4
+    rejoin: bool = True
+    graph: str | None = None  # GraphML path for child processes
+    trace_dir: str | None = None  # per-process trace files land here
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be positive")
+        if self.objects < 1:
+            raise ValueError("objects must be positive")
+        if not 0.0 < self.kill_fraction < 1.0:
+            raise ValueError("kill_fraction must lie in (0, 1)")
+
+
+@dataclass
+class ClusterLoadReport:
+    """Outcome of one cluster exercise (see module docs for phases)."""
+
+    nodes: int
+    objects: int
+    requests: int
+    completed: int
+    failed: int
+    mismatched: int
+    killed_node: str | None
+    rejoined: bool
+    repair: dict[str, Any]
+    status: dict[str, Any]
+    latency: dict[str, float]
+    elapsed_seconds: float
+    verified_objects: int
+
+    @property
+    def data_loss(self) -> bool:
+        return self.mismatched > 0 or self.verified_objects < self.objects
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "nodes": self.nodes,
+            "objects": self.objects,
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "mismatched": self.mismatched,
+            "killed_node": self.killed_node,
+            "rejoined": self.rejoined,
+            "repair": self.repair,
+            "status": self.status,
+            "latency": self.latency,
+            "elapsed_seconds": self.elapsed_seconds,
+            "verified_objects": self.verified_objects,
+            "data_loss": self.data_loss,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"cluster of {self.nodes} nodes: {self.completed}/"
+            f"{self.requests} reads completed "
+            f"({self.failed} failed, {self.mismatched} mismatched) "
+            f"in {self.elapsed_seconds:.2f}s",
+        ]
+        if self.killed_node:
+            lines.append(
+                f"killed {self.killed_node} mid-run"
+                + (", rejoined after repair" if self.rejoined else "")
+            )
+        lines.append(
+            f"repair moved {self.repair.get('moved_blocks', 0)} / "
+            f"rebuilt {self.repair.get('rebuilt_blocks', 0)} blocks; "
+            f"cluster.repair.bytes = "
+            f"{self.status.get('repair_bytes', 0)}"
+        )
+        lines.append(
+            f"verified {self.verified_objects}/{self.objects} objects "
+            + ("(ZERO data loss)" if not self.data_loss else "(LOSS!)")
+        )
+        if self.latency.get("count"):
+            lines.append(
+                "read latency "
+                f"p50 {self.latency['p50'] * 1e3:.1f}ms "
+                f"p95 {self.latency['p95'] * 1e3:.1f}ms "
+                f"p99 {self.latency['p99'] * 1e3:.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+class _Child:
+    """One spawned cluster process and its ready-line handshake."""
+
+    def __init__(self, role: str, argv: list[str]):
+        self.role = role
+        self.proc = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            # Inherit the real stderr fd: sys.stderr may be a capture
+            # object without fileno() under a test runner.
+            stderr=None,
+            text=True,
+        )
+        self.host = ""
+        self.port = 0
+
+    def await_ready(self) -> None:
+        """Block until the child prints its ``cluster.ready`` line."""
+        deadline = time.monotonic() + _READY_TIMEOUT
+        while True:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"{self.role} exited with {self.proc.returncode} "
+                    "before becoming ready"
+                )
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(f"{self.role} closed stdout early")
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # interleaved human output
+            if event.get("event") == "cluster.ready":
+                self.host = event["host"]
+                self.port = int(event["port"])
+                return
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"{self.role} never became ready")
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+
+
+def _spawn_coordinator(
+    config: ClusterLoadConfig, seed: int
+) -> _Child:
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "cluster",
+        "coordinator",
+        "--port",
+        "0",
+        "--seed",
+        str(seed),
+        "--block-size",
+        str(config.block_size),
+    ]
+    if config.graph:
+        argv += ["--graph", config.graph]
+    if config.trace_dir:
+        argv += ["--trace", f"{config.trace_dir}/coordinator.jsonl"]
+    child = _Child("coordinator", argv)
+    child.await_ready()
+    return child
+
+
+def _spawn_node(
+    config: ClusterLoadConfig,
+    node_id: str,
+    seed: int,
+    coordinator: _Child,
+) -> _Child:
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "cluster",
+        "node",
+        "--id",
+        node_id,
+        "--port",
+        "0",
+        "--seed",
+        str(seed),
+        "--coordinator",
+        f"{coordinator.host}:{coordinator.port}",
+    ]
+    child = _Child(f"node {node_id}", argv)
+    child.await_ready()
+    return child
+
+
+def run_cluster_loadgen(
+    config: ClusterLoadConfig | None = None,
+) -> ClusterLoadReport:
+    """Run the full spawn → load → kill → repair → verify exercise."""
+    config = config or ClusterLoadConfig()
+    child_seeds = [
+        derive_seed(s) for s in spawn_seeds(config.seed, config.nodes + 1)
+    ]
+    payload_rng = resolve_rng(spawn_seeds(config.seed, config.nodes + 2)[-1])
+    start = time.perf_counter()
+    coordinator: _Child | None = None
+    nodes: dict[str, _Child] = {}
+    client: ClusterClient | None = None
+    try:
+        coordinator = _spawn_coordinator(config, child_seeds[0])
+        for i in range(config.nodes):
+            node_id = f"node-{i}"
+            nodes[node_id] = _spawn_node(
+                config, node_id, child_seeds[i + 1], coordinator
+            )
+        client = ClusterClient(coordinator.host, coordinator.port)
+
+        # Phase: seed the cluster with verifiable objects.
+        digests: dict[str, str] = {}
+        with trace_span("cluster.loadgen.seed"):
+            for i in range(config.objects):
+                name = f"object-{i:03d}"
+                payload = payload_rng.bytes(config.object_size)
+                info = client.put(name, payload)
+                digests[name] = info["sha256"]
+
+        # Phase: seeded open-loop reads, one node killed mid-run.
+        names = sorted(digests)
+        gaps, picks = arrival_schedule(
+            names,
+            LoadGenConfig(
+                requests=config.requests,
+                rate=config.rate,
+                seed=config.seed,
+            ),
+        )
+        kill_at = (
+            int(config.requests * config.kill_fraction)
+            if config.kill_node
+            else None
+        )
+        killed: str | None = None
+        completed = failed = mismatched = 0
+        latencies: list[float] = []
+        t0 = time.perf_counter()
+        scheduled = 0.0
+        with trace_span("cluster.loadgen.run"):
+            for i, (gap, name) in enumerate(zip(gaps, picks)):
+                scheduled += gap
+                lag = t0 + scheduled - time.perf_counter()
+                if lag > 0:
+                    time.sleep(lag)
+                if kill_at is not None and i == kill_at:
+                    killed = sorted(nodes)[0]
+                    nodes[killed].kill()
+                try:
+                    info = client.get(name)
+                except Exception:
+                    failed += 1
+                    continue
+                # Coordinated-omission-corrected: latency from the
+                # scheduled arrival, not the (possibly late) send.
+                latencies.append(time.perf_counter() - (t0 + scheduled))
+                if info.sha256 == digests[name]:
+                    completed += 1
+                else:
+                    mismatched += 1
+
+        # Phase: declare the kill a loss and rebuild onto survivors.
+        repair: dict[str, Any] = {}
+        if killed is not None:
+            repair = client.leave(killed)
+        repair_extra = client.repair()
+        for key in ("moved_blocks", "rebuilt_blocks"):
+            repair[key] = repair.get(key, 0) + repair_extra.get(key, 0)
+
+        # Phase: bring the node back; joining re-shards onto it.
+        rejoined = False
+        if killed is not None and config.rejoin:
+            nodes[killed] = _spawn_node(
+                config,
+                killed,
+                derive_seed(spawn_seeds(config.seed, config.nodes + 3)[-1]),
+                coordinator,
+            )
+            rejoined = True
+
+        # Phase: full verification sweep — the zero-data-loss check.
+        verified = 0
+        with trace_span("cluster.loadgen.verify"):
+            for name, digest in digests.items():
+                try:
+                    if client.get(name).sha256 == digest:
+                        verified += 1
+                except Exception:
+                    pass
+        status = client.status()
+    finally:
+        if client is not None:
+            client.close()
+        for child in nodes.values():
+            child.terminate()
+        if coordinator is not None:
+            coordinator.terminate()
+
+    lat = np.array(latencies) if latencies else np.array([0.0])
+    return ClusterLoadReport(
+        nodes=config.nodes,
+        objects=config.objects,
+        requests=config.requests,
+        completed=completed,
+        failed=failed,
+        mismatched=mismatched,
+        killed_node=killed,
+        rejoined=rejoined,
+        repair=repair,
+        status=status,
+        latency={
+            "count": float(len(latencies)),
+            "p50": float(np.percentile(lat, 50)),
+            "p95": float(np.percentile(lat, 95)),
+            "p99": float(np.percentile(lat, 99)),
+            "mean": float(lat.mean()),
+        },
+        elapsed_seconds=time.perf_counter() - start,
+        verified_objects=verified,
+    )

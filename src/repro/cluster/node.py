@@ -1,0 +1,220 @@
+"""Storage-node daemon: a :class:`LocalBlockStore` behind the protocol.
+
+One node process serves block RPCs (``block.put`` / ``block.get`` /
+``block.fetch`` / ``block.delete`` / ``block.list``) over the shared
+line-JSON protocol, plus a small control plane (``ping``,
+``node.stats``, ``node.admin``).
+
+Fault semantics follow the cluster's availability model: a node-level
+outage drawn from a per-node :class:`~repro.resilience.faults.FaultPlan`
+(its :class:`~repro.resilience.faults.TransientOutages` specs) makes the
+*data plane* answer ``unavailable`` while the blocks stay intact — the
+coordinator decodes around the node and retries later, exactly as
+degraded reads treat a dark device.  The control plane keeps answering
+during an outage (the process is up; its storage backend is not), which
+is also what lets a driver ``node.admin step`` the fault process
+deterministically instead of racing a wall-clock timer.  Actual data
+*loss* is a killed process — nothing to model in here.
+
+Every data-plane request that carries a trace context runs under a span
+minted by a node-local tracer seeded from that context
+(:func:`~repro.obs.trace.context_seed`), and the span records ship back
+in the response frame (``spans``) for the coordinator to ingest — the
+same ship-back pattern worker pools use, extended over TCP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from ..obs.seeding import SeedLike, resolve_rng
+from ..obs.trace import Tracer, context_seed
+from ..resilience.faults import FaultPlan, TransientOutages
+from ..storage.blockstore import LocalBlockStore
+from ..storage.device import TransientUnavailableError
+from ..serve.lineserver import start_line_server
+from ..serve.protocol import (
+    AckResponse,
+    BlockDataResponse,
+    BlockDeleteRequest,
+    BlockFetchRequest,
+    BlockGetRequest,
+    BlockListRequest,
+    BlockMapResponse,
+    BlockPutRequest,
+    Envelope,
+    KeyListResponse,
+    NodeAdminRequest,
+    NodeStatsRequest,
+    PingRequest,
+    PongResponse,
+    ProtocolError,
+    Request,
+    Response,
+    StatsResponse,
+)
+
+__all__ = ["StorageNode", "start_storage_node"]
+
+
+class StorageNode:
+    """State and request logic of one storage node (transport-free)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        *,
+        seed: SeedLike = 0,
+        fault_plan: FaultPlan | None = None,
+    ):
+        if not node_id:
+            raise ValueError("node_id must be non-empty")
+        self.node_id = node_id
+        self.store = LocalBlockStore()
+        self.available = True
+        self.outage_remaining = 0
+        self.outages_drawn = 0
+        self.steps = 0
+        self._rng = resolve_rng(seed)
+        # A node models *availability* faults only: of a full fault
+        # plan, the transient specs apply; block-level faults (latent
+        # errors, corruption) belong to the device layer beneath an
+        # archive, and a killed process needs no model at all.
+        self._outage_specs: tuple[TransientOutages, ...] = tuple(
+            spec
+            for spec in (fault_plan.faults if fault_plan else ())
+            if isinstance(spec, TransientOutages)
+        )
+
+    # -- fault process -------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance the availability process one step; returns liveness."""
+        self.steps += 1
+        if not self.available:
+            self.outage_remaining -= 1
+            if self.outage_remaining <= 0:
+                self.available = True
+            return self.available
+        for spec in self._outage_specs:
+            if self._rng.random() < spec.rate:
+                # Geometric recovery time with the spec's mean, same
+                # law the device-level injector draws.
+                p = 1.0 / spec.mean_outage_steps
+                self.interrupt(int(self._rng.geometric(p)))
+                break
+        return self.available
+
+    def interrupt(self, steps: int = 1) -> None:
+        """Force the data plane dark for ``steps`` fault-process steps."""
+        self.available = False
+        self.outage_remaining = max(1, int(steps))
+        self.outages_drawn += 1
+
+    def restore(self) -> None:
+        self.available = True
+        self.outage_remaining = 0
+
+    def _check_available(self, op: str) -> None:
+        if not self.available:
+            raise TransientUnavailableError(
+                f"node {self.node_id!r} is transiently unavailable "
+                f"({op} rejected; {self.outage_remaining} steps remain)"
+            )
+
+    # -- request logic -------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "available": self.available,
+            "outage_remaining": self.outage_remaining,
+            "outages_drawn": self.outages_drawn,
+            "steps": self.steps,
+            **self.store.stats(),
+        }
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch one typed request (availability already enforced)."""
+        if isinstance(request, PingRequest):
+            return PongResponse()
+        if isinstance(request, NodeStatsRequest):
+            return StatsResponse(stats=self.stats())
+        if isinstance(request, NodeAdminRequest):
+            if request.action == "interrupt":
+                self.interrupt()
+            elif request.action == "restore":
+                self.restore()
+            else:
+                self.step()
+            return AckResponse(info=self.stats())
+        self._check_available(request.op)
+        if isinstance(request, BlockPutRequest):
+            self.store.put(request.key, request.data)
+            return AckResponse(info={"key": request.key})
+        if isinstance(request, BlockGetRequest):
+            return BlockDataResponse(
+                key=request.key, data=self.store.get(request.key)
+            )
+        if isinstance(request, BlockFetchRequest):
+            held: dict[str, bytes] = {}
+            missing: list[str] = []
+            for key in request.keys:
+                if key in self.store:
+                    held[key] = self.store.get(key)
+                else:
+                    missing.append(key)
+            return BlockMapResponse(blocks=held, missing=tuple(missing))
+        if isinstance(request, BlockDeleteRequest):
+            return AckResponse(
+                info={
+                    "key": request.key,
+                    "deleted": self.store.delete(request.key),
+                }
+            )
+        if isinstance(request, BlockListRequest):
+            return KeyListResponse(
+                keys=tuple(self.store.keys(request.prefix))
+            )
+        raise ProtocolError(
+            f"op {request.op!r} is not served by a storage node",
+            code="unknown_op",
+        )
+
+
+async def start_storage_node(
+    node: StorageNode,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.base_events.Server:
+    """Serve a node's RPCs on a TCP port (``port=0`` = ephemeral)."""
+
+    async def handler(
+        request: Request, envelope: Envelope
+    ) -> Response | tuple[Response, dict[str, Any]]:
+        if envelope.trace is None:
+            return node.handle(request)
+        # Ship-back tracing: a per-request tracer seeded from the
+        # caller's span context mints IDs no other process can collide
+        # with, and the finished records ride home in the reply.
+        local = Tracer(
+            seed=context_seed(
+                envelope.trace, "cluster.node", node.node_id
+            )
+        )
+        span = local.start_span(
+            f"node.{request.op}",
+            parent=envelope.trace,
+            activate=False,
+            node=node.node_id,
+        )
+        try:
+            response = node.handle(request)
+        except Exception as exc:
+            span.end(error=type(exc).__name__)
+            raise
+        span.end()
+        return response, {"spans": local.export()}
+
+    return await start_line_server(handler, host, port)

@@ -1,0 +1,97 @@
+"""Consistent-hash placement ring for cluster block keys.
+
+The coordinator places every stored block on exactly one storage node
+(the Tornado code supplies redundancy across *graph nodes*, so the
+ring does no replication of its own — losing a storage node erases the
+blocks it owned, and the stripe decodes around them).  Consistent
+hashing keeps that placement stable under membership churn: when a
+node joins or leaves, only the keys in the arcs it gains or cedes move
+(~``K/N`` of them), which is exactly the re-shard traffic the
+coordinator's rebalance pass ships.
+
+Determinism matters here: placement is a pure function of
+``(node ids, key)`` via SHA-256, independent of join order, process,
+and platform — two coordinators bootstrapped with the same membership
+agree on every owner, and tests can assert exact placements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+__all__ = ["HashRing"]
+
+
+def _point(label: str) -> int:
+    """Ring coordinate of a label: first 8 bytes of its SHA-256."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """SHA-256 consistent-hash ring with virtual nodes.
+
+    Parameters
+    ----------
+    replicas:
+        Virtual nodes per member.  64 keeps the max/min load ratio
+        tight (empirically < 1.4 for a handful of members) while the
+        ring stays small enough to rebuild on every membership change.
+    """
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._members: set[str] = set()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._members
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(sorted(self._members))
+
+    def add(self, node_id: str) -> None:
+        if not node_id:
+            raise ValueError("node_id must be non-empty")
+        if node_id in self._members:
+            return
+        self._members.add(node_id)
+        self._rebuild()
+
+    def remove(self, node_id: str) -> None:
+        self._members.discard(node_id)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Rebuilt from the sorted member set so the ring is a pure
+        # function of membership, never of add/remove history.
+        pairs = sorted(
+            (_point(f"{node_id}#{i}"), node_id)
+            for node_id in self._members
+            for i in range(self.replicas)
+        )
+        self._points = [p for p, _ in pairs]
+        self._owners = [n for _, n in pairs]
+
+    def owner(self, key: str) -> str:
+        """The member that owns ``key``; raises if the ring is empty."""
+        if not self._owners:
+            raise LookupError("hash ring has no members")
+        idx = bisect_right(self._points, _point(key))
+        return self._owners[idx % len(self._owners)]
+
+    def spread(self, keys: list[str]) -> dict[str, int]:
+        """Owner histogram for a key sample (load-balance diagnostics)."""
+        out: dict[str, int] = {m: 0 for m in self._members}
+        for key in keys:
+            out[self.owner(key)] += 1
+        return out

@@ -14,7 +14,12 @@ reconstructs around failures at load, within explicit limits:
 * :func:`run_loadgen` / :class:`LoadGenConfig` / :class:`LoadReport` —
   deterministic open-loop load generation and latency accounting;
 * :func:`seeded_archive` — the shared serving fixture;
-* :func:`start_frontend` — line-JSON TCP front end (``repro serve``).
+* :func:`start_frontend` — line-JSON TCP front end (``repro serve``);
+* :mod:`repro.serve.protocol` — the versioned wire protocol (typed
+  requests/responses, stable error codes) shared by the frontend and
+  the cluster (:mod:`repro.cluster`);
+* :class:`ReconstructClient` / :class:`ClusterClient` — blocking
+  stdlib-socket clients for the frontend and the cluster.
 
 See ``docs/SERVE.md`` for architecture, tuning, and backpressure
 semantics; ``repro loadgen`` and
@@ -22,12 +27,14 @@ semantics; ``repro loadgen`` and
 """
 
 from .batcher import Batch, MicroBatcher
+from .client import ClusterClient, ProtocolClient, ReconstructClient
 from .errors import (
     DeadlineExceededError,
     ServiceClosedError,
     ServiceOverloadedError,
 )
 from .frontend import start_frontend
+from .lineserver import start_line_server
 from .loadgen import (
     LoadGenConfig,
     LoadReport,
@@ -36,11 +43,18 @@ from .loadgen import (
     seeded_archive,
 )
 from .plancache import PlanCache, graph_key
+from .protocol import PROTOCOL_VERSION, ProtocolError, RemoteError
 from .service import ReconstructionService, ServeConfig
 
 __all__ = [
     "Batch",
+    "ClusterClient",
     "DeadlineExceededError",
+    "PROTOCOL_VERSION",
+    "ProtocolClient",
+    "ProtocolError",
+    "RemoteError",
+    "ReconstructClient",
     "LoadGenConfig",
     "LoadReport",
     "MicroBatcher",
@@ -54,4 +68,5 @@ __all__ = [
     "run_loadgen",
     "seeded_archive",
     "start_frontend",
+    "start_line_server",
 ]

@@ -1,0 +1,272 @@
+"""Blocking stdlib-socket clients for the line-JSON protocol.
+
+These are the stable programmatic surface for talking to a frontend
+(:class:`ReconstructClient`), a cluster coordinator or storage node
+(:class:`ClusterClient`) — the typed replacement for the hand-rolled
+``socket`` + ``json`` snippets tests and scripts used to carry around.
+
+One TCP connection per client, one request/response in flight at a
+time (a :class:`threading.Lock` serializes callers, so a client
+instance is safe to share across threads).  Calls raise the most
+faithful local exception for a remote failure via the protocol error
+taxonomy — ``overloaded`` arrives as
+:class:`~repro.serve.service.ServiceOverloadedError`, ``deadline`` as
+:class:`~repro.serve.service.DeadlineExceededError`, ``data_loss`` as
+:class:`~repro.storage.archive.DataLossError`, and so on — instead of
+a stringly-typed error dict.
+
+Tracing crosses the wire automatically: when tracing is active, each
+call runs under a client span whose context rides in the request
+frame, and span records shipped back by the server are ingested into
+the local tracer — the client half of cluster-wide trace stitching.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from ..obs.trace import start_span, tracer
+from .protocol import (
+    PROTOCOL_VERSION,
+    AckResponse,
+    BlockDataResponse,
+    BlockDeleteRequest,
+    BlockFetchRequest,
+    BlockGetRequest,
+    BlockListRequest,
+    BlockMapResponse,
+    BlockPutRequest,
+    ClusterGetRequest,
+    ClusterJoinRequest,
+    ClusterLeaveRequest,
+    ClusterPutRequest,
+    ClusterRepairRequest,
+    ClusterStatusRequest,
+    ErrorResponse,
+    GetRequest,
+    KeyListResponse,
+    MetricsRequest,
+    NodeAdminRequest,
+    NodeStatsRequest,
+    ObjectInfoResponse,
+    PingRequest,
+    ProtocolError,
+    Request,
+    Response,
+    StatsRequest,
+    StatusResponse,
+    encode_request,
+    parse_response,
+)
+
+__all__ = ["ClusterClient", "ProtocolClient", "ReconstructClient"]
+
+
+class ProtocolClient:
+    """One blocking protocol connection; base for the typed clients."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        v: int = PROTOCOL_VERSION,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.v = v
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- connection management -----------------------------------------
+
+    def connect(self) -> "ProtocolClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ProtocolClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the one RPC primitive -----------------------------------------
+
+    def call(self, request: Request) -> tuple[Response, dict[str, Any]]:
+        """Send one request, wait for its reply, raise remote errors.
+
+        Returns ``(typed response, raw frame)``; the raw frame carries
+        envelope extras.  Remote failures raise (see module docs); a
+        dropped connection raises :class:`ConnectionError` after
+        closing the socket so the next call reconnects cleanly.
+        """
+        span = start_span(
+            f"client.{request.op}",
+            activate=False,
+            target=f"{self.host}:{self.port}",
+        )
+        try:
+            response, frame = self._exchange(request, span)
+        except BaseException as exc:
+            span.end(error=type(exc).__name__)
+            raise
+        span.end()
+        t = tracer()
+        if t is not None and frame.get("spans"):
+            t.ingest(frame["spans"])
+        if isinstance(response, ErrorResponse):
+            response.raise_remote()
+        return response, frame
+
+    def _exchange(
+        self, request: Request, span
+    ) -> tuple[Response, dict[str, Any]]:
+        with self._lock:
+            self.connect()
+            self._next_id += 1
+            ctx = span.context() if span else None
+            data = encode_request(
+                request, v=self.v, request_id=self._next_id, trace=ctx
+            )
+            try:
+                self._sock.sendall(data)
+                line = self._file.readline()
+            except OSError as exc:
+                self.close()
+                raise ConnectionError(
+                    f"lost connection to {self.host}:{self.port}: {exc}"
+                ) from exc
+            if not line:
+                self.close()
+                raise ConnectionError(
+                    f"{self.host}:{self.port} closed the connection"
+                )
+        return parse_response(line)
+
+    # -- conveniences shared by every endpoint -------------------------
+
+    def ping(self) -> bool:
+        response, _ = self.call(PingRequest())
+        return getattr(response, "pong", False)
+
+    def metrics(self) -> str:
+        response, _ = self.call(MetricsRequest())
+        return response.metrics
+
+    @staticmethod
+    def _expect(response: Response, cls: type) -> Any:
+        if not isinstance(response, cls):
+            raise ProtocolError(
+                f"server answered with {response.kind!r}, "
+                f"expected {cls.kind!r}"
+            )
+        return response
+
+
+class ReconstructClient(ProtocolClient):
+    """Typed client for the single-process reconstruction frontend."""
+
+    def get(
+        self, name: str, *, deadline: float | None = None
+    ) -> ObjectInfoResponse:
+        """Reconstruct ``name``; returns its size/digest record."""
+        response, _ = self.call(GetRequest(name=name, deadline=deadline))
+        return self._expect(response, ObjectInfoResponse)
+
+    def stats(self) -> dict[str, Any]:
+        response, _ = self.call(StatsRequest())
+        return response.stats
+
+
+class ClusterClient(ProtocolClient):
+    """Typed client for a cluster coordinator (and its storage nodes).
+
+    The object-level calls (:meth:`put`, :meth:`get`, :meth:`status`,
+    :meth:`repair`, :meth:`join`, :meth:`leave`) target a coordinator;
+    the block-level calls target a storage node directly — the same
+    protocol serves both, so one client class covers both roles.
+    """
+
+    # -- coordinator object plane --------------------------------------
+
+    def put(self, name: str, payload: bytes) -> dict[str, Any]:
+        response, _ = self.call(
+            ClusterPutRequest(name=name, payload=payload)
+        )
+        return self._expect(response, AckResponse).info
+
+    def get(
+        self, name: str, *, want_payload: bool = False
+    ) -> ObjectInfoResponse:
+        response, _ = self.call(
+            ClusterGetRequest(name=name, want_payload=want_payload)
+        )
+        return self._expect(response, ObjectInfoResponse)
+
+    def status(self) -> dict[str, Any]:
+        response, _ = self.call(ClusterStatusRequest())
+        return self._expect(response, StatusResponse).status
+
+    def repair(self) -> dict[str, Any]:
+        response, _ = self.call(ClusterRepairRequest())
+        return self._expect(response, AckResponse).info
+
+    def join(self, node_id: str, host: str, port: int) -> dict[str, Any]:
+        response, _ = self.call(
+            ClusterJoinRequest(node_id=node_id, host=host, port=port)
+        )
+        return self._expect(response, AckResponse).info
+
+    def leave(self, node_id: str) -> dict[str, Any]:
+        response, _ = self.call(ClusterLeaveRequest(node_id=node_id))
+        return self._expect(response, AckResponse).info
+
+    # -- storage-node block plane --------------------------------------
+
+    def block_put(self, key: str, data: bytes) -> None:
+        self.call(BlockPutRequest(key=key, data=data))
+
+    def block_get(self, key: str) -> bytes:
+        response, _ = self.call(BlockGetRequest(key=key))
+        return self._expect(response, BlockDataResponse).data
+
+    def block_fetch(
+        self, keys: tuple[str, ...]
+    ) -> tuple[dict[str, bytes], tuple[str, ...]]:
+        response, _ = self.call(BlockFetchRequest(keys=tuple(keys)))
+        got = self._expect(response, BlockMapResponse)
+        return dict(got.blocks or {}), got.missing
+
+    def block_delete(self, key: str) -> bool:
+        response, _ = self.call(BlockDeleteRequest(key=key))
+        return bool(self._expect(response, AckResponse).info["deleted"])
+
+    def block_list(self, prefix: str = "") -> tuple[str, ...]:
+        response, _ = self.call(BlockListRequest(prefix=prefix))
+        return self._expect(response, KeyListResponse).keys
+
+    def node_stats(self) -> dict[str, Any]:
+        response, _ = self.call(NodeStatsRequest())
+        return response.stats
+
+    def node_admin(self, action: str) -> dict[str, Any]:
+        response, _ = self.call(NodeAdminRequest(action=action))
+        return self._expect(response, AckResponse).info

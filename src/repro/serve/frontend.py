@@ -1,14 +1,16 @@
 """Line-oriented JSON front end for the reconstruction service.
 
 ``repro serve`` binds this to a TCP port: one JSON object per line in,
-one per line out.  Operations::
+one per line out, framed by :mod:`repro.serve.protocol` (versioned;
+legacy unversioned frames are accepted as v0).  Operations::
 
-    {"op": "get", "name": "object-000"}        -> {"ok": true, "size": N,
-                                                   "sha256": "..."}
-    {"op": "get", "name": "...", "deadline": 0.5}
-    {"op": "stats"}                            -> {"ok": true, "stats": {...}}
-    {"op": "metrics"}                          -> {"ok": true, "metrics": "..."}
-    {"op": "ping"}                             -> {"ok": true, "pong": true}
+    {"v": 1, "op": "get", "name": "object-000"}
+        -> {"v": 1, "ok": true, "kind": "object", "size": N,
+            "sha256": "..."}
+    {"v": 1, "op": "get", "name": "...", "deadline": 0.5}
+    {"v": 1, "op": "stats"}    -> {..., "stats": {...}}
+    {"v": 1, "op": "metrics"}  -> {..., "metrics": "..."}
+    {"v": 1, "op": "ping"}     -> {..., "pong": true}
 
 ``metrics`` returns the service's registry snapshot rendered in the
 Prometheus text exposition format (see :mod:`repro.obs.prom`), so a
@@ -18,57 +20,76 @@ Responses to ``get`` carry the object's size and SHA-256 rather than
 the payload itself — the simulated archive serves integrity-checkable
 reconstructions, not bulk bytes, and keeping responses one short line
 makes the protocol trivially scriptable.  Errors are structured and
-explicit, mirroring the service's no-silent-drops contract::
+explicit, mirroring the service's no-silent-drops contract, with the
+protocol module's stable ``code`` taxonomy::
 
-    {"ok": false, "error": "ServiceOverloadedError", "message": "..."}
+    {"v": 1, "ok": false, "kind": "error", "code": "overloaded",
+     "error": "ServiceOverloadedError", "message": "..."}
+
+Requests on one connection are handled concurrently (a slow
+reconstruction does not block a pipelined ``ping``) with writes
+serialized per connection; pipelining clients correlate replies via
+the echoed ``id`` field.  A request frame carrying a ``trace`` context
+parents the service's request span under the remote caller's span —
+the cross-process half of end-to-end tracing.
 """
 
 from __future__ import annotations
 
 import asyncio
 import hashlib
-import json
 
 from ..obs.prom import render_prometheus
+from ..obs.trace import use_context
+from .lineserver import start_line_server
+from .protocol import (
+    Envelope,
+    GetRequest,
+    MetricsRequest,
+    MetricsResponse,
+    ObjectInfoResponse,
+    PingRequest,
+    PongResponse,
+    ProtocolError,
+    Request,
+    Response,
+    StatsRequest,
+    StatsResponse,
+)
 from .service import ReconstructionService
 
 __all__ = ["start_frontend"]
 
 
-async def _handle_request(
-    service: ReconstructionService, request: dict
-) -> dict:
-    op = request.get("op")
-    if op == "ping":
-        return {"ok": True, "pong": True}
-    if op == "stats":
-        return {"ok": True, "stats": service.stats()}
-    if op == "metrics":
-        return {
-            "ok": True,
-            "metrics": render_prometheus(service.metrics.snapshot()),
-        }
-    if op == "get":
-        name = request.get("name")
-        if not isinstance(name, str):
-            return {
-                "ok": False,
-                "error": "BadRequest",
-                "message": "'get' needs a string 'name'",
-            }
-        deadline = request.get("deadline")
-        data = await service.submit(name, deadline=deadline)
-        return {
-            "ok": True,
-            "name": name,
-            "size": len(data),
-            "sha256": hashlib.sha256(data).hexdigest(),
-        }
-    return {
-        "ok": False,
-        "error": "BadRequest",
-        "message": f"unknown op {op!r}",
-    }
+async def handle_request(
+    service: ReconstructionService, request: Request, envelope: Envelope
+) -> Response:
+    """Dispatch one typed frontend request against the service."""
+    if isinstance(request, PingRequest):
+        return PongResponse()
+    if isinstance(request, StatsRequest):
+        return StatsResponse(stats=service.stats())
+    if isinstance(request, MetricsRequest):
+        return MetricsResponse(
+            metrics=render_prometheus(service.metrics.snapshot())
+        )
+    if isinstance(request, GetRequest):
+        # A remote trace context makes the request span (and the whole
+        # batch/decode tree under it) a child of the caller's span.
+        with use_context(envelope.trace):
+            future = service.try_submit(
+                request.name, deadline=request.deadline
+            )
+        data = await future
+        return ObjectInfoResponse(
+            name=request.name,
+            size=len(data),
+            sha256=hashlib.sha256(data).hexdigest(),
+        )
+    raise ProtocolError(
+        f"op {request.op!r} is not served by this endpoint",
+        code="unknown_op",
+    )
 
 
 async def start_frontend(
@@ -82,42 +103,7 @@ async def start_frontend(
     drain/close the service.
     """
 
-    async def handle(
-        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                try:
-                    request = json.loads(line)
-                    if not isinstance(request, dict):
-                        raise ValueError("request must be a JSON object")
-                except ValueError as exc:
-                    response = {
-                        "ok": False,
-                        "error": "BadRequest",
-                        "message": f"invalid JSON: {exc}",
-                    }
-                else:
-                    try:
-                        response = await _handle_request(service, request)
-                    except Exception as exc:
-                        response = {
-                            "ok": False,
-                            "error": type(exc).__name__,
-                            "message": str(exc),
-                        }
-                writer.write(json.dumps(response).encode() + b"\n")
-                await writer.drain()
-        except asyncio.CancelledError:
-            # Server shutdown cancels in-flight handlers (on 3.11
-            # ``wait_closed`` does not wait for them); finish normally
-            # so the streams connection callback doesn't log the
-            # cancellation as an unhandled error.
-            pass
-        finally:
-            writer.close()
+    async def handler(request: Request, envelope: Envelope) -> Response:
+        return await handle_request(service, request, envelope)
 
-    return await asyncio.start_server(handle, host, port)
+    return await start_line_server(handler, host, port)

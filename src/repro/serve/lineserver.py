@@ -1,0 +1,113 @@
+"""Shared asyncio line-JSON server loop for every protocol speaker.
+
+The frontend, the cluster coordinator, and the storage nodes all speak
+the same framing (:mod:`repro.serve.protocol`); this module owns the
+one piece they would otherwise each reimplement: the per-connection
+read → dispatch → reply loop.
+
+Two properties matter:
+
+* **Concurrent handling, serialized writes.**  Each request line spawns
+  its own task, so a slow reconstruction never head-of-line blocks a
+  ``ping`` pipelined behind it on the same connection — and because
+  multiple handler tasks then race to reply, every write happens under
+  a per-connection :class:`asyncio.Lock` so response lines never
+  interleave mid-frame.  Clients that pipeline concurrently correlate
+  replies by the echoed ``id`` envelope field.
+* **No dropped connections on bad input.**  Malformed JSON, unknown
+  ops, and mistyped fields are answered with a structured error frame
+  (in the sender's protocol version, with its ``id``) and the
+  connection stays up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from .protocol import (
+    Envelope,
+    ErrorResponse,
+    ProtocolError,
+    Request,
+    Response,
+    encode_frame,
+    parse_request,
+)
+
+__all__ = ["Handler", "start_line_server"]
+
+# A handler maps one typed request to a typed response, optionally with
+# extra envelope fields to merge into the reply frame (e.g. shipped
+# trace spans).
+Handler = Callable[
+    [Request, Envelope],
+    "Awaitable[Response | tuple[Response, dict[str, Any]]]",
+]
+
+
+async def start_line_server(
+    handler: Handler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.base_events.Server:
+    """Serve the protocol on a TCP port (``port=0`` = ephemeral).
+
+    The caller owns the life cycle: close the returned server (and any
+    backing service) itself.
+    """
+
+    async def handle_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+
+        async def reply(frame: dict[str, Any]) -> None:
+            data = encode_frame(frame)
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+
+        async def process(line: bytes) -> None:
+            try:
+                request, envelope = parse_request(line)
+            except ProtocolError as exc:
+                await reply(
+                    ErrorResponse.from_exception(exc).to_frame(
+                        v=exc.v, request_id=exc.request_id
+                    )
+                )
+                return
+            try:
+                result = await handler(request, envelope)
+            except Exception as exc:
+                result = ErrorResponse.from_exception(exc)
+            extra: dict[str, Any] = {}
+            if isinstance(result, tuple):
+                result, extra = result
+            frame = result.to_frame(v=envelope.v, request_id=envelope.id)
+            if extra:
+                frame.update(extra)
+            await reply(frame)
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.create_task(process(line))
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+            while inflight:
+                await asyncio.gather(*list(inflight))
+        except (asyncio.CancelledError, ConnectionResetError):
+            # Server shutdown cancels in-flight handlers (on 3.11
+            # ``wait_closed`` does not wait for them); finish normally
+            # so the streams connection callback doesn't log the
+            # cancellation as an unhandled error.
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle_connection, host, port)

@@ -1,0 +1,781 @@
+"""Versioned line-JSON wire protocol shared by every network surface.
+
+One JSON object per line in each direction.  Before this module the
+frontend hand-rolled its frames inline; the cluster (coordinator ↔
+storage nodes ↔ clients, :mod:`repro.cluster`) multiplies the number of
+speakers, so framing, typing, versioning, and the error taxonomy live
+here once:
+
+* **Typed frames** — every operation is a :class:`Request` dataclass
+  (``op`` discriminator) and every reply a :class:`Response` dataclass
+  (``kind`` discriminator); :func:`parse_request`/:func:`parse_response`
+  validate field presence and types and raise :class:`ProtocolError`
+  with a stable ``code`` instead of dropping the connection.
+* **Versioning** — frames carry ``"v": 1``.  Frames *without* a ``v``
+  are accepted as legacy v0 (one :class:`DeprecationWarning` per
+  process) and answered in the exact pre-versioning response shape, so
+  old scripts keep working; frames with a ``v`` newer than
+  :data:`PROTOCOL_VERSION` are refused with ``unsupported_version``.
+* **Error taxonomy** — :func:`error_code` maps every exception a
+  handler can raise onto a small, stable set of ``code`` strings
+  (``overloaded``, ``deadline``, ``closed``, ``not_found``,
+  ``data_loss``, ``unavailable``, ``bad_request``, ``unknown_op``,
+  ``unsupported_version``, ``internal``); clients rebuild typed
+  exceptions from the code via :func:`exception_for`, independent of
+  server-side class names.
+* **Binary payloads** — ``bytes`` fields travel base64-encoded, so
+  block contents fit the one-line-per-frame discipline.
+* **Trace propagation** — request frames may carry a ``trace`` context
+  (``{"trace_id", "span_id"}``, see :mod:`repro.obs.trace`); servers
+  parent their spans under it, which is what stitches a cluster-wide
+  request → coordinator → node span tree across processes.
+
+The envelope fields (``v``, ``id``, ``trace``) stay out of the typed
+dataclasses: :func:`parse_request` returns ``(request, envelope)`` and
+:meth:`Response.to_frame` takes the envelope's version so v0 callers
+get v0 replies.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import warnings
+from dataclasses import MISSING, dataclass, fields
+from typing import Any, ClassVar, Iterable
+
+from ..storage.archive import DataLossError
+from ..storage.device import TransientUnavailableError
+from .errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Envelope",
+    "ProtocolError",
+    "RemoteError",
+    "Request",
+    "Response",
+    "PingRequest",
+    "StatsRequest",
+    "MetricsRequest",
+    "GetRequest",
+    "BlockPutRequest",
+    "BlockGetRequest",
+    "BlockFetchRequest",
+    "BlockDeleteRequest",
+    "BlockListRequest",
+    "NodeStatsRequest",
+    "NodeAdminRequest",
+    "ClusterPutRequest",
+    "ClusterGetRequest",
+    "ClusterStatusRequest",
+    "ClusterRepairRequest",
+    "ClusterJoinRequest",
+    "ClusterLeaveRequest",
+    "PongResponse",
+    "StatsResponse",
+    "MetricsResponse",
+    "ObjectInfoResponse",
+    "BlockDataResponse",
+    "BlockMapResponse",
+    "KeyListResponse",
+    "AckResponse",
+    "StatusResponse",
+    "ErrorResponse",
+    "decode_frame",
+    "encode_frame",
+    "encode_request",
+    "error_code",
+    "exception_for",
+    "parse_request",
+    "parse_response",
+]
+
+PROTOCOL_VERSION = 1
+
+_V0_WARNED = False
+
+
+class ProtocolError(ValueError):
+    """A frame the protocol cannot accept (always answerable).
+
+    Carries the stable error ``code`` plus whatever envelope facts were
+    recoverable from the offending frame, so servers can still reply
+    in the right version with the right correlation ``id``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "bad_request",
+        v: int = PROTOCOL_VERSION,
+        request_id: Any = None,
+    ):
+        self.code = code
+        self.v = v
+        self.request_id = request_id
+        super().__init__(message)
+
+
+class RemoteError(RuntimeError):
+    """A server-side failure with no richer local exception type.
+
+    Clients raise taxonomy-specific exceptions where a faithful local
+    type exists (:func:`exception_for`); everything else — data loss,
+    internal faults, protocol rejections from the server — surfaces as
+    a ``RemoteError`` carrying the stable ``code``.
+    """
+
+    def __init__(self, message: str, *, code: str = "internal"):
+        self.code = code
+        super().__init__(message)
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in ("overloaded", "unavailable")
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+
+# Exception type -> stable wire code, most specific first (the first
+# isinstance match wins).  New failure modes must pick an existing code
+# or extend this table — handlers never invent ad-hoc strings.
+_ERROR_TAXONOMY: tuple[tuple[type, str], ...] = (
+    (ServiceOverloadedError, "overloaded"),
+    (DeadlineExceededError, "deadline"),
+    (ServiceClosedError, "closed"),
+    (DataLossError, "data_loss"),
+    (TransientUnavailableError, "unavailable"),
+    (KeyError, "not_found"),
+    (ValueError, "bad_request"),
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire ``code`` for an exception (see module docs)."""
+    if isinstance(exc, ProtocolError):
+        return exc.code
+    if isinstance(exc, RemoteError):
+        return exc.code
+    for exc_type, code in _ERROR_TAXONOMY:
+        if isinstance(exc, exc_type):
+            return code
+    return "internal"
+
+
+def exception_for(code: str, message: str) -> Exception:
+    """Rebuild the most faithful client-side exception for a code."""
+    if code == "overloaded":
+        return ServiceOverloadedError(message)
+    if code == "deadline":
+        return DeadlineExceededError(message)
+    if code == "closed":
+        return ServiceClosedError(message)
+    if code == "not_found":
+        return KeyError(message)
+    if code == "unavailable":
+        return TransientUnavailableError(message)
+    return RemoteError(message, code=code)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """One frame as a newline-terminated JSON line."""
+    return json.dumps(frame, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_frame(line: bytes | str) -> dict[str, Any]:
+    """Parse one line into a frame dict or raise :class:`ProtocolError`."""
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError("invalid JSON: request must be a JSON object")
+    return frame
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Per-frame metadata living outside the typed request body."""
+
+    v: int = PROTOCOL_VERSION
+    id: Any = None
+    trace: dict[str, Any] | None = None
+
+
+def _parse_envelope(frame: dict[str, Any]) -> Envelope:
+    global _V0_WARNED
+    request_id = frame.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise ProtocolError("'id' must be a string or integer")
+    if "v" not in frame:
+        if not _V0_WARNED:
+            _V0_WARNED = True
+            warnings.warn(
+                "unversioned (v0) protocol frame accepted; add "
+                f'"v": {PROTOCOL_VERSION} to requests — v0 framing is '
+                "deprecated",
+                DeprecationWarning,
+                stacklevel=4,
+            )
+        v = 0
+    else:
+        v = frame["v"]
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            raise ProtocolError(
+                "'v' must be a non-negative integer",
+                request_id=request_id,
+            )
+        if v > PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version {v} not supported "
+                f"(max {PROTOCOL_VERSION})",
+                code="unsupported_version",
+                request_id=request_id,
+            )
+    trace = frame.get("trace")
+    if trace is not None:
+        if (
+            not isinstance(trace, dict)
+            or not isinstance(trace.get("trace_id"), str)
+            or not isinstance(trace.get("span_id"), str)
+        ):
+            raise ProtocolError(
+                "'trace' must carry string trace_id and span_id",
+                v=v,
+                request_id=request_id,
+            )
+    return Envelope(v=v, id=request_id, trace=trace)
+
+
+# ----------------------------------------------------------------------
+# Field (de)serialisation shared by requests and responses
+# ----------------------------------------------------------------------
+
+_ENVELOPE_KEYS = frozenset(("v", "id", "op", "kind", "ok", "trace"))
+
+
+def _coerce(ctx: str, name: str, annotation: str, value: Any) -> Any:
+    """Validate and convert one wire value per its field annotation."""
+
+    def fail(expected: str) -> ProtocolError:
+        return ProtocolError(
+            f"{ctx} field {name!r} must be {expected}, "
+            f"got {type(value).__name__}"
+        )
+
+    optional = annotation.endswith(" | None")
+    base = annotation[: -len(" | None")] if optional else annotation
+    if value is None:
+        if optional:
+            return None
+        raise fail(base)
+    if base == "str":
+        if not isinstance(value, str):
+            raise fail("a string")
+        return value
+    if base == "int":
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise fail("an integer")
+        return value
+    if base == "bool":
+        if not isinstance(value, bool):
+            raise fail("a boolean")
+        return value
+    if base == "float":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise fail("a number")
+        return float(value)
+    if base == "bytes":
+        if not isinstance(value, str):
+            raise fail("base64 text")
+        try:
+            return base64.b64decode(value.encode("ascii"), validate=True)
+        except (binascii.Error, UnicodeEncodeError):
+            raise ProtocolError(
+                f"{ctx} field {name!r} is not valid base64"
+            ) from None
+    if base == "dict":
+        if not isinstance(value, dict):
+            raise fail("an object")
+        return value
+    if base == "tuple[str, ...]":
+        if not isinstance(value, list) or not all(
+            isinstance(x, str) for x in value
+        ):
+            raise fail("a list of strings")
+        return tuple(value)
+    if base == "dict[str, bytes]":
+        if not isinstance(value, dict) or not all(
+            isinstance(k, str) and isinstance(x, str)
+            for k, x in value.items()
+        ):
+            raise fail("an object of base64 text values")
+        try:
+            return {
+                k: base64.b64decode(x.encode("ascii"), validate=True)
+                for k, x in value.items()
+            }
+        except (binascii.Error, UnicodeEncodeError):
+            raise ProtocolError(
+                f"{ctx} field {name!r} holds invalid base64"
+            ) from None
+    raise TypeError(
+        f"unsupported protocol field annotation {annotation!r}"
+    )  # pragma: no cover - programming error, not wire input
+
+
+def _to_wire(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return base64.b64encode(value).decode("ascii")
+    if isinstance(value, tuple):
+        return [_to_wire(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _to_wire(v) for k, v in value.items()}
+    return value
+
+
+def _body_fields(obj: Any) -> Iterable[tuple[str, Any]]:
+    for f in fields(obj):
+        yield f.name, getattr(obj, f.name)
+
+
+def _from_frame(cls, ctx: str, frame: dict[str, Any]):
+    kwargs: dict[str, Any] = {}
+    for f in fields(cls):
+        if f.name not in frame:
+            if f.default is MISSING and f.default_factory is MISSING:
+                raise ProtocolError(
+                    f"{ctx} requires field {f.name!r}"
+                )
+            continue
+        kwargs[f.name] = _coerce(ctx, f.name, f.type, frame[f.name])
+    return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class: one typed operation, discriminated by ``op``."""
+
+    op: ClassVar[str]
+
+    def to_frame(
+        self,
+        *,
+        v: int = PROTOCOL_VERSION,
+        request_id: Any = None,
+        trace: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        frame: dict[str, Any] = {}
+        if v >= 1:
+            frame["v"] = v
+        frame["op"] = self.op
+        if request_id is not None:
+            frame["id"] = request_id
+        if trace is not None:
+            frame["trace"] = dict(trace)
+        for name, value in _body_fields(self):
+            if value is not None:
+                frame[name] = _to_wire(value)
+        return frame
+
+
+_REQUEST_TYPES: dict[str, type[Request]] = {}
+
+
+def _request(cls: type[Request]) -> type[Request]:
+    _REQUEST_TYPES[cls.op] = cls
+    return cls
+
+
+@_request
+@dataclass(frozen=True)
+class PingRequest(Request):
+    op: ClassVar[str] = "ping"
+
+
+@_request
+@dataclass(frozen=True)
+class StatsRequest(Request):
+    op: ClassVar[str] = "stats"
+
+
+@_request
+@dataclass(frozen=True)
+class MetricsRequest(Request):
+    op: ClassVar[str] = "metrics"
+
+
+@_request
+@dataclass(frozen=True)
+class GetRequest(Request):
+    """Reconstruct one archived object (frontend) or cluster object."""
+
+    op: ClassVar[str] = "get"
+    name: str = ""
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProtocolError("'get' needs a string 'name'")
+
+
+@_request
+@dataclass(frozen=True)
+class BlockPutRequest(Request):
+    op: ClassVar[str] = "block.put"
+    key: str = ""
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ProtocolError("'block.put' needs a string 'key'")
+
+
+@_request
+@dataclass(frozen=True)
+class BlockGetRequest(Request):
+    op: ClassVar[str] = "block.get"
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ProtocolError("'block.get' needs a string 'key'")
+
+
+@_request
+@dataclass(frozen=True)
+class BlockFetchRequest(Request):
+    """Bulk block read: one RPC returns every held key of the batch."""
+
+    op: ClassVar[str] = "block.fetch"
+    keys: tuple[str, ...] = ()
+
+
+@_request
+@dataclass(frozen=True)
+class BlockDeleteRequest(Request):
+    op: ClassVar[str] = "block.delete"
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ProtocolError("'block.delete' needs a string 'key'")
+
+
+@_request
+@dataclass(frozen=True)
+class BlockListRequest(Request):
+    op: ClassVar[str] = "block.list"
+    prefix: str = ""
+
+
+@_request
+@dataclass(frozen=True)
+class NodeStatsRequest(Request):
+    op: ClassVar[str] = "node.stats"
+
+
+@_request
+@dataclass(frozen=True)
+class NodeAdminRequest(Request):
+    """Storage-node fault control: interrupt/restore/step availability."""
+
+    op: ClassVar[str] = "node.admin"
+    action: str = ""
+
+    _ACTIONS: ClassVar[tuple[str, ...]] = ("interrupt", "restore", "step")
+
+    def __post_init__(self) -> None:
+        if self.action not in self._ACTIONS:
+            raise ProtocolError(
+                f"'node.admin' action must be one of {self._ACTIONS}"
+            )
+
+
+@_request
+@dataclass(frozen=True)
+class ClusterPutRequest(Request):
+    op: ClassVar[str] = "cluster.put"
+    name: str = ""
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProtocolError("'cluster.put' needs a string 'name'")
+
+
+@_request
+@dataclass(frozen=True)
+class ClusterGetRequest(Request):
+    op: ClassVar[str] = "cluster.get"
+    name: str = ""
+    want_payload: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProtocolError("'cluster.get' needs a string 'name'")
+
+
+@_request
+@dataclass(frozen=True)
+class ClusterStatusRequest(Request):
+    op: ClassVar[str] = "cluster.status"
+
+
+@_request
+@dataclass(frozen=True)
+class ClusterRepairRequest(Request):
+    op: ClassVar[str] = "cluster.repair"
+
+
+@_request
+@dataclass(frozen=True)
+class ClusterJoinRequest(Request):
+    op: ClassVar[str] = "cluster.join"
+    node_id: str = ""
+    host: str = ""
+    port: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.node_id or not self.host or not self.port:
+            raise ProtocolError(
+                "'cluster.join' needs node_id, host and port"
+            )
+
+
+@_request
+@dataclass(frozen=True)
+class ClusterLeaveRequest(Request):
+    op: ClassVar[str] = "cluster.leave"
+    node_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ProtocolError("'cluster.leave' needs a string 'node_id'")
+
+
+def parse_request(line: bytes | str) -> tuple[Request, Envelope]:
+    """Parse one request line into ``(typed request, envelope)``.
+
+    Raises :class:`ProtocolError` — carrying whatever version and ``id``
+    could be recovered — for invalid JSON, bad envelopes, unknown ops,
+    and missing or mistyped fields.
+    """
+    frame = decode_frame(line)
+    envelope = _parse_envelope(frame)
+    op = frame.get("op")
+    cls = _REQUEST_TYPES.get(op) if isinstance(op, str) else None
+    if cls is None:
+        raise ProtocolError(
+            f"unknown op {op!r}",
+            code="unknown_op",
+            v=envelope.v,
+            request_id=envelope.id,
+        )
+    try:
+        request = _from_frame(cls, f"{op!r}", frame)
+    except ProtocolError as exc:
+        raise ProtocolError(
+            str(exc), code=exc.code, v=envelope.v, request_id=envelope.id
+        ) from None
+    return request, envelope
+
+
+def encode_request(
+    request: Request,
+    *,
+    v: int = PROTOCOL_VERSION,
+    request_id: Any = None,
+    trace: dict[str, Any] | None = None,
+) -> bytes:
+    """Client-side encoding of one typed request."""
+    return encode_frame(
+        request.to_frame(v=v, request_id=request_id, trace=trace)
+    )
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Response:
+    """Base class: one typed reply, discriminated by ``kind``.
+
+    ``to_frame(v=0)`` reproduces the exact pre-versioning wire shape
+    (no ``v``/``kind``/``id`` keys) so legacy clients see what they
+    always saw; v1 frames add the envelope.
+    """
+
+    kind: ClassVar[str]
+    ok: ClassVar[bool] = True
+
+    def to_frame(
+        self, *, v: int = PROTOCOL_VERSION, request_id: Any = None
+    ) -> dict[str, Any]:
+        frame: dict[str, Any] = {}
+        if v >= 1:
+            frame["v"] = v
+        frame["ok"] = self.ok
+        if v >= 1:
+            frame["kind"] = self.kind
+            if request_id is not None:
+                frame["id"] = request_id
+        for name, value in _body_fields(self):
+            if value is not None:
+                frame[name] = _to_wire(value)
+        return frame
+
+
+_RESPONSE_TYPES: dict[str, type[Response]] = {}
+
+
+def _response(cls: type[Response]) -> type[Response]:
+    _RESPONSE_TYPES[cls.kind] = cls
+    return cls
+
+
+@_response
+@dataclass(frozen=True)
+class PongResponse(Response):
+    kind: ClassVar[str] = "pong"
+    pong: bool = True
+
+
+@_response
+@dataclass(frozen=True)
+class StatsResponse(Response):
+    kind: ClassVar[str] = "stats"
+    stats: dict = None  # type: ignore[assignment]
+
+
+@_response
+@dataclass(frozen=True)
+class MetricsResponse(Response):
+    kind: ClassVar[str] = "metrics"
+    metrics: str = ""
+
+
+@_response
+@dataclass(frozen=True)
+class ObjectInfoResponse(Response):
+    """A reconstructed object: size + digest, payload only on request."""
+
+    kind: ClassVar[str] = "object"
+    name: str = ""
+    size: int = 0
+    sha256: str = ""
+    payload: bytes | None = None
+
+
+@_response
+@dataclass(frozen=True)
+class BlockDataResponse(Response):
+    kind: ClassVar[str] = "block"
+    key: str = ""
+    data: bytes = b""
+
+
+@_response
+@dataclass(frozen=True)
+class BlockMapResponse(Response):
+    kind: ClassVar[str] = "blocks"
+    blocks: dict[str, bytes] = None  # type: ignore[assignment]
+    missing: tuple[str, ...] = ()
+
+
+@_response
+@dataclass(frozen=True)
+class KeyListResponse(Response):
+    kind: ClassVar[str] = "keys"
+    keys: tuple[str, ...] = ()
+
+
+@_response
+@dataclass(frozen=True)
+class AckResponse(Response):
+    """Generic acknowledgement with operation-specific detail fields."""
+
+    kind: ClassVar[str] = "ack"
+    info: dict = None  # type: ignore[assignment]
+
+
+@_response
+@dataclass(frozen=True)
+class StatusResponse(Response):
+    kind: ClassVar[str] = "status"
+    status: dict = None  # type: ignore[assignment]
+
+
+@_response
+@dataclass(frozen=True)
+class ErrorResponse(Response):
+    kind: ClassVar[str] = "error"
+    ok: ClassVar[bool] = False
+    code: str = "internal"
+    error: str = "Error"
+    message: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorResponse":
+        # ProtocolError keeps the historical "BadRequest" error name the
+        # v0 frontend used; everything else reports its class name.
+        name = (
+            "BadRequest"
+            if isinstance(exc, ProtocolError)
+            else type(exc).__name__
+        )
+        message = exc.args[0] if type(exc) is KeyError and exc.args else exc
+        return cls(
+            code=error_code(exc), error=name, message=str(message)
+        )
+
+    def raise_remote(self) -> None:
+        """Raise the most faithful client-side exception for this error."""
+        raise exception_for(self.code, self.message)
+
+
+def parse_response(
+    line: bytes | str,
+) -> tuple[Response, dict[str, Any]]:
+    """Parse one v1 response line into ``(typed response, raw frame)``.
+
+    The raw frame rides along for envelope extras (``id``, shipped
+    ``spans``).  Error frames always parse — even from a v0 server —
+    so clients can surface the failure instead of desynchronising.
+    """
+    frame = decode_frame(line)
+    if not frame.get("ok", False):
+        return (
+            ErrorResponse(
+                code=frame.get("code", "internal"),
+                error=frame.get("error", "Error"),
+                message=frame.get("message", ""),
+            ),
+            frame,
+        )
+    kind = frame.get("kind")
+    cls = _RESPONSE_TYPES.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise ProtocolError(f"response has unknown kind {kind!r}")
+    return _from_frame(cls, f"{kind!r} response", frame), frame

@@ -1,6 +1,12 @@
 """Simulated archival storage: devices, stripes, archive, MAID, monitor."""
 
 from .archive import DataLossError, ObjectManifest, StripeRecord, TornadoArchive
+from .blockstore import (
+    DeviceBlockStore,
+    LocalBlockStore,
+    block_key,
+    parse_block_key,
+)
 from .device import Device, DeviceArray, DeviceState, TransientUnavailableError
 from .integrity import CorruptBlock, IntegrityReport, IntegrityScanner, corrupt_block
 from .maid import MAIDPowerModel, PowerReport, SessionMeter
@@ -28,7 +34,11 @@ __all__ = [
     "DataLossError",
     "Device",
     "DeviceArray",
+    "DeviceBlockStore",
     "DeviceState",
+    "LocalBlockStore",
+    "block_key",
+    "parse_block_key",
     "MAIDPowerModel",
     "MonitorReport",
     "ObjectManifest",

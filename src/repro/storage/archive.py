@@ -21,6 +21,7 @@ import numpy as np
 from ..core.codec import DecodeFailure, TornadoCodec
 from ..core.graph import ErasureGraph
 from ..obs.registry import registry
+from .blockstore import DeviceBlockStore, block_key
 from .device import DeviceArray, DeviceState, TransientUnavailableError
 from .retrieval import FALLBACK_CHAIN
 from .stripe import StripeMap, rotated_placement
@@ -59,8 +60,9 @@ class ObjectManifest:
     stripes: tuple[StripeRecord, ...]
 
 
-def _block_key(name: str, stripe_index: int, node: int) -> str:
-    return f"{name}/{stripe_index}/{node}"
+# The canonical key scheme lives in repro.storage.blockstore; this alias
+# keeps the historical import path (integrity checks, tests) working.
+_block_key = block_key
 
 
 class TornadoArchive:
@@ -90,6 +92,7 @@ class TornadoArchive:
             )
         self.graph = graph
         self.devices = devices
+        self.blocks = DeviceBlockStore(devices)
         self.codec = TornadoCodec(graph, block_size)
         self.objects: dict[str, ObjectManifest] = {}
         self._next_stripe = 0
@@ -107,9 +110,8 @@ class TornadoArchive:
             self._next_stripe += 1
             placement = rotated_placement(self.graph, len(self.devices), idx)
             for node, dev in enumerate(placement.device_of):
-                self.devices[dev].write_block(
-                    _block_key(name, idx, node),
-                    encoded.blocks[node].tobytes(),
+                self.blocks.write(
+                    dev, name, idx, node, encoded.blocks[node].tobytes()
                 )
             records.append(
                 StripeRecord(
@@ -159,9 +161,7 @@ class TornadoArchive:
         manifest = self._manifest(name)
         for record in manifest.stripes:
             for node, dev in enumerate(record.placement.device_of):
-                self.devices[dev].blocks.pop(
-                    _block_key(name, record.index, node), None
-                )
+                self.blocks.discard(dev, name, record.index, node)
         del self.objects[name]
 
     # ------------------------------------------------------------------
@@ -178,8 +178,9 @@ class TornadoArchive:
             # Blocks may also be missing because a rebuilt device came
             # back empty.
             for node, dev in enumerate(record.placement.device_of):
-                key = _block_key(name, record.index, node)
-                if avail[dev] and key not in self.devices[dev].blocks:
+                if avail[dev] and not self.blocks.has(
+                    dev, name, record.index, node
+                ):
                     missing.append(node)
             out[record.index] = sorted(set(missing))
         return out
@@ -206,9 +207,8 @@ class TornadoArchive:
             for node in missing:
                 dev = record.placement.device_of[node]
                 if avail[dev]:
-                    self.devices[dev].write_block(
-                        _block_key(name, record.index, node),
-                        full[node].tobytes(),
+                    self.blocks.write(
+                        dev, name, record.index, node, full[node].tobytes()
                     )
                     repaired += 1
         return repaired
@@ -248,10 +248,9 @@ class TornadoArchive:
         for node, dev in enumerate(record.placement.device_of):
             if not avail[dev]:
                 continue
-            key = _block_key(name, record.index, node)
-            if key not in self.devices[dev].blocks:
+            if not self.blocks.has(dev, name, record.index, node):
                 continue
-            raw = self.devices[dev].read_block(key)
+            raw = self.blocks.read(dev, name, record.index, node)
             blocks[node] = np.frombuffer(raw, dtype=np.uint8)
             present[node] = True
         return blocks, present
@@ -271,10 +270,9 @@ class TornadoArchive:
         present = np.zeros(g.num_nodes, dtype=bool)
         for node in nodes:
             dev = record.placement.device_of[node]
-            key = _block_key(name, record.index, node)
-            if key not in self.devices[dev].blocks:
+            if not self.blocks.has(dev, name, record.index, node):
                 continue  # rebuilt-empty device: block awaits repair
-            raw = self.devices[dev].read_block(key)
+            raw = self.blocks.read(dev, name, record.index, node)
             blocks[node] = np.frombuffer(raw, dtype=np.uint8)
             present[node] = True
         return blocks, present

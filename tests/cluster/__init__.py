@@ -1,0 +1,1 @@
+"""Cluster subsystem tests."""

@@ -1,0 +1,300 @@
+"""Coordinator end-to-end: placement, degraded reads, repair, traces."""
+
+import asyncio
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterCoordinator, StorageNode, start_storage_node
+from repro.cluster.coordinator import start_coordinator
+from repro.graphs import tornado_catalog_graph
+from repro.obs.trace import Tracer, trace_capture
+from repro.serve.client import ClusterClient
+from repro.serve.plancache import PlanCache
+from repro.storage.device import TransientUnavailableError
+
+
+def catalog_graph():
+    return tornado_catalog_graph(3)  # 96 graph nodes, 48 data
+
+
+class Cluster:
+    """An in-process coordinator plus N served storage nodes."""
+
+    def __init__(self, coordinator, nodes, servers):
+        self.coordinator = coordinator
+        self.nodes = nodes
+        self.servers = servers
+
+    @classmethod
+    async def start(cls, members=3, block_size=64):
+        coordinator = ClusterCoordinator(
+            catalog_graph(), block_size=block_size
+        )
+        nodes, servers = {}, {}
+        for i in range(members):
+            node_id = f"node-{i}"
+            node = StorageNode(node_id, seed=i)
+            server = await start_storage_node(node, port=0)
+            host, port = server.sockets[0].getsockname()[:2]
+            await coordinator.register(node_id, host, port)
+            nodes[node_id], servers[node_id] = node, server
+        return cls(coordinator, nodes, servers)
+
+    async def kill(self, node_id):
+        """SIGKILL analogue: server gone, connection dropped."""
+        self.servers[node_id].close()
+        await self.servers[node_id].wait_closed()
+        self.coordinator._drop_connection(
+            self.coordinator.nodes[node_id]
+        )
+
+    async def close(self):
+        for server in self.servers.values():
+            server.close()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def payload_bytes(n, seed=0):
+    return np.random.default_rng(seed).bytes(n)
+
+
+class TestPlacement:
+    def test_stripe_placement_is_a_rotation_of_the_membership(self):
+        async def check():
+            cluster = await Cluster.start(members=3)
+            coord = cluster.coordinator
+            placement = coord._stripe_placement("obj", 0)
+            members = coord.ring.members
+            assert len(placement) == coord.graph.num_nodes
+            anchor = members.index(placement[0])
+            for j, node_id in enumerate(placement):
+                assert node_id == members[(anchor + j) % len(members)]
+            await cluster.close()
+
+        run(check())
+
+    def test_single_node_loss_is_always_decodable(self):
+        # The certified property behind striding: for any membership
+        # size >= 3 and any anchor, losing one member erases a strided
+        # mask the catalog graph decodes.
+        graph = catalog_graph()
+        plans = PlanCache(64)
+        for members in (3, 4, 5):
+            for lost in range(members):
+                for anchor in range(members):
+                    missing = [
+                        j
+                        for j in range(graph.num_nodes)
+                        if (anchor + j) % members == lost
+                    ]
+                    assert plans.schedule(
+                        graph, missing
+                    ).success, (members, lost, anchor)
+
+    def test_put_records_placement_in_manifest(self):
+        async def check():
+            cluster = await Cluster.start(members=3)
+            coord = cluster.coordinator
+            await coord.put("obj", payload_bytes(2000))
+            manifest = coord.manifests["obj"]
+            for record in manifest.stripes:
+                assert record.placement == coord._stripe_placement(
+                    "obj", record.index
+                )
+            await cluster.close()
+
+        run(check())
+
+
+class TestEndToEnd:
+    def test_put_get_round_trip(self):
+        async def check():
+            cluster = await Cluster.start(members=3)
+            coord = cluster.coordinator
+            payload = payload_bytes(12800)
+            info = await coord.put("obj", payload)
+            assert info["failed_blocks"] == 0
+            got = await coord.get("obj", want_payload=True)
+            assert got.payload == payload
+            assert (
+                got.sha256 == hashlib.sha256(payload).hexdigest()
+            )
+            await cluster.close()
+
+        run(check())
+
+    def test_degraded_read_with_one_node_dead(self):
+        async def check():
+            cluster = await Cluster.start(members=3)
+            coord = cluster.coordinator
+            payload = payload_bytes(9000, seed=1)
+            await coord.put("obj", payload)
+            await cluster.kill("node-0")
+            got = await coord.get("obj", want_payload=True)
+            assert got.payload == payload
+            await cluster.close()
+
+        run(check())
+
+    def test_transient_outage_decodes_around_the_dark_node(self):
+        async def check():
+            cluster = await Cluster.start(members=3)
+            coord = cluster.coordinator
+            payload = payload_bytes(5000, seed=2)
+            await coord.put("obj", payload)
+            cluster.nodes["node-1"].interrupt(steps=100)
+            got = await coord.get("obj", want_payload=True)
+            assert got.payload == payload
+            # Blocks were never lost — restore and read again.
+            cluster.nodes["node-1"].restore()
+            got = await coord.get("obj", want_payload=True)
+            assert got.payload == payload
+            await cluster.close()
+
+        run(check())
+
+    def test_leave_rebuilds_lost_blocks_and_meters_bytes(self):
+        async def check():
+            cluster = await Cluster.start(members=3)
+            coord = cluster.coordinator
+            payload = payload_bytes(12800, seed=3)
+            await coord.put("obj", payload)
+            await cluster.kill("node-0")
+            summary = await coord.deregister("node-0")
+            assert summary["rebuilt_blocks"] > 0
+            assert summary["unrepairable_blocks"] == 0
+            assert coord.repair_bytes > 0
+            per_node = coord.repair_bytes_by_node
+            assert set(per_node) <= {"node-1", "node-2"}
+            assert sum(per_node.values()) == coord.repair_bytes
+            got = await coord.get("obj", want_payload=True)
+            assert got.payload == payload
+            status = await coord.status()
+            assert status["repair_bytes"] == coord.repair_bytes
+            await cluster.close()
+
+        run(check())
+
+    def test_rejoin_re_shards_back_and_leaves_no_strays(self):
+        async def check():
+            cluster = await Cluster.start(members=3)
+            coord = cluster.coordinator
+            payload = payload_bytes(12800, seed=4)
+            await coord.put("obj", payload)
+            await cluster.kill("node-0")
+            await coord.deregister("node-0")
+            # Fresh empty node under the old name rejoins.
+            node = StorageNode("node-0", seed=9)
+            server = await start_storage_node(node, port=0)
+            host, port = server.sockets[0].getsockname()[:2]
+            cluster.nodes["node-0"] = node
+            cluster.servers["node-0"] = server
+            summary = await coord.register("node-0", host, port)
+            assert summary["moved_blocks"] > 0
+            got = await coord.get("obj", want_payload=True)
+            assert got.payload == payload
+            # Every block held exactly once cluster-wide, and the
+            # manifests' recorded placement matches reality.
+            holders = await coord._inventory()
+            assert all(len(v) == 1 for v in holders.values())
+            for record in coord.manifests["obj"].stripes:
+                assert record.placement == coord._stripe_placement(
+                    "obj", record.index
+                )
+            await cluster.close()
+
+        run(check())
+
+    def test_all_nodes_lost_is_unavailable_not_silence(self):
+        async def check():
+            cluster = await Cluster.start(members=3)
+            coord = cluster.coordinator
+            await coord.put("obj", payload_bytes(1000, seed=5))
+            for node_id in list(cluster.servers):
+                await cluster.kill(node_id)
+            with pytest.raises(TransientUnavailableError):
+                await coord.get("obj")
+            await cluster.close()
+
+        run(check())
+
+    def test_unknown_object_raises_key_error(self):
+        async def check():
+            cluster = await Cluster.start(members=3)
+            with pytest.raises(KeyError):
+                await cluster.coordinator.get("ghost")
+            await cluster.close()
+
+        run(check())
+
+
+class TestServedCoordinator:
+    def test_client_against_served_coordinator(self):
+        async def serve_and_exercise():
+            cluster = await Cluster.start(members=3)
+            server = await start_coordinator(
+                cluster.coordinator, port=0
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+
+            def exercise():
+                payload = payload_bytes(4000, seed=6)
+                with ClusterClient(host, port) as client:
+                    info = client.put("obj", payload)
+                    assert info["failed_blocks"] == 0
+                    got = client.get("obj", want_payload=True)
+                    assert got.payload == payload
+                    status = client.status()
+                    assert len(status["nodes"]) == 3
+                    assert all(
+                        entry["alive"]
+                        for entry in status["nodes"].values()
+                    )
+                    repair = client.repair()
+                    assert repair["unrepairable_blocks"] == 0
+
+            await asyncio.to_thread(exercise)
+            server.close()
+            await cluster.close()
+
+        run(serve_and_exercise())
+
+
+class TestTraceStitching:
+    def test_cluster_wide_span_tree_has_no_orphans(self):
+        tracer = Tracer(seed=5)
+
+        async def check():
+            cluster = await Cluster.start(members=3)
+            coord = cluster.coordinator
+            payload = payload_bytes(3000, seed=7)
+            await coord.put("obj", payload)
+            got = await coord.get("obj", want_payload=True)
+            assert got.payload == payload
+            await cluster.close()
+
+        with trace_capture(tracer):
+            run(check())
+        records = tracer.records
+        by_id = {r["span_id"]: r for r in records}
+        names = {r["name"] for r in records}
+        # Coordinator RPC spans and shipped node spans both landed.
+        assert any(n.startswith("cluster.rpc.") for n in names)
+        assert any(n.startswith("node.") for n in names)
+        orphans = [
+            r
+            for r in records
+            if r.get("parent_id") and r["parent_id"] not in by_id
+        ]
+        assert orphans == []
+        # Node spans parent under the coordinator's RPC spans.
+        for r in records:
+            if r["name"].startswith("node."):
+                parent = by_id[r["parent_id"]]
+                assert parent["name"].startswith("cluster.rpc.")
+                assert parent["trace_id"] == r["trace_id"]

@@ -1,0 +1,61 @@
+"""Multi-process cluster exercise via the CLI driver (slow-ish)."""
+
+import json
+
+from repro.cli import main
+
+
+class TestClusterLoadgenCLI:
+    def test_kill_repair_rejoin_zero_data_loss(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        trace_dir = tmp_path / "traces"
+        code = main(
+            [
+                "cluster",
+                "loadgen",
+                "--nodes",
+                "3",
+                "--objects",
+                "2",
+                "--object-size",
+                "2048",
+                "--block-size",
+                "256",
+                "--requests",
+                "10",
+                "--rate",
+                "500",
+                "--seed",
+                "0",
+                "--trace-dir",
+                str(trace_dir),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "ZERO data loss" in text
+        report = json.loads(out.read_text())
+        assert report["data_loss"] is False
+        assert report["failed"] == 0
+        assert report["mismatched"] == 0
+        assert report["killed_node"] == "node-0"
+        assert report["rejoined"] is True
+        assert report["verified_objects"] == report["objects"]
+        # Cross-node repair traffic is first-class and non-zero.
+        assert report["status"]["repair_bytes"] > 0
+        assert report["repair"]["rebuilt_blocks"] > 0
+        # The driver and coordinator both wrote trace files.
+        driver = trace_dir / "driver.jsonl"
+        coordinator = trace_dir / "coordinator.jsonl"
+        assert driver.exists() and coordinator.exists()
+        # Stitching both files yields an orphan-free cluster-wide tree.
+        code = main(
+            ["obs", "trace-tree", str(driver), str(coordinator)]
+        )
+        assert code == 0
+        tree = capsys.readouterr().out
+        assert "orphaned spans: none" in tree
+        assert "client.cluster.get" in tree
+        assert "node.block.fetch" in tree

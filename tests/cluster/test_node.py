@@ -1,0 +1,135 @@
+"""Storage-node logic: block store, availability process, ship-back."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cluster import StorageNode, start_storage_node
+from repro.resilience import FaultPlan
+from repro.resilience.faults import TransientOutages
+from repro.serve.protocol import (
+    BlockFetchRequest,
+    BlockGetRequest,
+    BlockListRequest,
+    BlockPutRequest,
+    NodeStatsRequest,
+    PingRequest,
+)
+from repro.storage.device import TransientUnavailableError
+
+
+class TestStorageNodeLogic:
+    def test_block_ops_round_trip(self):
+        node = StorageNode("n0")
+        node.handle(BlockPutRequest(key="a/0/0", data=b"xy"))
+        got = node.handle(BlockGetRequest(key="a/0/0"))
+        assert got.data == b"xy"
+        fetched = node.handle(
+            BlockFetchRequest(keys=("a/0/0", "a/0/1"))
+        )
+        assert fetched.blocks == {"a/0/0": b"xy"}
+        assert fetched.missing == ("a/0/1",)
+        listed = node.handle(BlockListRequest(prefix="a/"))
+        assert listed.keys == ("a/0/0",)
+
+    def test_interrupt_gates_data_plane_not_control_plane(self):
+        node = StorageNode("n0")
+        node.handle(BlockPutRequest(key="k", data=b"v"))
+        node.interrupt(steps=2)
+        with pytest.raises(TransientUnavailableError):
+            node.handle(BlockGetRequest(key="k"))
+        # Control plane answers during the outage.
+        assert node.handle(PingRequest()).pong is True
+        stats = node.handle(NodeStatsRequest()).stats
+        assert stats["available"] is False
+        assert stats["outage_remaining"] == 2
+        # Stepping through the outage restores availability.
+        assert node.step() is False
+        assert node.step() is True
+        assert node.handle(BlockGetRequest(key="k")).data == b"v"
+
+    def test_fault_plan_drives_outages_deterministically(self):
+        plan = FaultPlan(
+            faults=(TransientOutages(rate=1.0, mean_outage_steps=3),)
+        )
+        a = StorageNode("n0", seed=7, fault_plan=plan)
+        b = StorageNode("n0", seed=7, fault_plan=plan)
+        trace_a = [a.step() for _ in range(50)]
+        trace_b = [b.step() for _ in range(50)]
+        assert trace_a == trace_b
+        assert a.outages_drawn > 0
+        assert not all(trace_a)  # rate=1.0 must actually go dark
+
+    def test_non_transient_fault_specs_are_ignored(self):
+        # Block-level faults belong to the device layer; a node keeps
+        # only the availability specs of a mixed plan.
+        plan = FaultPlan(faults=())
+        node = StorageNode("n0", fault_plan=plan)
+        assert all(node.step() for _ in range(20))
+
+    def test_rejects_empty_node_id(self):
+        with pytest.raises(ValueError):
+            StorageNode("")
+
+
+class TestStorageNodeServer:
+    def test_trace_context_ships_spans_back(self):
+        async def run():
+            node = StorageNode("n0", seed=3)
+            server = await start_storage_node(node, port=0)
+            try:
+                host, port = server.sockets[0].getsockname()[:2]
+                reader, writer = await asyncio.open_connection(
+                    host, port
+                )
+                frame = {
+                    "v": 1,
+                    "id": 1,
+                    "op": "block.put",
+                    "key": "k",
+                    "data": "eA==",
+                    "trace": {"trace_id": "t" * 16, "span_id": "s" * 16},
+                }
+                writer.write(json.dumps(frame).encode() + b"\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+            return reply
+
+        reply = asyncio.run(run())
+        assert reply["ok"] is True
+        spans = reply["spans"]
+        assert len(spans) == 1
+        # The shipped span parents under the caller's context, in the
+        # caller's trace — that is what stitches the cluster-wide tree.
+        assert spans[0]["name"] == "node.block.put"
+        assert spans[0]["trace_id"] == "t" * 16
+        assert spans[0]["parent_id"] == "s" * 16
+
+    def test_untraced_request_ships_no_spans(self):
+        async def run():
+            node = StorageNode("n0")
+            server = await start_storage_node(node, port=0)
+            try:
+                host, port = server.sockets[0].getsockname()[:2]
+                reader, writer = await asyncio.open_connection(
+                    host, port
+                )
+                writer.write(b'{"v": 1, "op": "ping"}\n')
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+            return reply
+
+        reply = asyncio.run(run())
+        assert reply["ok"] is True
+        assert "spans" not in reply

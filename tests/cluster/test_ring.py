@@ -1,0 +1,65 @@
+"""Consistent-hash ring: determinism, stability, spread."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+
+def ring_with(members):
+    ring = HashRing()
+    for member in members:
+        ring.add(member)
+    return ring
+
+
+KEYS = [f"object-{i:03d}/{j}" for i in range(40) for j in range(5)]
+
+
+class TestHashRing:
+    def test_placement_is_independent_of_join_order(self):
+        a = ring_with(["n0", "n1", "n2"])
+        b = ring_with(["n2", "n0", "n1"])
+        assert a.members == b.members == ("n0", "n1", "n2")
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_placement_survives_remove_and_readd(self):
+        ring = ring_with(["n0", "n1", "n2"])
+        before = [ring.owner(k) for k in KEYS]
+        ring.remove("n1")
+        ring.add("n1")
+        assert [ring.owner(k) for k in KEYS] == before
+
+    def test_member_loss_only_remaps_its_own_keys(self):
+        ring = ring_with(["n0", "n1", "n2", "n3"])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.remove("n3")
+        for key, owner in before.items():
+            if owner != "n3":
+                assert ring.owner(key) == owner
+            else:
+                assert ring.owner(key) in ("n0", "n1", "n2")
+
+    def test_spread_is_reasonably_balanced(self):
+        ring = ring_with([f"n{i}" for i in range(4)])
+        histogram = ring.spread(KEYS)
+        assert sum(histogram.values()) == len(KEYS)
+        assert min(histogram.values()) > 0
+        assert max(histogram.values()) / min(histogram.values()) < 3.0
+
+    def test_empty_ring_refuses_lookup(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.owner("k")
+
+    def test_len_and_contains(self):
+        ring = ring_with(["n0", "n1"])
+        assert len(ring) == 2
+        assert "n0" in ring and "nx" not in ring
+        ring.add("n0")  # idempotent
+        assert len(ring) == 2
+
+    def test_rejects_empty_node_id_and_bad_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing().add("")
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)

@@ -117,3 +117,55 @@ class TestFrontend:
         assert "# TYPE repro_serve_request_latency_seconds histogram" in text
         assert 'le="+Inf"' in text
         assert "repro_serve_request_latency_seconds_count 1" in text
+
+
+class TestConcurrentWrites:
+    def test_pipelined_replies_never_interleave(self):
+        """Regression: each request line is handled in its own task, so
+        concurrent handlers race to write one shared connection — every
+        reply line must still be a complete, parseable frame, correlated
+        by the echoed ``id``."""
+
+        async def run():
+            archive, names = small_archive()
+            async with ReconstructionService(
+                archive, ServeConfig(batch_window=0.0)
+            ) as service:
+                server = await start_frontend(service, port=0)
+                try:
+                    host, port = server.sockets[0].getsockname()[:2]
+                    reader, writer = await asyncio.open_connection(
+                        host, port
+                    )
+                    total = 60
+                    # One burst write of many pipelined v1 requests.
+                    burst = b"".join(
+                        json.dumps(
+                            {
+                                "v": 1,
+                                "id": i,
+                                "op": "get",
+                                "name": names[i % len(names)],
+                            }
+                        ).encode()
+                        + b"\n"
+                        for i in range(total)
+                    )
+                    writer.write(burst)
+                    await writer.drain()
+                    replies = []
+                    for _ in range(total):
+                        replies.append(
+                            json.loads(await reader.readline())
+                        )
+                    writer.close()
+                    await writer.wait_closed()
+                finally:
+                    server.close()
+                    await server.wait_closed()
+            return replies
+
+        replies = asyncio.run(run())
+        assert all(r["ok"] for r in replies)
+        # Every request answered exactly once, whatever the order.
+        assert sorted(r["id"] for r in replies) == list(range(60))

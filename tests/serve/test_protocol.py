@@ -1,0 +1,379 @@
+"""Wire-protocol tests: round-trips, malformed frames, v0 compat."""
+
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import protocol as proto
+from repro.serve.errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    AckResponse,
+    BlockDataResponse,
+    BlockDeleteRequest,
+    BlockFetchRequest,
+    BlockGetRequest,
+    BlockListRequest,
+    BlockMapResponse,
+    BlockPutRequest,
+    ClusterGetRequest,
+    ClusterJoinRequest,
+    ClusterLeaveRequest,
+    ClusterPutRequest,
+    ClusterRepairRequest,
+    ClusterStatusRequest,
+    ErrorResponse,
+    GetRequest,
+    KeyListResponse,
+    MetricsRequest,
+    MetricsResponse,
+    NodeAdminRequest,
+    NodeStatsRequest,
+    ObjectInfoResponse,
+    PingRequest,
+    PongResponse,
+    ProtocolError,
+    RemoteError,
+    StatsRequest,
+    StatsResponse,
+    StatusResponse,
+    encode_request,
+    error_code,
+    exception_for,
+    parse_request,
+    parse_response,
+)
+from repro.storage.archive import DataLossError
+from repro.storage.device import TransientUnavailableError
+
+# JSON-safe building blocks.
+names = st.text(min_size=1, max_size=40)
+keys = st.text(min_size=1, max_size=60)
+payloads = st.binary(max_size=512)
+json_dicts = st.dictionaries(
+    st.text(max_size=20),
+    st.one_of(st.integers(), st.text(max_size=20), st.booleans()),
+    max_size=5,
+)
+
+# One strategy per request type — every op is covered (the coverage
+# tests below compare these sets against the registries).
+COVERED_REQUESTS = {
+    PingRequest,
+    StatsRequest,
+    MetricsRequest,
+    GetRequest,
+    BlockPutRequest,
+    BlockGetRequest,
+    BlockFetchRequest,
+    BlockDeleteRequest,
+    BlockListRequest,
+    NodeStatsRequest,
+    NodeAdminRequest,
+    ClusterPutRequest,
+    ClusterGetRequest,
+    ClusterStatusRequest,
+    ClusterRepairRequest,
+    ClusterJoinRequest,
+    ClusterLeaveRequest,
+}
+COVERED_RESPONSES = {
+    PongResponse,
+    StatsResponse,
+    MetricsResponse,
+    ObjectInfoResponse,
+    BlockDataResponse,
+    BlockMapResponse,
+    KeyListResponse,
+    AckResponse,
+    StatusResponse,
+    ErrorResponse,
+}
+request_strategies = st.one_of(
+    st.just(PingRequest()),
+    st.just(StatsRequest()),
+    st.just(MetricsRequest()),
+    st.builds(
+        GetRequest,
+        name=names,
+        deadline=st.one_of(
+            st.none(),
+            st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+        ),
+    ),
+    st.builds(BlockPutRequest, key=keys, data=payloads),
+    st.builds(BlockGetRequest, key=keys),
+    st.builds(
+        BlockFetchRequest,
+        keys=st.lists(keys, max_size=8).map(tuple),
+    ),
+    st.builds(BlockDeleteRequest, key=keys),
+    st.builds(BlockListRequest, prefix=st.text(max_size=20)),
+    st.just(NodeStatsRequest()),
+    st.builds(
+        NodeAdminRequest,
+        action=st.sampled_from(NodeAdminRequest._ACTIONS),
+    ),
+    st.builds(ClusterPutRequest, name=names, payload=payloads),
+    st.builds(
+        ClusterGetRequest, name=names, want_payload=st.booleans()
+    ),
+    st.just(ClusterStatusRequest()),
+    st.just(ClusterRepairRequest()),
+    st.builds(
+        ClusterJoinRequest,
+        node_id=names,
+        host=names,
+        port=st.integers(min_value=1, max_value=65535),
+    ),
+    st.builds(ClusterLeaveRequest, node_id=names),
+)
+
+# One strategy per response type likewise.
+response_strategies = st.one_of(
+    st.just(PongResponse()),
+    st.builds(StatsResponse, stats=json_dicts),
+    st.builds(MetricsResponse, metrics=st.text(max_size=100)),
+    st.builds(
+        ObjectInfoResponse,
+        name=names,
+        size=st.integers(min_value=0, max_value=2**40),
+        sha256=st.text(max_size=64),
+        payload=st.one_of(st.none(), payloads),
+    ),
+    st.builds(BlockDataResponse, key=keys, data=payloads),
+    st.builds(
+        BlockMapResponse,
+        blocks=st.dictionaries(keys, payloads, max_size=6),
+        missing=st.lists(keys, max_size=4).map(tuple),
+    ),
+    st.builds(
+        KeyListResponse, keys=st.lists(keys, max_size=8).map(tuple)
+    ),
+    st.builds(AckResponse, info=json_dicts),
+    st.builds(StatusResponse, status=json_dicts),
+    st.builds(
+        ErrorResponse,
+        code=st.sampled_from(
+            ["overloaded", "deadline", "not_found", "internal"]
+        ),
+        error=st.text(min_size=1, max_size=30),
+        message=st.text(max_size=80),
+    ),
+)
+
+request_ids = st.one_of(
+    st.none(), st.integers(min_value=0, max_value=2**31), names
+)
+
+
+class TestRequestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(request=request_strategies, request_id=request_ids)
+    def test_every_request_type_round_trips(self, request, request_id):
+        line = encode_request(request, request_id=request_id)
+        parsed, envelope = parse_request(line)
+        assert parsed == request
+        assert type(parsed) is type(request)
+        assert envelope.v == PROTOCOL_VERSION
+        assert envelope.id == request_id
+
+    @settings(max_examples=50, deadline=None)
+    @given(request=request_strategies)
+    def test_trace_context_rides_the_envelope(self, request):
+        trace = {"trace_id": "abc123", "span_id": "def456"}
+        line = encode_request(request, trace=trace)
+        _, envelope = parse_request(line)
+        assert envelope.trace == trace
+
+    def test_all_registered_ops_covered_by_strategy(self):
+        # If a new request type lands without a strategy above, fail
+        # loudly instead of silently losing property coverage.
+        assert COVERED_REQUESTS == set(proto._REQUEST_TYPES.values())
+
+
+class TestResponseRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(response=response_strategies)
+    def test_every_response_type_round_trips(self, response):
+        line = proto.encode_frame(response.to_frame())
+        parsed, frame = parse_response(line)
+        assert parsed == response
+        assert type(parsed) is type(response)
+        assert frame["v"] == PROTOCOL_VERSION
+
+    def test_all_registered_kinds_covered_by_strategy(self):
+        assert COVERED_RESPONSES == set(proto._RESPONSE_TYPES.values())
+
+    def test_unknown_kind_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            parse_response(b'{"ok": true, "kind": "wat"}')
+
+
+class TestMalformedFrames:
+    def check(self, line, code="bad_request"):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line)
+        assert excinfo.value.code == code
+        return excinfo.value
+
+    def test_invalid_json(self):
+        self.check(b"{nope")
+
+    def test_non_object_frame(self):
+        self.check(b"[1, 2, 3]")
+
+    def test_missing_op(self):
+        self.check(b'{"v": 1}', code="unknown_op")
+
+    def test_unknown_op(self):
+        exc = self.check(
+            b'{"v": 1, "op": "explode", "id": 7}', code="unknown_op"
+        )
+        # The reply can still be correlated and versioned.
+        assert exc.request_id == 7
+        assert exc.v == 1
+
+    def test_unsupported_future_version(self):
+        self.check(
+            json.dumps({"v": 99, "op": "ping"}).encode(),
+            code="unsupported_version",
+        )
+
+    def test_bad_version_type(self):
+        self.check(b'{"v": "one", "op": "ping"}')
+        self.check(b'{"v": -1, "op": "ping"}')
+        self.check(b'{"v": true, "op": "ping"}')
+
+    def test_bad_id_type(self):
+        self.check(b'{"v": 1, "op": "ping", "id": [1]}')
+
+    def test_bad_trace_shape(self):
+        self.check(b'{"v": 1, "op": "ping", "trace": "t1"}')
+        self.check(b'{"v": 1, "op": "ping", "trace": {"trace_id": 5}}')
+
+    def test_missing_required_field(self):
+        self.check(b'{"v": 1, "op": "get"}')
+        self.check(b'{"v": 1, "op": "cluster.leave"}')
+
+    def test_mistyped_field(self):
+        self.check(b'{"v": 1, "op": "get", "name": 42}')
+        self.check(b'{"v": 1, "op": "block.fetch", "keys": "k"}')
+
+    def test_invalid_base64_payload(self):
+        self.check(
+            b'{"v": 1, "op": "block.put", "key": "k", "data": "%%%"}'
+        )
+
+    def test_bad_admin_action(self):
+        self.check(
+            b'{"v": 1, "op": "node.admin", "action": "reboot"}'
+        )
+
+
+class TestV0Compat:
+    def test_unversioned_frame_parses_as_v0_with_one_warning(self):
+        proto._V0_WARNED = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                _, envelope = parse_request(
+                    b'{"op": "get", "name": "object-000"}'
+                )
+                assert envelope.v == 0
+                _, envelope = parse_request(b'{"op": "ping"}')
+                assert envelope.v == 0
+            deprecations = [
+                w
+                for w in caught
+                if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1
+        finally:
+            proto._V0_WARNED = True
+
+    def test_v0_response_frame_is_exactly_the_legacy_shape(self):
+        frame = ObjectInfoResponse(
+            name="object-000", size=1024, sha256="ab" * 32
+        ).to_frame(v=0)
+        assert frame == {
+            "ok": True,
+            "name": "object-000",
+            "size": 1024,
+            "sha256": "ab" * 32,
+        }
+
+    def test_v0_error_frame_has_no_envelope_keys(self):
+        frame = ErrorResponse.from_exception(
+            KeyError("no archived object named 'x'")
+        ).to_frame(v=0)
+        assert "v" not in frame and "kind" not in frame
+        assert frame["ok"] is False
+        assert frame["error"] == "KeyError"
+
+    def test_v1_frames_carry_the_envelope(self):
+        frame = PongResponse().to_frame(v=1, request_id="r1")
+        assert frame["v"] == 1
+        assert frame["kind"] == "pong"
+        assert frame["id"] == "r1"
+
+
+class TestErrorTaxonomy:
+    CASES = [
+        (ServiceOverloadedError("q"), "overloaded"),
+        (DeadlineExceededError("d"), "deadline"),
+        (ServiceClosedError("c"), "closed"),
+        (DataLossError("obj", 0, [1, 2]), "data_loss"),
+        (TransientUnavailableError("dark"), "unavailable"),
+        (KeyError("missing"), "not_found"),
+        (ValueError("bad"), "bad_request"),
+        (RuntimeError("boom"), "internal"),
+        (ProtocolError("x", code="unknown_op"), "unknown_op"),
+        (RemoteError("y", code="data_loss"), "data_loss"),
+    ]
+
+    @pytest.mark.parametrize(
+        "exc,code", CASES, ids=[c for _, c in CASES]
+    )
+    def test_every_exception_maps_to_a_stable_code(self, exc, code):
+        assert error_code(exc) == code
+
+    def test_exception_for_rebuilds_faithful_types(self):
+        assert isinstance(
+            exception_for("overloaded", "m"), ServiceOverloadedError
+        )
+        assert isinstance(
+            exception_for("deadline", "m"), DeadlineExceededError
+        )
+        assert isinstance(
+            exception_for("closed", "m"), ServiceClosedError
+        )
+        assert isinstance(exception_for("not_found", "m"), KeyError)
+        assert isinstance(
+            exception_for("unavailable", "m"),
+            TransientUnavailableError,
+        )
+        remote = exception_for("data_loss", "m")
+        assert isinstance(remote, RemoteError)
+        assert remote.code == "data_loss"
+        assert not remote.retryable
+        assert exception_for("overloaded", "m")  # sanity: truthy
+
+    def test_retryable_codes(self):
+        assert RemoteError("m", code="overloaded").retryable
+        assert RemoteError("m", code="unavailable").retryable
+        assert not RemoteError("m", code="internal").retryable
+
+    def test_error_response_raise_remote_round_trip(self):
+        response = ErrorResponse.from_exception(
+            TransientUnavailableError("node dark")
+        )
+        with pytest.raises(TransientUnavailableError):
+            response.raise_remote()
