@@ -26,10 +26,14 @@ commands:
   several files stitch a cluster-wide tree; exits 1 on orphaned
   spans, which is what CI's obs-smoke and cluster-smoke assert);
 * ``repro cluster`` — the distributed archive: ``cluster coordinator``
-  and ``cluster node`` run the daemons, ``cluster status`` inspects a
-  running cluster, and ``cluster loadgen`` spawns a whole cluster,
-  drives it under load, kills a node mid-run, repairs, rejoins, and
-  verifies zero data loss.
+  and ``cluster node`` run the daemons (the coordinator journals to a
+  WAL with ``--wal`` and recovers from one with ``--recover``),
+  ``cluster status`` inspects a running cluster, ``cluster loadgen``
+  spawns a whole cluster, drives it under load, kills a node mid-run,
+  repairs, rejoins, and verifies zero data loss, and ``cluster
+  chaos`` runs a seeded kill/partition/recover campaign that SIGKILLs
+  the coordinator, recovers it from its WAL, and digest-verifies
+  every object afterwards.
 
 Exit codes are consistent across subcommands: ``0`` success, ``1``
 operational failure (missing/corrupt input files, data loss, service
@@ -394,6 +398,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU capacity of the peeling-plan cache")
     q.add_argument("--seed", type=int, default=0)
     q.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="journal every metadata mutation to a write-ahead log in "
+        "this directory (fresh: truncates any prior log)",
+    )
+    q.add_argument(
+        "--recover",
+        default=None,
+        metavar="DIR",
+        help="recover state from the WAL directory's snapshot + log, "
+        "then keep journaling there (mutually exclusive with --wal)",
+    )
+    q.add_argument(
+        "--rpc-timeout",
+        type=float,
+        default=30.0,
+        help="per-attempt node RPC deadline in seconds (default 30)",
+    )
+    q.add_argument(
+        "--repair-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="repair bytes moved per scheduler cycle "
+        "(default: unbounded)",
+    )
+    q.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="auto-snapshot the WAL after every N journaled records",
+    )
+    q.add_argument(
         "--max-seconds",
         type=float,
         default=None,
@@ -481,6 +520,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("--out", default=None,
                    help="write the cluster report as JSON to this path")
+
+    q = cluster_sub.add_parser(
+        "chaos",
+        help="seeded kill/partition/recover campaign against a live "
+        "cluster; verifies WAL recovery and zero data loss",
+        parents=[common],
+    )
+    q.add_argument("--nodes", type=int, default=3,
+                   help="storage-node processes (default 3)")
+    q.add_argument("--objects", type=int, default=4)
+    q.add_argument("--object-size", type=int, default=2048)
+    q.add_argument("--block-size", type=int, default=512)
+    q.add_argument("--steps", type=int, default=6,
+                   help="fault-schedule steps (default 6)")
+    q.add_argument("--reads-per-step", type=int, default=2)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--graph",
+        default=None,
+        help="GraphML file passed to the coordinator",
+    )
+    q.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="fault plan; its cluster-level specs drive the campaign "
+        "(default: a stock mix of all four cluster fault kinds)",
+    )
+    q.add_argument(
+        "--wal-dir",
+        default=None,
+        help="coordinator WAL directory (default: private temp dir, "
+        "removed afterwards)",
+    )
+    q.add_argument(
+        "--rpc-timeout",
+        type=float,
+        default=0.75,
+        help="coordinator per-attempt node RPC deadline (default 0.75)",
+    )
+    q.add_argument(
+        "--repair-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="coordinator repair bytes-per-cycle budget",
+    )
+    q.add_argument(
+        "--midwrite-race",
+        action="store_true",
+        help="race a put against each coordinator SIGKILL (an acked "
+        "put must survive recovery; disables the byte-identical "
+        "state-digest check for that crash)",
+    )
+    q.add_argument(
+        "--trace-dir",
+        default=None,
+        help="directory for per-process trace files "
+        "(coordinator.jsonl, coordinator-rN.jsonl per recovery)",
+    )
+    q.add_argument("--out", default=None,
+                   help="write the campaign report as JSON to this path")
 
     return parser
 
@@ -901,10 +1002,17 @@ def _cmd_cluster_coordinator(args) -> int:
 
     from .cluster import ClusterCoordinator, start_coordinator
 
+    if args.wal and args.recover:
+        raise UsageError("--wal and --recover are mutually exclusive")
     coordinator = ClusterCoordinator(
         _cluster_graph(args),
         block_size=args.block_size,
         plan_capacity=args.plan_capacity,
+        wal_dir=args.recover or args.wal,
+        recover=bool(args.recover),
+        rpc_timeout=args.rpc_timeout,
+        repair_bytes_per_cycle=args.repair_budget,
+        snapshot_every=args.snapshot_every,
     )
 
     async def run() -> int:
@@ -1033,12 +1141,49 @@ def _cmd_cluster_loadgen(args) -> int:
     return 1 if report.data_loss else 0
 
 
+def _cmd_cluster_chaos(args) -> int:
+    import json
+
+    from .resilience import FaultPlan
+    from .resilience.cluster_campaign import (
+        ClusterCampaignConfig,
+        run_cluster_campaign,
+    )
+
+    plan = FaultPlan.load(args.faults) if args.faults else None
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+    config = ClusterCampaignConfig(
+        nodes=args.nodes,
+        objects=args.objects,
+        object_size=args.object_size,
+        block_size=args.block_size,
+        steps=args.steps,
+        reads_per_step=args.reads_per_step,
+        seed=args.seed,
+        graph=args.graph,
+        wal_dir=args.wal_dir,
+        trace_dir=args.trace_dir,
+        rpc_timeout=args.rpc_timeout,
+        repair_budget=args.repair_budget,
+        midwrite_race=args.midwrite_race,
+    )
+    report = run_cluster_campaign(plan, config)
+    print(report.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    return 1 if report.data_loss else 0
+
+
 def _cmd_cluster(args) -> int:
     handlers = {
         "coordinator": _cmd_cluster_coordinator,
         "node": _cmd_cluster_node,
         "status": _cmd_cluster_status,
         "loadgen": _cmd_cluster_loadgen,
+        "chaos": _cmd_cluster_chaos,
     }
     return handlers[args.cluster_command](args)
 

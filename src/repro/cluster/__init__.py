@@ -8,8 +8,12 @@ a flat block store behind the shared line-JSON protocol, and one
 graph, placement (a consistent-hash ring, :mod:`repro.cluster.ring`),
 object manifests, and the plan cache — serving reconstruction by
 bulk-fetching surviving blocks over TCP and peeling around whatever is
-dark or dead.  :mod:`repro.cluster.driver` spawns and exercises a
-whole cluster (kill a node, repair, rejoin) as one seeded run.
+dark or dead.  The coordinator's metadata is durable: every mutation
+journals to a write-ahead log (:mod:`repro.cluster.wal`) before it is
+acknowledged, and repair runs incrementally through a prioritized,
+budgeted queue (:mod:`repro.cluster.scheduler`).
+:mod:`repro.cluster.driver` spawns and exercises a whole cluster
+(kill a node, repair, rejoin) as one seeded run.
 """
 
 from .coordinator import (
@@ -24,14 +28,19 @@ from .driver import (
 )
 from .node import StorageNode, start_storage_node
 from .ring import HashRing
+from .scheduler import RepairScheduler
+from .wal import CoordinatorWal, WalCorruptError
 
 __all__ = [
     "ClusterCoordinator",
     "ClusterLoadConfig",
     "ClusterLoadReport",
     "ClusterManifest",
+    "CoordinatorWal",
     "HashRing",
+    "RepairScheduler",
     "StorageNode",
+    "WalCorruptError",
     "run_cluster_loadgen",
     "start_coordinator",
     "start_storage_node",

@@ -31,18 +31,34 @@ Fault semantics mirror the single-process archive:
   blocks are intact and excluded from this read only;
 * a node that cannot be reached is *down* — possibly dead, and
   ``cluster.repair`` will re-derive its blocks from the survivors and
-  re-home them onto the current ring;
+  re-home them onto the current ring.  A node is only declared down
+  after the coordinator's :class:`~repro.resilience.retry.RetryPolicy`
+  is exhausted and any RPC deadline (``rpc_timeout``) expired — one
+  transient network blip no longer kills a link;
 * a stripe short of decodable blocks raises
   :class:`~repro.storage.archive.DataLossError` (wire code
   ``data_loss``) — never a silent wrong answer.
 
-``repair()`` is also the re-shard pass: after membership changes
-(``cluster.join`` / ``cluster.leave``) it moves every block whose ring
-owner changed and rebuilds every block that no live node holds.  All
-cross-node repair traffic is metered as ``cluster.repair.bytes``
-(total, plus ``cluster.repair.bytes.<node_id>`` attributed to the
-receiving node) — the repair-bandwidth metric the archival-storage
-literature prices nodes by.
+Durability: with ``wal_dir`` set, every manifest/placement mutation
+(put, join, leave, per-stripe repair) is journaled through
+:class:`~repro.cluster.wal.CoordinatorWal` *before* the operation is
+acknowledged, and ``recover=True`` rebuilds the coordinator from
+snapshot + replay.  :meth:`ClusterCoordinator.state_sha256` digests
+the canonical metadata state so recovery can be verified byte-for-byte
+against an uninterrupted run.  A crash between block placement and the
+put journal record leaves orphaned blocks on the nodes — harmless,
+because the put was never acknowledged and repair deletes strays.
+
+Repair is delegated to the
+:class:`~repro.cluster.scheduler.RepairScheduler`: an at-risk-first
+per-stripe queue, budgeted per cycle, preemptible by foreground reads.
+Each stripe repairs under its own lock (no whole-pass cluster lock),
+so ``cluster.get`` interleaves with an active rebuild.  All cross-node
+repair traffic is metered as ``cluster.repair.bytes`` (total, plus
+``cluster.repair.bytes.<node_id>`` attributed to the receiving node) —
+the repair-bandwidth metric the archival-storage literature prices
+nodes by — and journaled, so repair-byte accounting survives a
+coordinator crash.
 
 Tracing: request handlers run under the caller's shipped context, node
 RPCs get child spans whose contexts travel in the RPC frames, and span
@@ -55,6 +71,8 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -64,7 +82,9 @@ from ..core.codec import TornadoCodec
 from ..core.graph import ErasureGraph
 from ..obs.registry import registry
 from ..obs.trace import start_span, tracer, trace_span, use_context
+from ..resilience.retry import RetryPolicy
 from ..serve.lineserver import start_line_server
+from ..serve.errors import NodeUnreachableError
 from ..serve.plancache import PlanCache
 from ..serve.protocol import (
     AckResponse,
@@ -77,6 +97,8 @@ from ..serve.protocol import (
     ClusterLeaveRequest,
     ClusterPutRequest,
     ClusterRepairRequest,
+    ClusterRepairStatusRequest,
+    ClusterSnapshotRequest,
     ClusterStatusRequest,
     Envelope,
     ErrorResponse,
@@ -99,6 +121,8 @@ from ..storage.archive import DataLossError
 from ..storage.blockstore import block_key
 from ..storage.device import TransientUnavailableError
 from .ring import HashRing
+from .scheduler import RepairScheduler
+from .wal import CoordinatorWal, WalCorruptError
 
 __all__ = ["ClusterCoordinator", "ClusterManifest", "start_coordinator"]
 
@@ -142,8 +166,16 @@ class NodeLink:
     _next_id: int = 0
 
 
-class NodeDownError(ConnectionError):
+class NodeDownError(NodeUnreachableError):
     """A storage node could not be reached (distinct from an outage)."""
+
+
+# The coordinator's default transport-retry policy: one quick retry
+# after a short seeded backoff, so a single blip survives without
+# inflating every genuinely-dead-node path by seconds.
+_DEFAULT_RETRY = RetryPolicy(
+    max_attempts=2, base_delay=0.05, max_delay=0.5, jitter=0.1, seed=0
+)
 
 
 class ClusterCoordinator:
@@ -155,7 +187,17 @@ class ClusterCoordinator:
         *,
         block_size: int = 4096,
         plan_capacity: int = 256,
+        wal_dir: str | os.PathLike | None = None,
+        recover: bool = False,
+        retry: RetryPolicy | None = _DEFAULT_RETRY,
+        rpc_timeout: float | None = 30.0,
+        repair_bytes_per_cycle: int | None = None,
+        snapshot_every: int | None = None,
     ):
+        if rpc_timeout is not None and rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive")
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError("snapshot_every must be positive")
         self.graph = graph
         self.codec = TornadoCodec(graph, block_size)
         self.plans = PlanCache(plan_capacity)
@@ -164,12 +206,194 @@ class ClusterCoordinator:
         self.manifests: dict[str, ClusterManifest] = {}
         self._next_stripe = 0
         self._mutex = asyncio.Lock()
+        # Per-stripe repair/read locks (created on demand), so repair
+        # of one stripe never stalls reads of another.
+        self._stripe_locks: dict[tuple[str, int], asyncio.Lock] = {}
+        self.reads_inflight = 0
+        self.retry = retry
+        self.rpc_timeout = rpc_timeout
+        self.snapshot_every = snapshot_every
         # Repair-bandwidth accounting lives on the coordinator itself
         # (status() must report it even when the metrics registry is
         # the disabled null implementation) and is mirrored into the
         # registry for Prometheus scrapes.
         self.repair_bytes = 0
         self.repair_bytes_by_node: dict[str, int] = {}
+        self.scheduler = RepairScheduler(
+            self, bytes_per_cycle=repair_bytes_per_cycle
+        )
+        self.wal: CoordinatorWal | None = None
+        if wal_dir is not None:
+            self.wal = CoordinatorWal(wal_dir, fresh=not recover)
+            if recover:
+                self._recover()
+
+    # ------------------------------------------------------------------
+    # Durability: journaling, recovery, canonical state
+    # ------------------------------------------------------------------
+
+    def _journal(self, record: dict[str, Any]) -> None:
+        """Durably log one mutation (no-op without a WAL)."""
+        if self.wal is None:
+            return
+        self.wal.append(record)
+        if (
+            self.snapshot_every is not None
+            and self.wal.records_since_snapshot >= self.snapshot_every
+        ):
+            self.wal.snapshot(self.state_dict())
+
+    def _recover(self) -> None:
+        state, records = self.wal.load()
+        if state is not None:
+            self._restore_state(state)
+        for record in records:
+            self._apply_record(record)
+        registry().counter("cluster.wal.recoveries").inc()
+
+    def _restore_state(self, state: dict[str, Any]) -> None:
+        self._next_stripe = int(state["next_stripe"])
+        for node_id, host, port in state["members"]:
+            self.ring.add(node_id)
+            self.nodes[node_id] = NodeLink(node_id, host, int(port))
+        for name, m in state["manifests"].items():
+            self.manifests[name] = ClusterManifest(
+                name=name,
+                size=int(m["size"]),
+                sha256=m["sha256"],
+                stripes=tuple(
+                    ClusterStripe(
+                        index=int(idx),
+                        payload_length=int(plen),
+                        placement=tuple(placement),
+                    )
+                    for idx, plen, placement in m["stripes"]
+                ),
+            )
+        self.repair_bytes = int(state["repair_bytes"])
+        self.repair_bytes_by_node = {
+            nid: int(n)
+            for nid, n in state["repair_bytes_by_node"].items()
+        }
+
+    def _apply_record(self, record: dict[str, Any]) -> None:
+        """Replay one WAL record onto in-memory state."""
+        kind = record.get("type")
+        if kind == "put":
+            self.manifests[record["name"]] = ClusterManifest(
+                name=record["name"],
+                size=int(record["size"]),
+                sha256=record["sha256"],
+                stripes=tuple(
+                    ClusterStripe(
+                        index=int(idx),
+                        payload_length=int(plen),
+                        placement=tuple(placement),
+                    )
+                    for idx, plen, placement in record["stripes"]
+                ),
+            )
+            self._next_stripe = max(
+                self._next_stripe, int(record["next_stripe"])
+            )
+        elif kind == "repair":
+            self._apply_repair_record(record)
+        elif kind == "join":
+            node_id = record["node_id"]
+            self.ring.add(node_id)
+            link = self.nodes.get(node_id)
+            if link is None:
+                self.nodes[node_id] = NodeLink(
+                    node_id, record["host"], int(record["port"])
+                )
+            else:
+                link.host = record["host"]
+                link.port = int(record["port"])
+        elif kind == "leave":
+            node_id = record["node_id"]
+            if node_id in self.ring:
+                self.ring.remove(node_id)
+            self.nodes.pop(node_id, None)
+        else:
+            raise WalCorruptError(
+                f"WAL record {record.get('seq')} has unknown type "
+                f"{kind!r}"
+            )
+
+    def _apply_repair_record(self, record: dict[str, Any]) -> None:
+        name = record["name"]
+        manifest = self.manifests.get(name)
+        if manifest is None:
+            raise WalCorruptError(
+                f"WAL repair record {record.get('seq')} references "
+                f"unknown object {name!r}"
+            )
+        if record.get("placement") is not None:
+            stripes = tuple(
+                ClusterStripe(
+                    index=s.index,
+                    payload_length=s.payload_length,
+                    placement=tuple(record["placement"]),
+                )
+                if s.index == record["index"]
+                else s
+                for s in manifest.stripes
+            )
+            self.manifests[name] = ClusterManifest(
+                name=manifest.name,
+                size=manifest.size,
+                sha256=manifest.sha256,
+                stripes=stripes,
+            )
+        self.repair_bytes += int(record.get("moved_bytes", 0)) + int(
+            record.get("rebuilt_bytes", 0)
+        )
+        for nid, nbytes in record.get("by_node", {}).items():
+            self.repair_bytes_by_node[nid] = (
+                self.repair_bytes_by_node.get(nid, 0) + int(nbytes)
+            )
+
+    def state_dict(self) -> dict[str, Any]:
+        """Canonical JSON-safe metadata state (digest input)."""
+        return {
+            "next_stripe": self._next_stripe,
+            "members": [
+                [nid, self.nodes[nid].host, self.nodes[nid].port]
+                for nid in self.ring.members
+            ],
+            "manifests": {
+                name: {
+                    "size": m.size,
+                    "sha256": m.sha256,
+                    "stripes": [
+                        [s.index, s.payload_length, list(s.placement)]
+                        for s in m.stripes
+                    ],
+                }
+                for name, m in sorted(self.manifests.items())
+            },
+            "repair_bytes": self.repair_bytes,
+            "repair_bytes_by_node": {
+                nid: self.repair_bytes_by_node[nid]
+                for nid in sorted(self.repair_bytes_by_node)
+            },
+        }
+
+    def state_sha256(self) -> str:
+        """Digest of the canonical state: recovery's byte-for-byte proof."""
+        payload = json.dumps(
+            self.state_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def snapshot_now(self) -> dict[str, Any]:
+        """Write a snapshot and truncate the journal (``cluster.snapshot``)."""
+        if self.wal is None:
+            raise ValueError(
+                "coordinator has no write-ahead log configured"
+            )
+        seq = self.wal.snapshot(self.state_dict())
+        return {"seq": seq, **self.wal.stats()}
 
     # ------------------------------------------------------------------
     # Node RPC plumbing
@@ -178,10 +402,30 @@ class ClusterCoordinator:
     async def _rpc(self, link: NodeLink, request: Request) -> Response:
         """One request/reply on a node's pooled connection.
 
-        Raises :class:`NodeDownError` (marking the link down) when the
-        node is unreachable; remote errors re-raise as their client
-        exceptions (``unavailable`` → transient outage, etc.).
+        Transport failures (refused, reset, mid-frame close, expired
+        ``rpc_timeout``) retry through the coordinator's
+        :class:`RetryPolicy` with seeded backoff before the node is
+        declared down; only once attempts are exhausted does the link
+        drop and :class:`NodeDownError` surface.  Remote errors
+        re-raise as their client exceptions (``unavailable`` →
+        transient outage, etc.) and are never retried here.
         """
+        delays = self.retry.delays() if self.retry is not None else []
+        attempt = 0
+        while True:
+            try:
+                return await self._rpc_once(link, request)
+            except NodeDownError:
+                if attempt >= len(delays):
+                    self._drop_connection(link)
+                    raise
+                registry().counter("cluster.rpc.retries").inc()
+                await asyncio.sleep(delays[attempt])
+                attempt += 1
+
+    async def _rpc_once(
+        self, link: NodeLink, request: Request
+    ) -> Response:
         span = start_span(
             f"cluster.rpc.{request.op}",
             activate=False,
@@ -196,24 +440,30 @@ class ClusterCoordinator:
                     trace=span.context() if span else None,
                 )
                 try:
-                    if link.writer is None:
-                        link.reader, link.writer = (
-                            await asyncio.open_connection(
-                                link.host, link.port
-                            )
-                        )
-                    link.writer.write(data)
-                    await link.writer.drain()
-                    line = await link.reader.readline()
+                    line = await asyncio.wait_for(
+                        self._exchange(link, data), self.rpc_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self._reset_connection(link)
+                    registry().counter("cluster.rpc.timeouts").inc()
+                    raise NodeDownError(
+                        f"node {link.node_id!r}: no reply within the "
+                        f"{self.rpc_timeout}s RPC deadline"
+                    ) from None
                 except OSError as exc:
-                    self._drop_connection(link)
+                    self._reset_connection(link)
                     raise NodeDownError(
                         f"node {link.node_id!r} unreachable: {exc}"
                     ) from exc
                 if not line:
-                    self._drop_connection(link)
+                    self._reset_connection(link)
                     raise NodeDownError(
                         f"node {link.node_id!r} closed the connection"
+                    )
+                if not line.endswith(b"\n"):
+                    self._reset_connection(link)
+                    raise NodeDownError(
+                        f"node {link.node_id!r} closed mid-frame"
                     )
             link.alive = True
             response, frame = parse_response(line)
@@ -229,11 +479,24 @@ class ClusterCoordinator:
         finally:
             span.end()
 
-    def _drop_connection(self, link: NodeLink) -> None:
-        link.alive = False
+    async def _exchange(self, link: NodeLink, data: bytes) -> bytes:
+        if link.writer is None:
+            link.reader, link.writer = await asyncio.open_connection(
+                link.host, link.port
+            )
+        link.writer.write(data)
+        await link.writer.drain()
+        return await link.reader.readline()
+
+    def _reset_connection(self, link: NodeLink) -> None:
+        """Forget the stream pair but keep the liveness verdict open."""
         if link.writer is not None:
             link.writer.close()
         link.reader = link.writer = None
+
+    def _drop_connection(self, link: NodeLink) -> None:
+        link.alive = False
+        self._reset_connection(link)
 
     def _live_links(self) -> list[NodeLink]:
         return [
@@ -273,7 +536,15 @@ class ClusterCoordinator:
                 link.host, link.port = host, port
             link.alive = True
             self.ring.add(node_id)
-            summary = await self._repair_locked()
+            self._journal(
+                {
+                    "type": "join",
+                    "node_id": node_id,
+                    "host": host,
+                    "port": port,
+                }
+            )
+        summary = await self.scheduler.drain()
         summary["node_id"] = node_id
         summary["members"] = list(self.ring.members)
         return summary
@@ -286,7 +557,8 @@ class ClusterCoordinator:
             self.ring.remove(node_id)
             link = self.nodes.pop(node_id)
             self._drop_connection(link)
-            summary = await self._repair_locked()
+            self._journal({"type": "leave", "node_id": node_id})
+        summary = await self.scheduler.drain()
         summary["node_id"] = node_id
         summary["members"] = list(self.ring.members)
         return summary
@@ -313,8 +585,21 @@ class ClusterCoordinator:
             for j in range(self.graph.num_nodes)
         )
 
+    def _stripe_lock(self, name: str, index: int) -> asyncio.Lock:
+        key = (name, index)
+        lock = self._stripe_locks.get(key)
+        if lock is None:
+            lock = self._stripe_locks[key] = asyncio.Lock()
+        return lock
+
     async def put(self, name: str, payload: bytes) -> dict[str, Any]:
-        """Encode an object and place every block by stripe striding."""
+        """Encode an object and place every block by stripe striding.
+
+        The manifest is journaled *after* the blocks are placed but
+        *before* the put is acknowledged: a crash in between leaves
+        orphaned blocks (the put was never acked — repair deletes
+        strays), never an acked object the WAL forgot.
+        """
         if not self.ring.members:
             raise TransientUnavailableError(
                 "cluster has no storage nodes"
@@ -353,6 +638,19 @@ class ClusterCoordinator:
                 stripes=tuple(records),
             )
             self.manifests[name] = manifest
+            self._journal(
+                {
+                    "type": "put",
+                    "name": name,
+                    "size": manifest.size,
+                    "sha256": manifest.sha256,
+                    "next_stripe": self._next_stripe,
+                    "stripes": [
+                        [s.index, s.payload_length, list(s.placement)]
+                        for s in records
+                    ],
+                }
+            )
         reg = registry()
         reg.counter("cluster.put.objects").inc()
         reg.counter("cluster.put.blocks").inc(placed)
@@ -386,12 +684,18 @@ class ClusterCoordinator:
     ) -> ObjectInfoResponse:
         """Reconstruct an object from whatever the cluster still holds."""
         manifest = self._manifest(name)
-        parts: list[bytes] = []
-        degraded = False
-        for record in manifest.stripes:
-            data, was_degraded = await self._read_stripe(name, record)
-            degraded = degraded or was_degraded
-            parts.append(data[: record.payload_length])
+        self.reads_inflight += 1
+        try:
+            parts: list[bytes] = []
+            degraded = False
+            for record in manifest.stripes:
+                data, was_degraded = await self._read_stripe(
+                    name, record
+                )
+                degraded = degraded or was_degraded
+                parts.append(data[: record.payload_length])
+        finally:
+            self.reads_inflight -= 1
         payload = b"".join(parts)
         reg = registry()
         reg.counter("cluster.get.objects").inc()
@@ -407,7 +711,8 @@ class ClusterCoordinator:
     async def _read_stripe(
         self, name: str, record: ClusterStripe
     ) -> tuple[bytes, bool]:
-        blocks, present = await self._fetch_stripe(name, record)
+        async with self._stripe_lock(name, record.index):
+            blocks, present = await self._fetch_stripe(name, record)
         missing = np.flatnonzero(~present)
         if missing.size == 0:
             data = blocks[list(self.graph.data_nodes)]
@@ -497,44 +802,71 @@ class ClusterCoordinator:
     # Repair / re-shard
     # ------------------------------------------------------------------
 
-    async def repair(self) -> dict[str, Any]:
-        """Re-home misplaced blocks, rebuild lost ones; meter the bytes."""
-        async with self._mutex:
-            return await self._repair_locked()
+    async def repair(self, mode: str = "drain") -> dict[str, Any]:
+        """Run the repair scheduler: scan, cycle, or drain to empty.
 
-    async def _repair_locked(self) -> dict[str, Any]:
-        totals = {
-            "moved_blocks": 0,
-            "moved_bytes": 0,
-            "rebuilt_blocks": 0,
-            "rebuilt_bytes": 0,
-            "unrepairable_blocks": 0,
-        }
-        if not self.ring.members or not self.manifests:
-            return totals
-        with trace_span("cluster.repair"):
-            await self.probe()
-            holders = await self._inventory()
-            for name in sorted(self.manifests):
-                manifest = self.manifests[name]
-                records: list[ClusterStripe] = []
-                changed = False
-                for record in manifest.stripes:
-                    updated, stats = await self._repair_stripe(
-                        name, record, holders
-                    )
-                    records.append(updated)
-                    changed = changed or updated is not record
-                    for field_name, value in stats.items():
-                        totals[field_name] += value
-                if changed:
-                    self.manifests[name] = ClusterManifest(
-                        name=manifest.name,
-                        size=manifest.size,
-                        sha256=manifest.sha256,
-                        stripes=tuple(records),
-                    )
-        return totals
+        ``drain`` (the default and the pre-scheduler behaviour) scans
+        and repairs until the queue is empty; ``scan`` only refreshes
+        the queue from a probe+inventory scrub; ``cycle`` repairs one
+        bytes-budgeted increment.
+        """
+        if mode == "scan":
+            queued = await self.scheduler.scan()
+            return {
+                "queued": queued,
+                "queue_depth": self.scheduler.queue_depth,
+            }
+        if mode == "cycle":
+            return await self.scheduler.run_cycle()
+        return await self.scheduler.drain()
+
+    def repair_status(self) -> dict[str, Any]:
+        """The ``cluster.repair_status`` op: scheduler introspection."""
+        return self.scheduler.status()
+
+    def _commit_stripe(
+        self,
+        name: str,
+        updated: ClusterStripe | None,
+        index: int,
+        stats: dict[str, int],
+        by_node: dict[str, int],
+    ) -> None:
+        """Apply + journal one stripe's repair outcome.
+
+        ``updated`` is the new stripe record when the placement
+        flipped, or None for a partial repair that moved bytes without
+        flipping the record (the journal still carries the byte
+        accounting so it survives a crash).
+        """
+        if updated is not None:
+            manifest = self.manifests[name]
+            self.manifests[name] = ClusterManifest(
+                name=manifest.name,
+                size=manifest.size,
+                sha256=manifest.sha256,
+                stripes=tuple(
+                    updated if s.index == index else s
+                    for s in manifest.stripes
+                ),
+            )
+        self._journal(
+            {
+                "type": "repair",
+                "name": name,
+                "index": index,
+                "placement": (
+                    list(updated.placement)
+                    if updated is not None
+                    else None
+                ),
+                "moved_bytes": stats["moved_bytes"],
+                "rebuilt_bytes": stats["rebuilt_bytes"],
+                "by_node": {
+                    nid: by_node[nid] for nid in sorted(by_node)
+                },
+            }
+        )
 
     async def _inventory(self) -> dict[str, set[str]]:
         """key -> set of live node ids currently holding it."""
@@ -553,7 +885,7 @@ class ClusterCoordinator:
         name: str,
         record: ClusterStripe,
         holders: dict[str, set[str]],
-    ) -> tuple[ClusterStripe, dict[str, int]]:
+    ) -> tuple[ClusterStripe, dict[str, int], dict[str, int]]:
         """Re-stripe one stripe onto the current membership.
 
         Blocks already held somewhere are *moved* to their new owner;
@@ -562,6 +894,9 @@ class ClusterCoordinator:
         are deleted — only once every block sits with its new owner,
         so a partial repair (some target down mid-pass) leaves reads
         working off the old locations and the next repair retries.
+
+        Returns ``(record, stats, by_node)`` where ``by_node`` is the
+        repair bytes attributed to each receiving node (for the WAL).
         """
         g = self.graph
         stats = {
@@ -571,6 +906,7 @@ class ClusterCoordinator:
             "rebuilt_bytes": 0,
             "unrepairable_blocks": 0,
         }
+        by_node: dict[str, int] = {}
         desired = self._stripe_placement(name, record.index)
         keys = [
             block_key(name, record.index, node)
@@ -630,6 +966,9 @@ class ClusterCoordinator:
                         desired[node]
                     )
                     self._meter_repair(desired[node], len(payload))
+                    by_node[desired[node]] = by_node.get(
+                        desired[node], 0
+                    ) + len(payload)
                     if node in rebuilt_nodes:
                         stats["rebuilt_blocks"] += 1
                         stats["rebuilt_bytes"] += len(payload)
@@ -639,7 +978,7 @@ class ClusterCoordinator:
                 else:
                     placed_all = False
             if not placed_all:
-                return record, stats
+                return record, stats, by_node
         # Fully placed: stray copies are redundant now.
         for node in range(g.num_nodes):
             holding = holders.get(keys[node], set())
@@ -656,7 +995,7 @@ class ClusterCoordinator:
                 except (NodeDownError, TransientUnavailableError):
                     pass
         if desired == record.placement:
-            return record, stats
+            return record, stats, by_node
         return (
             ClusterStripe(
                 index=record.index,
@@ -664,6 +1003,7 @@ class ClusterCoordinator:
                 placement=desired,
             ),
             stats,
+            by_node,
         )
 
     def _meter_repair(self, node_id: str, nbytes: int) -> None:
@@ -705,6 +1045,9 @@ class ClusterCoordinator:
             ),
             "repair_bytes": self.repair_bytes,
             "repair_bytes_by_node": dict(self.repair_bytes_by_node),
+            "repair": self.scheduler.status(),
+            "state_sha256": self.state_sha256(),
+            "wal": self.wal.stats() if self.wal is not None else None,
             "plan_cache": {
                 "hits": self.plans.hits,
                 "misses": self.plans.misses,
@@ -740,7 +1083,13 @@ async def handle_request(
         if isinstance(request, ClusterStatusRequest):
             return StatusResponse(status=await coordinator.status())
         if isinstance(request, ClusterRepairRequest):
-            return AckResponse(info=await coordinator.repair())
+            with trace_span("cluster.repair", mode=request.mode):
+                info = await coordinator.repair(mode=request.mode)
+            return AckResponse(info=info)
+        if isinstance(request, ClusterRepairStatusRequest):
+            return StatusResponse(status=coordinator.repair_status())
+        if isinstance(request, ClusterSnapshotRequest):
+            return AckResponse(info=coordinator.snapshot_now())
         if isinstance(request, ClusterJoinRequest):
             with trace_span("cluster.join", node=request.node_id):
                 info = await coordinator.register(

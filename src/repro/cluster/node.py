@@ -16,6 +16,19 @@ is also what lets a driver ``node.admin step`` the fault process
 deterministically instead of racing a wall-clock timer.  Actual data
 *loss* is a killed process — nothing to model in here.
 
+Two transport-level fault modes sit above that (driven by
+``node.admin`` and the cluster fault plans):
+
+* **Partitioned** — the node accepts TCP connections but never
+  answers: requests park in the server until the partition heals, so
+  callers see their RPC deadline expire, not a refused connection.
+  This is "reachable but dark", the failure detectors genuinely fear.
+  ``node.admin`` itself stays answered — it is the chaos harness's
+  out-of-band control channel for healing.
+* **Slow** — every data-plane reply is delayed by a configured number
+  of seconds: alive, correct, and painful, the grey-failure mode
+  between healthy and partitioned.
+
 Every data-plane request that carries a trace context runs under a span
 minted by a node-local tracer seeded from that context
 (:func:`~repro.obs.trace.context_seed`), and the span records ship back
@@ -73,6 +86,8 @@ class StorageNode:
         self.node_id = node_id
         self.store = LocalBlockStore()
         self.available = True
+        self.partitioned = False
+        self.slow_seconds = 0.0
         self.outage_remaining = 0
         self.outages_drawn = 0
         self.steps = 0
@@ -129,6 +144,8 @@ class StorageNode:
         return {
             "node_id": self.node_id,
             "available": self.available,
+            "partitioned": self.partitioned,
+            "slow_seconds": self.slow_seconds,
             "outage_remaining": self.outage_remaining,
             "outages_drawn": self.outages_drawn,
             "steps": self.steps,
@@ -146,6 +163,17 @@ class StorageNode:
                 self.interrupt()
             elif request.action == "restore":
                 self.restore()
+            elif request.action == "partition":
+                self.partitioned = True
+            elif request.action == "heal":
+                self.partitioned = False
+                self.slow_seconds = 0.0
+            elif request.action == "slow":
+                self.slow_seconds = float(
+                    request.delay_seconds
+                    if request.delay_seconds is not None
+                    else 0.5
+                )
             else:
                 self.step()
             return AckResponse(info=self.stats())
@@ -193,6 +221,16 @@ async def start_storage_node(
     async def handler(
         request: Request, envelope: Envelope
     ) -> Response | tuple[Response, dict[str, Any]]:
+        if not isinstance(request, NodeAdminRequest):
+            # A partitioned node accepts the connection but never
+            # answers: the request parks here until the partition
+            # heals, so callers hit their RPC deadline instead of a
+            # clean refusal.  node.admin bypasses the gate — it is
+            # the out-of-band channel that heals the partition.
+            while node.partitioned:
+                await asyncio.sleep(0.01)
+            if node.slow_seconds > 0:
+                await asyncio.sleep(node.slow_seconds)
         if envelope.trace is None:
             return node.handle(request)
         # Ship-back tracing: a per-request tracer seeded from the

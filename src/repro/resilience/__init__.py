@@ -7,14 +7,19 @@ keeps the toolchain itself crash-tolerant:
 * :mod:`repro.resilience.faults` — composable fault plans (transient
   outages with exponential recovery, correlated drawer failures over
   the paper's 8×12 topology, latent sector errors, silent corruption,
-  replacement-lag jitter) and the injection engine;
+  replacement-lag jitter — plus the cluster-level kinds: coordinator
+  crashes, node crashes, partitions, slow nodes) and the injection
+  engine;
 * :mod:`repro.resilience.campaign` — seeded fault-injection campaigns
   over :func:`repro.storage.run_mission` with integrity scrubbing,
   degraded-read probes, and repair-queue telemetry;
+* :mod:`repro.resilience.cluster_campaign` — the same idea against a
+  *live* multi-process cluster: seeded kill / partition / recover
+  schedules with WAL-recovery digest checks and a zero-loss sweep;
 * :mod:`repro.resilience.retry` — the deterministic
   retry-with-exponential-backoff policy behind degraded-mode reads
-  (``archive.get(..., retry=...)`` and
-  :func:`repro.storage.plan_with_fallback`).
+  (``archive.get(..., retry=...)``, the cluster coordinator's RPCs,
+  and the blocking protocol clients).
 
 Crash-tolerant *sweeps* (checkpoint / resume / per-cell timeouts for
 ``profile_graph``) live with the sweep itself in
@@ -23,13 +28,23 @@ taxonomy and file formats.
 """
 
 from .campaign import CampaignConfig, CampaignReport, run_campaign
+from .cluster_campaign import (
+    ClusterCampaignConfig,
+    ClusterCampaignReport,
+    default_cluster_plan,
+    run_cluster_campaign,
+)
 from .faults import (
+    CoordinatorCrashes,
     DrawerOutages,
     FaultInjector,
     FaultPlan,
     LatentErrors,
+    NetworkPartitions,
+    NodeCrashes,
     ReplacementJitter,
     SilentCorruption,
+    SlowNodes,
     TransientOutages,
 )
 from .retry import RetryPolicy
@@ -37,13 +52,21 @@ from .retry import RetryPolicy
 __all__ = [
     "CampaignConfig",
     "CampaignReport",
+    "ClusterCampaignConfig",
+    "ClusterCampaignReport",
+    "CoordinatorCrashes",
     "DrawerOutages",
     "FaultInjector",
     "FaultPlan",
     "LatentErrors",
+    "NetworkPartitions",
+    "NodeCrashes",
     "ReplacementJitter",
     "RetryPolicy",
     "SilentCorruption",
+    "SlowNodes",
     "TransientOutages",
+    "default_cluster_plan",
     "run_campaign",
+    "run_cluster_campaign",
 ]

@@ -1,0 +1,575 @@
+"""Cluster-wide chaos campaigns over the multi-process driver.
+
+:func:`~repro.resilience.campaign.run_campaign` injects faults into a
+single-process archive; this module does the same to a *real* cluster:
+one coordinator and N storage-node subprocesses, SIGKILLed,
+partitioned, and slowed on a seeded schedule, with every object's
+SHA-256 verified against its put-time digest — the zero-data-loss
+check the paper's fault-tolerance claims reduce to.
+
+The campaign consumes the cluster-level specs of a
+:class:`~repro.resilience.faults.FaultPlan`
+(:class:`~repro.resilience.faults.CoordinatorCrashes`,
+:class:`~repro.resilience.faults.NodeCrashes`,
+:class:`~repro.resilience.faults.NetworkPartitions`,
+:class:`~repro.resilience.faults.SlowNodes`) and ignores device-only
+kinds, so one plan file can describe both layers.  Every draw comes
+from one seeded generator in a fixed per-step order (coordinator
+first, then nodes in sorted order, crash before partition before
+slow), so a seed reproduces the exact fault schedule run-to-run —
+and, because the placement ring is a pure function of membership and
+every disruptive fault deterministically fails its RPCs, the repair
+byte counts too.
+
+What each fault means here:
+
+* **Coordinator crash** — SIGKILL, then restart on the *same* port
+  with ``--recover <wal_dir>``: the restarted process must rebuild
+  byte-identical metadata state from snapshot + WAL replay, verified
+  by comparing :meth:`ClusterCoordinator.state_sha256` digests before
+  the kill and after recovery.  With ``midwrite_race`` enabled, a put
+  races the SIGKILL (the CI chaos job's "kill mid-write"): if the put
+  was acknowledged it must survive recovery; if it was not, either
+  outcome is legal — but an acked-then-lost object is data loss.
+  The race makes repair-byte counts outcome-dependent, so the
+  determinism check belongs to ``midwrite_race=False`` campaigns.
+* **Node crash** — SIGKILL one storage node and declare it lost
+  (``cluster.leave``, which rebuilds its blocks onto the survivors);
+  it restarts and rejoins ``restart_delay_steps`` steps later.
+* **Partition** — the node accepts TCP but never answers
+  (``node.admin partition``); the coordinator's RPC deadline, not a
+  clean refusal, is what detects it.  Heals on a geometric schedule.
+* **Slow** — grey failure via ``node.admin slow``.
+
+At most one *disruptive* fault (crash or partition) is active at a
+time — the single-failure-domain regime a 3-node striding placement
+actually tolerates; slowdowns stack freely.  The campaign ends with a
+heal-everything phase, a full repair drain, and a digest sweep over
+every object including any mid-write survivors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cluster.driver import _Child
+from ..obs.seeding import SeedLike, derive_seed, resolve_rng, spawn_seeds
+from ..obs.trace import trace_span
+from ..serve.client import ClusterClient
+from .faults import (
+    CoordinatorCrashes,
+    FaultPlan,
+    NetworkPartitions,
+    NodeCrashes,
+    SlowNodes,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "ClusterCampaignConfig",
+    "ClusterCampaignReport",
+    "default_cluster_plan",
+    "run_cluster_campaign",
+]
+
+
+def default_cluster_plan() -> FaultPlan:
+    """The stock chaos mix: every cluster fault class, frequently."""
+    return FaultPlan(
+        faults=(
+            CoordinatorCrashes(rate=0.3),
+            NodeCrashes(rate=0.25, restart_delay_steps=1),
+            NetworkPartitions(rate=0.25, mean_partition_steps=1.5),
+            SlowNodes(rate=0.25, delay_seconds=0.05, mean_slow_steps=1.5),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class ClusterCampaignConfig:
+    """Shape of one seeded cluster chaos campaign."""
+
+    nodes: int = 3
+    objects: int = 4
+    object_size: int = 2048
+    block_size: int = 512
+    steps: int = 6
+    reads_per_step: int = 2
+    seed: SeedLike = 0
+    graph: str | None = None  # GraphML path for the coordinator
+    wal_dir: str | None = None  # default: private temp dir, removed
+    trace_dir: str | None = None
+    rpc_timeout: float = 0.75
+    repair_budget: int | None = None  # coordinator bytes-per-cycle
+    midwrite_race: bool = False  # race a put against the SIGKILL
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ValueError("a cluster campaign needs >= 2 nodes")
+        if self.objects < 1:
+            raise ValueError("objects must be positive")
+        if self.steps < 1:
+            raise ValueError("steps must be positive")
+        if self.rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive")
+
+
+@dataclass
+class ClusterCampaignReport:
+    """Outcome of one cluster chaos campaign."""
+
+    steps: int
+    nodes: int
+    total_objects: int
+    verified_objects: int
+    mismatched: int
+    completed_reads: int
+    failed_reads: int
+    coordinator_crashes: int
+    recoveries_verified: int
+    recovery_mismatches: int
+    acked_put_lost: int
+    node_kills: int
+    partitions: int
+    slowdowns: int
+    events: list[dict[str, Any]] = field(default_factory=list)
+    repair: dict[str, Any] = field(default_factory=dict)
+    repair_bytes: int = 0
+    status: dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def data_loss(self) -> bool:
+        return (
+            self.mismatched > 0
+            or self.verified_objects < self.total_objects
+            or self.recovery_mismatches > 0
+            or self.acked_put_lost > 0
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "steps": self.steps,
+            "nodes": self.nodes,
+            "total_objects": self.total_objects,
+            "verified_objects": self.verified_objects,
+            "mismatched": self.mismatched,
+            "completed_reads": self.completed_reads,
+            "failed_reads": self.failed_reads,
+            "coordinator_crashes": self.coordinator_crashes,
+            "recoveries_verified": self.recoveries_verified,
+            "recovery_mismatches": self.recovery_mismatches,
+            "acked_put_lost": self.acked_put_lost,
+            "node_kills": self.node_kills,
+            "partitions": self.partitions,
+            "slowdowns": self.slowdowns,
+            "events": self.events,
+            "repair": self.repair,
+            "repair_bytes": self.repair_bytes,
+            "status": self.status,
+            "elapsed_seconds": self.elapsed_seconds,
+            "data_loss": self.data_loss,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"cluster campaign: {self.steps} steps over {self.nodes} "
+            f"nodes in {self.elapsed_seconds:.2f}s",
+            f"faults: {self.coordinator_crashes} coordinator crashes "
+            f"({self.recoveries_verified} recoveries byte-verified), "
+            f"{self.node_kills} node kills, {self.partitions} "
+            f"partitions, {self.slowdowns} slowdowns",
+            f"reads: {self.completed_reads} completed, "
+            f"{self.failed_reads} failed transiently, "
+            f"{self.mismatched} mismatched",
+            f"repair: moved {self.repair.get('moved_blocks', 0)} / "
+            f"rebuilt {self.repair.get('rebuilt_blocks', 0)} blocks; "
+            f"cluster.repair.bytes = {self.repair_bytes}",
+            f"verified {self.verified_objects}/{self.total_objects} "
+            "objects "
+            + ("(ZERO data loss)" if not self.data_loss else "(LOSS!)"),
+        ]
+        return "\n".join(lines)
+
+
+class _Cluster:
+    """Process management for one campaign: spawn, kill, respawn."""
+
+    def __init__(self, config: ClusterCampaignConfig, wal_dir: str):
+        self.config = config
+        self.wal_dir = wal_dir
+        self.coordinator: _Child | None = None
+        self.coordinator_generation = 0
+        self.nodes: dict[str, _Child] = {}
+        self.node_seeds: dict[str, int] = {}
+        seeds = [
+            derive_seed(s)
+            for s in spawn_seeds(config.seed, config.nodes + 1)
+        ]
+        self.coordinator_seed = seeds[0]
+        for i in range(config.nodes):
+            self.node_seeds[f"node-{i}"] = seeds[i + 1]
+
+    def _coordinator_argv(self, *, recover: bool) -> list[str]:
+        config = self.config
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "cluster",
+            "coordinator",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(self.coordinator.port if recover else 0),
+            "--seed",
+            str(self.coordinator_seed),
+            "--block-size",
+            str(config.block_size),
+            "--rpc-timeout",
+            str(config.rpc_timeout),
+            "--recover" if recover else "--wal",
+            self.wal_dir,
+        ]
+        if config.repair_budget is not None:
+            argv += ["--repair-budget", str(config.repair_budget)]
+        if config.graph:
+            argv += ["--graph", config.graph]
+        if config.trace_dir:
+            suffix = (
+                f"-r{self.coordinator_generation}"
+                if self.coordinator_generation
+                else ""
+            )
+            argv += [
+                "--trace",
+                os.path.join(
+                    config.trace_dir, f"coordinator{suffix}.jsonl"
+                ),
+            ]
+        return argv
+
+    def spawn_coordinator(self) -> None:
+        child = _Child(
+            "coordinator", self._coordinator_argv(recover=False)
+        )
+        child.await_ready()
+        self.coordinator = child
+
+    def recover_coordinator(self) -> None:
+        """Restart on the same port, replaying the WAL."""
+        self.coordinator_generation += 1
+        child = _Child(
+            f"coordinator (gen {self.coordinator_generation})",
+            self._coordinator_argv(recover=True),
+        )
+        child.await_ready()
+        self.coordinator = child
+
+    def spawn_node(self, node_id: str) -> None:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "cluster",
+            "node",
+            "--id",
+            node_id,
+            "--port",
+            "0",
+            "--seed",
+            str(self.node_seeds[node_id]),
+            "--coordinator",
+            f"{self.coordinator.host}:{self.coordinator.port}",
+        ]
+        child = _Child(f"node {node_id}", argv)
+        child.await_ready()
+        self.nodes[node_id] = child
+
+    def admin(self, node_id: str, action: str, **kwargs) -> None:
+        child = self.nodes[node_id]
+        with ClusterClient(child.host, child.port, timeout=10.0) as c:
+            c.node_admin(action, **kwargs)
+
+    def teardown(self) -> None:
+        for child in self.nodes.values():
+            child.terminate()
+        if self.coordinator is not None:
+            self.coordinator.terminate()
+
+
+def run_cluster_campaign(
+    plan: FaultPlan | None = None,
+    config: ClusterCampaignConfig | None = None,
+) -> ClusterCampaignReport:
+    """Drive a live cluster through a seeded chaos schedule and verify."""
+    plan = plan if plan is not None else default_cluster_plan()
+    config = config or ClusterCampaignConfig()
+    coord_specs = [
+        s for s in plan.faults if isinstance(s, CoordinatorCrashes)
+    ]
+    crash_specs = [s for s in plan.faults if isinstance(s, NodeCrashes)]
+    partition_specs = [
+        s for s in plan.faults if isinstance(s, NetworkPartitions)
+    ]
+    slow_specs = [s for s in plan.faults if isinstance(s, SlowNodes)]
+
+    rng = resolve_rng(
+        derive_seed(spawn_seeds(config.seed, config.nodes + 2)[-1])
+    )
+    payload_rng = resolve_rng(
+        spawn_seeds(config.seed, config.nodes + 3)[-1]
+    )
+
+    own_wal = config.wal_dir is None
+    wal_dir = config.wal_dir or tempfile.mkdtemp(prefix="repro-wal-")
+    cluster = _Cluster(config, wal_dir)
+    report = ClusterCampaignReport(
+        steps=config.steps,
+        nodes=config.nodes,
+        total_objects=0,
+        verified_objects=0,
+        mismatched=0,
+        completed_reads=0,
+        failed_reads=0,
+        coordinator_crashes=0,
+        recoveries_verified=0,
+        recovery_mismatches=0,
+        acked_put_lost=0,
+        node_kills=0,
+        partitions=0,
+        slowdowns=0,
+    )
+
+    def note(step: int, kind: str, **detail: Any) -> None:
+        report.events.append({"step": step, "kind": kind, **detail})
+
+    start = time.perf_counter()
+    client: ClusterClient | None = None
+    # Faults active at a time-step granularity; heal/restart schedules.
+    dead_until: dict[str, int] = {}
+    partitioned_until: dict[str, int] = {}
+    slowed_until: dict[str, int] = {}
+    digests: dict[str, str] = {}
+    try:
+        cluster.spawn_coordinator()
+        for node_id in sorted(cluster.node_seeds):
+            cluster.spawn_node(node_id)
+        client = ClusterClient(
+            cluster.coordinator.host,
+            cluster.coordinator.port,
+            timeout=60.0,
+            retry=RetryPolicy(
+                max_attempts=5,
+                base_delay=0.2,
+                max_delay=1.0,
+                seed=derive_seed(config.seed),
+            ),
+        )
+
+        with trace_span("cluster.campaign.seed"):
+            for i in range(config.objects):
+                name = f"object-{i:03d}"
+                payload = payload_rng.bytes(config.object_size)
+                info = client.put(name, payload)
+                digests[name] = info["sha256"]
+
+        def disrupted() -> bool:
+            return bool(dead_until) or bool(partitioned_until)
+
+        def crash_coordinator(step: int) -> None:
+            report.coordinator_crashes += 1
+            pre_digest = client.status()["state_sha256"]
+            racer: threading.Thread | None = None
+            race: dict[str, Any] = {}
+            if config.midwrite_race:
+                # One put races the SIGKILL: acked ⇒ must survive.
+                name = f"crash-{step:03d}"
+                payload = payload_rng.bytes(config.object_size)
+                side = ClusterClient(
+                    cluster.coordinator.host,
+                    cluster.coordinator.port,
+                    timeout=10.0,
+                )
+
+                def racing_put() -> None:
+                    try:
+                        race["info"] = side.put(name, payload)
+                    except Exception as exc:
+                        race["error"] = repr(exc)
+                    finally:
+                        side.close()
+
+                race["name"] = name
+                race["sha256"] = hashlib.sha256(payload).hexdigest()
+                racer = threading.Thread(target=racing_put)
+                racer.start()
+                time.sleep(0.05)
+            cluster.coordinator.kill()
+            if racer is not None:
+                racer.join()
+            cluster.recover_coordinator()
+            post_digest = client.status()["state_sha256"]
+            if config.midwrite_race and race:
+                acked = "info" in race
+                note(
+                    step,
+                    "coordinator_crash",
+                    midwrite=race["name"],
+                    acked=acked,
+                )
+                try:
+                    got = client.get(race["name"])
+                    present = got.sha256 == race["sha256"]
+                except Exception:
+                    present = False
+                if present:
+                    # Journaled (acked or not): from here on it is an
+                    # object like any other and must keep surviving.
+                    digests[race["name"]] = race["sha256"]
+                elif acked:
+                    report.acked_put_lost += 1
+                    note(step, "acked_put_lost", object=race["name"])
+            else:
+                if post_digest == pre_digest:
+                    report.recoveries_verified += 1
+                else:
+                    report.recovery_mismatches += 1
+                note(
+                    step,
+                    "coordinator_crash",
+                    recovered=post_digest == pre_digest,
+                )
+
+        def kill_node(step: int, spec: NodeCrashes) -> None:
+            node_id = sorted(cluster.nodes)[
+                int(rng.integers(0, len(cluster.nodes)))
+            ]
+            report.node_kills += 1
+            cluster.nodes[node_id].kill()
+            dead_until[node_id] = step + 1 + spec.restart_delay_steps
+            note(step, "node_crash", node=node_id)
+            # Declare the loss: rebuild its blocks onto survivors.
+            client.leave(node_id)
+
+        def partition_node(step: int, spec: NetworkPartitions) -> None:
+            node_id = sorted(cluster.nodes)[
+                int(rng.integers(0, len(cluster.nodes)))
+            ]
+            steps = int(
+                rng.geometric(
+                    min(1.0, 1.0 / spec.mean_partition_steps)
+                )
+            )
+            report.partitions += 1
+            partitioned_until[node_id] = step + steps
+            note(step, "partition", node=node_id, steps=steps)
+            cluster.admin(node_id, "partition")
+
+        def slow_node(step: int, spec: SlowNodes) -> None:
+            # Only live nodes: a dead node's admin port refuses.
+            alive = [
+                n for n in sorted(cluster.nodes) if n not in dead_until
+            ]
+            if not alive:
+                return
+            node_id = alive[int(rng.integers(0, len(alive)))]
+            steps = int(
+                rng.geometric(min(1.0, 1.0 / spec.mean_slow_steps))
+            )
+            report.slowdowns += 1
+            slowed_until[node_id] = step + steps
+            note(step, "slow", node=node_id, steps=steps)
+            cluster.admin(
+                node_id, "slow", delay_seconds=spec.delay_seconds
+            )
+
+        with trace_span("cluster.campaign.run"):
+            for step in range(config.steps):
+                # 1. Expire outstanding faults due this step.
+                for node_id in sorted(dead_until):
+                    if dead_until[node_id] <= step:
+                        del dead_until[node_id]
+                        cluster.spawn_node(node_id)  # rejoins + drains
+                        note(step, "node_restart", node=node_id)
+                for node_id in sorted(partitioned_until):
+                    if partitioned_until[node_id] <= step:
+                        del partitioned_until[node_id]
+                        cluster.admin(node_id, "heal")
+                        note(step, "heal", node=node_id)
+                for node_id in sorted(slowed_until):
+                    if slowed_until[node_id] <= step:
+                        del slowed_until[node_id]
+                        cluster.admin(node_id, "heal")
+                        note(step, "heal_slow", node=node_id)
+
+                # 2. Draw new faults, fixed order for determinism.
+                for spec in coord_specs:
+                    if rng.random() < spec.rate:
+                        crash_coordinator(step)
+                for spec in crash_specs:
+                    if rng.random() < spec.rate and not disrupted():
+                        kill_node(step, spec)
+                for spec in partition_specs:
+                    if rng.random() < spec.rate and not disrupted():
+                        partition_node(step, spec)
+                for spec in slow_specs:
+                    if rng.random() < spec.rate:
+                        slow_node(step, spec)
+
+                # 3. Foreground reads against put-time digests.
+                names = sorted(digests)
+                for _ in range(config.reads_per_step):
+                    name = names[int(rng.integers(0, len(names)))]
+                    try:
+                        info = client.get(name)
+                    except Exception:
+                        report.failed_reads += 1
+                        continue
+                    if info.sha256 == digests[name]:
+                        report.completed_reads += 1
+                    else:
+                        report.mismatched += 1
+                        note(step, "mismatch", object=name)
+
+        # Final phase: heal the world, drain repair, verify all.
+        with trace_span("cluster.campaign.verify"):
+            # Heal the survivors first so the rejoin-triggered repair
+            # drains don't grind through RPC deadlines against peers
+            # that are still partitioned; then bring the dead back.
+            for node_id in sorted(cluster.nodes):
+                if node_id not in dead_until:
+                    cluster.admin(node_id, "heal")
+                    cluster.admin(node_id, "restore")
+            partitioned_until.clear()
+            slowed_until.clear()
+            for node_id in sorted(dead_until):
+                cluster.spawn_node(node_id)
+            dead_until.clear()
+            report.repair = client.repair()
+            report.total_objects = len(digests)
+            for name, digest in sorted(digests.items()):
+                try:
+                    if client.get(name).sha256 == digest:
+                        report.verified_objects += 1
+                except Exception:
+                    pass
+            report.status = client.status()
+            report.repair_bytes = report.status.get("repair_bytes", 0)
+    finally:
+        if client is not None:
+            client.close()
+        cluster.teardown()
+        if own_wal:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

@@ -23,11 +23,29 @@ as composable per-step fault processes over a
 * :class:`ReplacementJitter` — procurement noise: each replacement's
   lag gains 0..``max_extra_steps`` extra steps.
 
+Cluster-level specs (PR 7) extend the taxonomy to the multi-process
+cluster, where the failing unit is a *process* or the *network*, not a
+device:
+
+* :class:`CoordinatorCrashes` — SIGKILL the coordinator mid-flight;
+  the restarted process must recover from its write-ahead log.
+* :class:`NodeCrashes` — SIGKILL a storage node (real loss of its
+  blocks until repair re-derives them).
+* :class:`NetworkPartitions` — a node stays reachable at TCP level but
+  never answers (the half-open failure detectors genuinely fear).
+* :class:`SlowNodes` — grey failure: a node answers correctly but
+  slowly.
+
 A :class:`FaultPlan` is an ordered bundle of specs, JSON round-trippable
 (``repro mission --faults PLAN.json``).  :class:`FaultInjector` is the
 per-run state machine: it draws faults from the mission RNG stream (so
 campaigns are reproducible end-to-end), tracks outstanding outages, and
-emits :class:`~repro.storage.simulation.MissionEvent` records.
+emits :class:`~repro.storage.simulation.MissionEvent` records.  The
+injector dispatches per-kind handlers by name, so device-level runs
+silently skip the cluster specs (and vice versa:
+:func:`~repro.resilience.cluster_campaign.run_cluster_campaign` reads
+the cluster specs and ignores device-only kinds) — one plan file can
+describe both layers.
 """
 
 from __future__ import annotations
@@ -50,6 +68,10 @@ __all__ = [
     "LatentErrors",
     "SilentCorruption",
     "ReplacementJitter",
+    "CoordinatorCrashes",
+    "NodeCrashes",
+    "NetworkPartitions",
+    "SlowNodes",
     "FaultPlan",
     "FaultInjector",
 ]
@@ -133,6 +155,66 @@ class ReplacementJitter:
             raise ValueError("max_extra_steps must be non-negative")
 
 
+@dataclass(frozen=True)
+class CoordinatorCrashes:
+    """SIGKILL the coordinator; it must restart and recover its WAL."""
+
+    rate: float = 0.05  # per campaign-step probability
+
+    kind = "coordinator_crash"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+
+@dataclass(frozen=True)
+class NodeCrashes:
+    """SIGKILL one storage node; its blocks are lost until repair."""
+
+    rate: float = 0.05  # per node-step probability
+    restart_delay_steps: int = 1  # steps before the node rejoins
+
+    kind = "node_crash"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if self.restart_delay_steps < 0:
+            raise ValueError("restart_delay_steps must be non-negative")
+
+
+@dataclass(frozen=True)
+class NetworkPartitions:
+    """A node accepts TCP but never answers, for a geometric duration."""
+
+    rate: float = 0.05  # per node-step probability
+    mean_partition_steps: float = 2.0
+
+    kind = "partition"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if self.mean_partition_steps < 1.0:
+            raise ValueError("mean_partition_steps must be >= 1")
+
+
+@dataclass(frozen=True)
+class SlowNodes:
+    """Grey failure: a node answers correctly but delayed."""
+
+    rate: float = 0.05  # per node-step probability
+    delay_seconds: float = 0.2
+    mean_slow_steps: float = 2.0
+
+    kind = "slow"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if self.mean_slow_steps < 1.0:
+            raise ValueError("mean_slow_steps must be >= 1")
+
+
 _SPEC_KINDS = {
     cls.kind: cls
     for cls in (
@@ -141,6 +223,10 @@ _SPEC_KINDS = {
         LatentErrors,
         SilentCorruption,
         ReplacementJitter,
+        CoordinatorCrashes,
+        NodeCrashes,
+        NetworkPartitions,
+        SlowNodes,
     )
 }
 
@@ -150,6 +236,10 @@ FaultSpec = (
     | LatentErrors
     | SilentCorruption
     | ReplacementJitter
+    | CoordinatorCrashes
+    | NodeCrashes
+    | NetworkPartitions
+    | SlowNodes
 )
 
 

@@ -28,6 +28,8 @@ import threading
 from typing import Any
 
 from ..obs.trace import start_span, tracer
+from ..resilience.retry import RetryPolicy
+from .errors import DeadlineExceededError
 from .protocol import (
     PROTOCOL_VERSION,
     AckResponse,
@@ -43,6 +45,8 @@ from .protocol import (
     ClusterLeaveRequest,
     ClusterPutRequest,
     ClusterRepairRequest,
+    ClusterRepairStatusRequest,
+    ClusterSnapshotRequest,
     ClusterStatusRequest,
     ErrorResponse,
     GetRequest,
@@ -74,11 +78,13 @@ class ProtocolClient:
         *,
         timeout: float = 30.0,
         v: int = PROTOCOL_VERSION,
+        retry: RetryPolicy | None = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.v = v
+        self.retry = retry
         self._sock: socket.socket | None = None
         self._file = None
         self._lock = threading.Lock()
@@ -116,8 +122,25 @@ class ProtocolClient:
         Returns ``(typed response, raw frame)``; the raw frame carries
         envelope extras.  Remote failures raise (see module docs); a
         dropped connection raises :class:`ConnectionError` after
-        closing the socket so the next call reconnects cleanly.
+        closing the socket so the next call reconnects cleanly.  With
+        a ``retry`` policy configured, connection-level failures
+        (refused, reset, mid-frame close — *not* remote errors or
+        deadlines) are retried with seeded backoff before raising.
         """
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(request)
+            except DeadlineExceededError:
+                raise
+            except ConnectionError:
+                if self.retry is None or not self.retry.wait(attempt):
+                    raise
+                attempt += 1
+
+    def _call_once(
+        self, request: Request
+    ) -> tuple[Response, dict[str, Any]]:
         span = start_span(
             f"client.{request.op}",
             activate=False,
@@ -149,6 +172,16 @@ class ProtocolClient:
             try:
                 self._sock.sendall(data)
                 line = self._file.readline()
+            except socket.timeout as exc:
+                # The peer accepted the request but never answered
+                # (half-open or partitioned): surface the deadline,
+                # not a hang.  The connection's framing state is
+                # unknowable now, so drop it.
+                self.close()
+                raise DeadlineExceededError(
+                    f"no reply from {self.host}:{self.port} within "
+                    f"{self.timeout}s"
+                ) from exc
             except OSError as exc:
                 self.close()
                 raise ConnectionError(
@@ -158,6 +191,12 @@ class ProtocolClient:
                 self.close()
                 raise ConnectionError(
                     f"{self.host}:{self.port} closed the connection"
+                )
+            if not line.endswith(b"\n"):
+                # EOF mid-frame: a torn reply is not a reply.
+                self.close()
+                raise ConnectionError(
+                    f"{self.host}:{self.port} closed mid-frame"
                 )
         return parse_response(line)
 
@@ -225,8 +264,17 @@ class ClusterClient(ProtocolClient):
         response, _ = self.call(ClusterStatusRequest())
         return self._expect(response, StatusResponse).status
 
-    def repair(self) -> dict[str, Any]:
-        response, _ = self.call(ClusterRepairRequest())
+    def repair(self, mode: str = "drain") -> dict[str, Any]:
+        response, _ = self.call(ClusterRepairRequest(mode=mode))
+        return self._expect(response, AckResponse).info
+
+    def repair_status(self) -> dict[str, Any]:
+        response, _ = self.call(ClusterRepairStatusRequest())
+        return self._expect(response, StatusResponse).status
+
+    def snapshot(self) -> dict[str, Any]:
+        """Ask the coordinator to snapshot its WAL state now."""
+        response, _ = self.call(ClusterSnapshotRequest())
         return self._expect(response, AckResponse).info
 
     def join(self, node_id: str, host: str, port: int) -> dict[str, Any]:
@@ -267,6 +315,10 @@ class ClusterClient(ProtocolClient):
         response, _ = self.call(NodeStatsRequest())
         return response.stats
 
-    def node_admin(self, action: str) -> dict[str, Any]:
-        response, _ = self.call(NodeAdminRequest(action=action))
+    def node_admin(
+        self, action: str, *, delay_seconds: float | None = None
+    ) -> dict[str, Any]:
+        response, _ = self.call(
+            NodeAdminRequest(action=action, delay_seconds=delay_seconds)
+        )
         return self._expect(response, AckResponse).info

@@ -12,6 +12,12 @@ operational responses:
   timeout handling applies.
 * :class:`ServiceClosedError` — the service is draining or closed and
   accepts no new work.
+* :class:`NodeUnreachableError` — a cluster peer could not be reached
+  at the transport level (connection refused, reset, or deadline
+  expired): distinct from ``unavailable``, which means the peer
+  answered but its storage backend is dark.  The cluster coordinator's
+  :class:`~repro.cluster.coordinator.NodeDownError` subclasses it, and
+  the wire code is ``node_down``.
 
 Data-path failures (:class:`repro.storage.DataLossError`,
 :class:`repro.storage.TransientUnavailableError`) propagate unchanged:
@@ -22,6 +28,7 @@ from __future__ import annotations
 
 __all__ = [
     "DeadlineExceededError",
+    "NodeUnreachableError",
     "ServiceClosedError",
     "ServiceOverloadedError",
 ]
@@ -41,3 +48,13 @@ class DeadlineExceededError(TimeoutError):
 
 class ServiceClosedError(RuntimeError):
     """The service is draining or closed; no new requests accepted."""
+
+
+class NodeUnreachableError(ConnectionError):
+    """A cluster peer is unreachable at the transport level.
+
+    Raised after transport retries are exhausted: the peer refused or
+    reset the connection, or never answered within the RPC deadline.
+    The blocks it holds may be perfectly intact — the caller decides
+    whether to decode around the peer or declare it lost.
+    """

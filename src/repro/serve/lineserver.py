@@ -66,8 +66,15 @@ async def start_line_server(
         async def reply(frame: dict[str, Any]) -> None:
             data = encode_frame(frame)
             async with write_lock:
-                writer.write(data)
-                await writer.drain()
+                try:
+                    writer.write(data)
+                    await writer.drain()
+                except OSError:
+                    # The peer hung up (gave up on a deadline, died
+                    # mid-frame): the reply has nowhere to go, and the
+                    # read loop will see EOF and close.  Raising here
+                    # would only leave an unretrieved task exception.
+                    pass
 
         async def process(line: bytes) -> None:
             try:

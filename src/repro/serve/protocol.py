@@ -11,6 +11,10 @@ here once:
   (``kind`` discriminator); :func:`parse_request`/:func:`parse_response`
   validate field presence and types and raise :class:`ProtocolError`
   with a stable ``code`` instead of dropping the connection.
+* **Error taxonomy additions** — ``node_down`` marks a cluster peer
+  unreachable at the transport level (connection refused/reset or RPC
+  deadline expired), distinct from ``unavailable`` (peer answered,
+  storage backend dark).
 * **Versioning** — frames carry ``"v": 1``.  Frames *without* a ``v``
   are accepted as legacy v0 (one :class:`DeprecationWarning` per
   process) and answered in the exact pre-versioning response shape, so
@@ -19,8 +23,9 @@ here once:
 * **Error taxonomy** — :func:`error_code` maps every exception a
   handler can raise onto a small, stable set of ``code`` strings
   (``overloaded``, ``deadline``, ``closed``, ``not_found``,
-  ``data_loss``, ``unavailable``, ``bad_request``, ``unknown_op``,
-  ``unsupported_version``, ``internal``); clients rebuild typed
+  ``data_loss``, ``unavailable``, ``node_down``, ``bad_request``,
+  ``unknown_op``, ``unsupported_version``, ``internal``); clients
+  rebuild typed
   exceptions from the code via :func:`exception_for`, independent of
   server-side class names.
 * **Binary payloads** — ``bytes`` fields travel base64-encoded, so
@@ -49,6 +54,7 @@ from ..storage.archive import DataLossError
 from ..storage.device import TransientUnavailableError
 from .errors import (
     DeadlineExceededError,
+    NodeUnreachableError,
     ServiceClosedError,
     ServiceOverloadedError,
 )
@@ -75,6 +81,8 @@ __all__ = [
     "ClusterGetRequest",
     "ClusterStatusRequest",
     "ClusterRepairRequest",
+    "ClusterRepairStatusRequest",
+    "ClusterSnapshotRequest",
     "ClusterJoinRequest",
     "ClusterLeaveRequest",
     "PongResponse",
@@ -154,6 +162,7 @@ _ERROR_TAXONOMY: tuple[tuple[type, str], ...] = (
     (ServiceClosedError, "closed"),
     (DataLossError, "data_loss"),
     (TransientUnavailableError, "unavailable"),
+    (NodeUnreachableError, "node_down"),
     (KeyError, "not_found"),
     (ValueError, "bad_request"),
 )
@@ -183,6 +192,8 @@ def exception_for(code: str, message: str) -> Exception:
         return KeyError(message)
     if code == "unavailable":
         return TransientUnavailableError(message)
+    if code == "node_down":
+        return NodeUnreachableError(message)
     return RemoteError(message, code=code)
 
 
@@ -497,17 +508,35 @@ class NodeStatsRequest(Request):
 @_request
 @dataclass(frozen=True)
 class NodeAdminRequest(Request):
-    """Storage-node fault control: interrupt/restore/step availability."""
+    """Storage-node fault control.
+
+    ``interrupt``/``restore``/``step`` drive the availability process;
+    ``partition``/``heal`` make the node accept TCP but never answer
+    (a network partition, healed on demand); ``slow`` delays every
+    data-plane reply by ``delay_seconds`` (0 restores full speed).
+    """
 
     op: ClassVar[str] = "node.admin"
     action: str = ""
+    delay_seconds: float | None = None
 
-    _ACTIONS: ClassVar[tuple[str, ...]] = ("interrupt", "restore", "step")
+    _ACTIONS: ClassVar[tuple[str, ...]] = (
+        "interrupt",
+        "restore",
+        "step",
+        "partition",
+        "heal",
+        "slow",
+    )
 
     def __post_init__(self) -> None:
         if self.action not in self._ACTIONS:
             raise ProtocolError(
                 f"'node.admin' action must be one of {self._ACTIONS}"
+            )
+        if self.delay_seconds is not None and self.delay_seconds < 0:
+            raise ProtocolError(
+                "'node.admin' delay_seconds must be non-negative"
             )
 
 
@@ -544,7 +573,41 @@ class ClusterStatusRequest(Request):
 @_request
 @dataclass(frozen=True)
 class ClusterRepairRequest(Request):
+    """Run the repair scheduler.
+
+    ``mode`` selects how much work one call does: ``drain`` (default)
+    scans and runs budgeted cycles until the queue empties, ``cycle``
+    runs exactly one bytes-budgeted cycle over the existing queue, and
+    ``scan`` only refreshes the queue from scrub telemetry without
+    moving a byte.
+    """
+
     op: ClassVar[str] = "cluster.repair"
+    mode: str = "drain"
+
+    _MODES: ClassVar[tuple[str, ...]] = ("drain", "cycle", "scan")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ProtocolError(
+                f"'cluster.repair' mode must be one of {self._MODES}"
+            )
+
+
+@_request
+@dataclass(frozen=True)
+class ClusterRepairStatusRequest(Request):
+    """Inspect the repair scheduler: queue, budget, lifetime totals."""
+
+    op: ClassVar[str] = "cluster.repair_status"
+
+
+@_request
+@dataclass(frozen=True)
+class ClusterSnapshotRequest(Request):
+    """Compact the coordinator WAL into a fresh snapshot."""
+
+    op: ClassVar[str] = "cluster.snapshot"
 
 
 @_request

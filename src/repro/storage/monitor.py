@@ -21,13 +21,27 @@ from ..obs.registry import registry
 from .archive import TornadoArchive
 from .device import TransientUnavailableError
 
-__all__ = ["StripeHealth", "MonitorReport", "StripeMonitor"]
+__all__ = [
+    "StripeHealth",
+    "MonitorReport",
+    "StripeMonitor",
+    "graph_first_failure",
+]
 
 
 @lru_cache(maxsize=32)
-def _graph_first_failure(graph: ErasureGraph, limit: int = 6) -> int:
+def graph_first_failure(graph: ErasureGraph, limit: int = 6) -> int:
+    """Cached first-failure point of a graph (``limit + 1`` if beyond).
+
+    The margin arithmetic shared by :class:`StripeMonitor` and the
+    cluster's :class:`~repro.cluster.scheduler.RepairScheduler`.
+    """
     ff = first_failure(graph, limit=limit)
     return ff if ff is not None else limit + 1
+
+
+# Backwards-compatible alias (pre-PR-7 private name).
+_graph_first_failure = graph_first_failure
 
 
 @dataclass(frozen=True)
@@ -89,7 +103,7 @@ class StripeMonitor:
 
     def scan(self) -> MonitorReport:
         """Compute the health of every stripe in the archive."""
-        ff = _graph_first_failure(self.archive.graph)
+        ff = graph_first_failure(self.archive.graph)
         healths: list[StripeHealth] = []
         for name in self.archive.objects:
             per_stripe = self.archive.missing_blocks(name)

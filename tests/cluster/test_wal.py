@@ -1,0 +1,299 @@
+"""Coordinator durability: WAL mechanics and crash recovery."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    CoordinatorWal,
+    StorageNode,
+    WalCorruptError,
+    start_storage_node,
+)
+from repro.graphs import tornado_catalog_graph
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def payload_bytes(n, seed=0):
+    return np.random.default_rng(seed).bytes(n)
+
+
+class TestWalMechanics:
+    def test_append_then_load_replays_in_order(self, tmp_path):
+        wal = CoordinatorWal(tmp_path)
+        for i in range(5):
+            seq = wal.append({"type": "put", "name": f"o{i}"})
+            assert seq == i + 1
+        wal.close()
+        state, records = CoordinatorWal(tmp_path).load()
+        assert state is None
+        assert [r["name"] for r in records] == [f"o{i}" for i in range(5)]
+        assert [r["seq"] for r in records] == [1, 2, 3, 4, 5]
+
+    def test_fresh_truncates_prior_state(self, tmp_path):
+        wal = CoordinatorWal(tmp_path)
+        wal.append({"type": "put", "name": "old"})
+        wal.snapshot({"anything": 1})
+        wal.close()
+        wal = CoordinatorWal(tmp_path, fresh=True)
+        state, records = wal.load()
+        assert state is None and records == []
+        assert wal.seq == 0
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        wal = CoordinatorWal(tmp_path)
+        wal.append({"type": "put", "name": "kept"})
+        wal.close()
+        with open(tmp_path / "wal.jsonl", "ab") as fh:
+            fh.write(b'{"seq": 2, "type": "put", "na')  # crash mid-write
+        _, records = CoordinatorWal(tmp_path).load()
+        assert [r["name"] for r in records] == ["kept"]
+
+    def test_crc_failing_tail_is_dropped(self, tmp_path):
+        wal = CoordinatorWal(tmp_path)
+        wal.append({"type": "put", "name": "kept"})
+        wal.close()
+        with open(tmp_path / "wal.jsonl", "ab") as fh:
+            fh.write(b'{"seq": 2, "type": "put", "crc": 12345}\n')
+        _, records = CoordinatorWal(tmp_path).load()
+        assert [r["name"] for r in records] == ["kept"]
+
+    def test_mid_log_damage_raises_instead_of_guessing(self, tmp_path):
+        wal = CoordinatorWal(tmp_path)
+        wal.append({"type": "put", "name": "a"})
+        wal.append({"type": "put", "name": "b"})
+        wal.close()
+        lines = (tmp_path / "wal.jsonl").read_bytes().splitlines()
+        lines[0] = b'{"seq": 1, "garbage": true}'
+        (tmp_path / "wal.jsonl").write_bytes(b"\n".join(lines) + b"\n")
+        with pytest.raises(WalCorruptError):
+            CoordinatorWal(tmp_path).load()
+
+    def test_sequence_regression_is_corruption(self, tmp_path):
+        wal = CoordinatorWal(tmp_path)
+        wal.append({"type": "put", "name": "a"})
+        wal.close()
+        line = (tmp_path / "wal.jsonl").read_bytes()
+        # Duplicate record 1 verbatim: same CRC, regressed sequence.
+        (tmp_path / "wal.jsonl").write_bytes(line + line)
+        with pytest.raises(WalCorruptError):
+            CoordinatorWal(tmp_path).load()
+
+    def test_snapshot_truncates_and_seq_stays_monotonic(self, tmp_path):
+        wal = CoordinatorWal(tmp_path)
+        wal.append({"type": "put", "name": "a"})
+        wal.append({"type": "put", "name": "b"})
+        assert wal.snapshot({"x": 1}) == 2
+        assert wal.records_since_snapshot == 0
+        assert wal.append({"type": "put", "name": "c"}) == 3
+        wal.close()
+        state, records = CoordinatorWal(tmp_path).load()
+        assert state == {"x": 1}
+        assert [r["name"] for r in records] == ["c"]
+
+    def test_stats_report_recovery_exposure(self, tmp_path):
+        wal = CoordinatorWal(tmp_path)
+        wal.append({"type": "put", "name": "a"})
+        stats = wal.stats()
+        assert stats["seq"] == 1
+        assert stats["records_since_snapshot"] == 1
+        assert stats["wal_bytes"] > 0
+        assert stats["appends"] == 1 and stats["fsyncs"] == 1
+        assert stats["last_snapshot_age_seconds"] is None
+        wal.snapshot({"x": 1})
+        stats = wal.stats()
+        assert stats["records_since_snapshot"] == 0
+        assert stats["snapshot_bytes"] > 0
+        assert stats["last_snapshot_age_seconds"] is not None
+
+
+class WaledCluster:
+    """In-process cluster whose coordinator journals to a WAL dir."""
+
+    def __init__(self, coordinator, nodes, servers):
+        self.coordinator = coordinator
+        self.nodes = nodes
+        self.servers = servers
+
+    @classmethod
+    async def start(cls, wal_dir, members=3, **kwargs):
+        coordinator = ClusterCoordinator(
+            tornado_catalog_graph(3),
+            block_size=64,
+            wal_dir=wal_dir,
+            **kwargs,
+        )
+        nodes, servers = {}, {}
+        for i in range(members):
+            node_id = f"node-{i}"
+            node = StorageNode(node_id, seed=i)
+            server = await start_storage_node(node, port=0)
+            host, port = server.sockets[0].getsockname()[:2]
+            await coordinator.register(node_id, host, port)
+            nodes[node_id], servers[node_id] = node, server
+        return cls(coordinator, nodes, servers)
+
+    async def kill(self, node_id):
+        self.servers[node_id].close()
+        await self.servers[node_id].wait_closed()
+        self.coordinator._drop_connection(
+            self.coordinator.nodes[node_id]
+        )
+
+    async def close(self):
+        if self.coordinator.wal is not None:
+            self.coordinator.wal.close()
+        for server in self.servers.values():
+            server.close()
+
+
+class TestCoordinatorRecovery:
+    def test_recovery_reconstructs_byte_identical_state(self, tmp_path):
+        async def check():
+            cluster = await WaledCluster.start(tmp_path)
+            coord = cluster.coordinator
+            await coord.put("alpha", payload_bytes(5000, seed=1))
+            await coord.put("beta", payload_bytes(3000, seed=2))
+            await cluster.kill("node-0")
+            await coord.deregister("node-0")
+            digest = coord.state_sha256()
+            state = coord.state_dict()
+            await cluster.close()
+            # "Crash": the coordinator object is simply gone.  A new
+            # one recovers from the same directory.
+            recovered = ClusterCoordinator(
+                tornado_catalog_graph(3),
+                block_size=64,
+                wal_dir=tmp_path,
+                recover=True,
+            )
+            assert recovered.state_sha256() == digest
+            assert recovered.state_dict() == state
+            assert recovered.repair_bytes == coord.repair_bytes
+            assert (
+                recovered.repair_bytes_by_node
+                == coord.repair_bytes_by_node
+            )
+            recovered.wal.close()
+
+        run(check())
+
+    def test_recovered_coordinator_serves_reads(self, tmp_path):
+        async def check():
+            cluster = await WaledCluster.start(tmp_path)
+            coord = cluster.coordinator
+            payload = payload_bytes(4000, seed=3)
+            await coord.put("obj", payload)
+            coord.wal.close()
+            recovered = ClusterCoordinator(
+                tornado_catalog_graph(3),
+                block_size=64,
+                wal_dir=tmp_path,
+                recover=True,
+            )
+            got = await recovered.get("obj", want_payload=True)
+            assert got.payload == payload
+            recovered.wal.close()
+            for server in cluster.servers.values():
+                server.close()
+
+        run(check())
+
+    def test_recovery_from_snapshot_plus_tail(self, tmp_path):
+        async def check():
+            cluster = await WaledCluster.start(tmp_path)
+            coord = cluster.coordinator
+            await coord.put("before", payload_bytes(1000, seed=4))
+            coord.snapshot_now()
+            await coord.put("after", payload_bytes(1000, seed=5))
+            digest = coord.state_sha256()
+            await cluster.close()
+            recovered = ClusterCoordinator(
+                tornado_catalog_graph(3),
+                block_size=64,
+                wal_dir=tmp_path,
+                recover=True,
+            )
+            assert recovered.state_sha256() == digest
+            assert set(recovered.manifests) == {"before", "after"}
+            recovered.wal.close()
+
+        run(check())
+
+    def test_auto_snapshot_after_n_records(self, tmp_path):
+        async def check():
+            cluster = await WaledCluster.start(
+                tmp_path, snapshot_every=4
+            )
+            coord = cluster.coordinator
+            for i in range(6):
+                await coord.put(
+                    f"o{i}", payload_bytes(200, seed=10 + i)
+                )
+            # 3 joins + 6 puts = 9 records: at least two snapshots
+            # fired, and the journal tail stays short.
+            assert coord.wal.records_since_snapshot < 4
+            snapshot = json.loads(
+                (tmp_path / "snapshot.json").read_text()
+            )
+            assert snapshot["seq"] > 0
+            digest = coord.state_sha256()
+            await cluster.close()
+            recovered = ClusterCoordinator(
+                tornado_catalog_graph(3),
+                block_size=64,
+                wal_dir=tmp_path,
+                recover=True,
+            )
+            assert recovered.state_sha256() == digest
+            recovered.wal.close()
+
+        run(check())
+
+    def test_torn_put_record_is_an_unacked_put(self, tmp_path):
+        async def check():
+            cluster = await WaledCluster.start(tmp_path)
+            coord = cluster.coordinator
+            await coord.put("acked", payload_bytes(1000, seed=6))
+            await cluster.close()
+            # Simulate a crash mid-append of a second put.
+            with open(tmp_path / "wal.jsonl", "ab") as fh:
+                fh.write(b'{"seq": 99, "type": "put", "name": "torn')
+            recovered = ClusterCoordinator(
+                tornado_catalog_graph(3),
+                block_size=64,
+                wal_dir=tmp_path,
+                recover=True,
+            )
+            assert set(recovered.manifests) == {"acked"}
+            recovered.wal.close()
+
+        run(check())
+
+    def test_status_surfaces_wal_and_state_digest(self, tmp_path):
+        async def check():
+            cluster = await WaledCluster.start(tmp_path)
+            coord = cluster.coordinator
+            await coord.put("obj", payload_bytes(500, seed=7))
+            status = await coord.status()
+            assert status["wal"]["seq"] == coord.wal.seq
+            assert status["wal"]["records_since_snapshot"] > 0
+            assert status["state_sha256"] == coord.state_sha256()
+            await cluster.close()
+
+        run(check())
+
+    def test_wal_less_coordinator_reports_none_and_rejects_snapshot(
+        self,
+    ):
+        coord = ClusterCoordinator(
+            tornado_catalog_graph(3), block_size=64
+        )
+        with pytest.raises(ValueError):
+            coord.snapshot_now()

@@ -28,6 +28,8 @@ from repro.serve.protocol import (
     ClusterLeaveRequest,
     ClusterPutRequest,
     ClusterRepairRequest,
+    ClusterRepairStatusRequest,
+    ClusterSnapshotRequest,
     ClusterStatusRequest,
     ErrorResponse,
     GetRequest,
@@ -81,6 +83,8 @@ COVERED_REQUESTS = {
     ClusterGetRequest,
     ClusterStatusRequest,
     ClusterRepairRequest,
+    ClusterRepairStatusRequest,
+    ClusterSnapshotRequest,
     ClusterJoinRequest,
     ClusterLeaveRequest,
 }
@@ -120,13 +124,22 @@ request_strategies = st.one_of(
     st.builds(
         NodeAdminRequest,
         action=st.sampled_from(NodeAdminRequest._ACTIONS),
+        delay_seconds=st.one_of(
+            st.none(),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        ),
     ),
     st.builds(ClusterPutRequest, name=names, payload=payloads),
     st.builds(
         ClusterGetRequest, name=names, want_payload=st.booleans()
     ),
     st.just(ClusterStatusRequest()),
-    st.just(ClusterRepairRequest()),
+    st.builds(
+        ClusterRepairRequest,
+        mode=st.sampled_from(ClusterRepairRequest._MODES),
+    ),
+    st.just(ClusterRepairStatusRequest()),
+    st.just(ClusterSnapshotRequest()),
     st.builds(
         ClusterJoinRequest,
         node_id=names,
