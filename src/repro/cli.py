@@ -33,7 +33,14 @@ commands:
   repairs, rejoins, and verifies zero data loss, and ``cluster
   chaos`` runs a seeded kill/partition/recover campaign that SIGKILLs
   the coordinator, recovers it from its WAL, and digest-verifies
-  every object afterwards.
+  every object afterwards;
+* ``repro sites`` — the federated multi-site archive: ``sites
+  gateway`` runs the federation gateway daemon over per-site cluster
+  coordinators, ``sites status`` inspects a running federation,
+  ``sites loadgen`` spawns an N-site federation, blacks out one full
+  site mid-read, heals it over the WAN, and verifies zero loss, and
+  ``sites chaos`` runs hazard-curve fleet attrition plus whole-site
+  blackouts against a live federation.
 
 Exit codes are consistent across subcommands: ``0`` success, ``1``
 operational failure (missing/corrupt input files, data loss, service
@@ -239,6 +246,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="steps between integrity scrubs (0 disables)")
     p.add_argument("--read-interval", type=int, default=4,
                    help="steps between degraded-read probes (0 disables)")
+    p.add_argument(
+        "--hazard",
+        choices=("binomial", "weibull", "bathtub"),
+        default="binomial",
+        help="device failure model: the memoryless binomial AFR "
+        "baseline, or an age-dependent hazard curve (default binomial)",
+    )
+    p.add_argument(
+        "--shape",
+        type=float,
+        default=3.0,
+        help="Weibull shape (wear-out steepness; hazard curves only)",
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=0.0,
+        help="Weibull characteristic life in years "
+        "(0 = calibrate from --afr; hazard curves only)",
+    )
+    p.add_argument(
+        "--infant-mortality",
+        type=float,
+        default=0.0,
+        help="probability each replacement device is an "
+        "infant-mortality unit (hazard curves only)",
+    )
 
     serving = argparse.ArgumentParser(add_help=False)
     serving.add_argument(
@@ -391,6 +425,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--graph",
         default=None,
         help="GraphML file (default: catalog Tornado Graph 3)",
+    )
+    q.add_argument(
+        "--catalog",
+        type=int,
+        choices=(1, 2, 3),
+        default=None,
+        metavar="N",
+        help="deploy catalog Tornado Graph N (mutually exclusive "
+        "with --graph; federations assign these per site)",
     )
     q.add_argument("--block-size", type=int, default=512,
                    help="bytes per stored block (default 512)")
@@ -583,6 +626,175 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--out", default=None,
                    help="write the campaign report as JSON to this path")
 
+    p = sub.add_parser(
+        "sites",
+        help="federated multi-site archive (gateway / loadgen / chaos)",
+    )
+    sites_sub = p.add_subparsers(dest="sites_command", required=True)
+
+    q = sites_sub.add_parser(
+        "gateway",
+        help="run the federation gateway daemon",
+        parents=[common],
+    )
+    q.add_argument(
+        "--manifest",
+        required=True,
+        metavar="PATH",
+        help="federation manifest JSON "
+        "(see repro.sites.FederationManifest)",
+    )
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed; default 0)")
+    q.add_argument(
+        "--attach",
+        action="append",
+        default=[],
+        metavar="SITE=HOST:PORT",
+        help="attach a site coordinator (repeatable, one per site)",
+    )
+    q.add_argument("--block-size", type=int, default=512,
+                   help="bytes per stored block (default 512)")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--rpc-timeout",
+        type=float,
+        default=10.0,
+        help="per-attempt site RPC deadline in seconds (default 10)",
+    )
+    q.add_argument(
+        "--repair-wan-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="WAN bytes a repair pass may move before deferring "
+        "(default: unbounded)",
+    )
+    q.add_argument("--plan-capacity", type=int, default=256,
+                   help="LRU capacity of the coupled-peel plan cache")
+    q.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop after this long (default: run until interrupted)",
+    )
+
+    q = sites_sub.add_parser(
+        "status",
+        help="print a gateway's federation status as JSON",
+    )
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, required=True)
+
+    q = sites_sub.add_parser(
+        "loadgen",
+        help="spawn an N-site federation, black out one full site "
+        "mid-read, heal it over the WAN, verify zero loss",
+        parents=[common],
+    )
+    q.add_argument("--sites", type=int, default=2,
+                   help="federated sites (default 2)")
+    q.add_argument("--nodes-per-site", type=int, default=3)
+    q.add_argument("--objects", type=int, default=4)
+    q.add_argument("--object-size", type=int, default=4096)
+    q.add_argument("--block-size", type=int, default=512)
+    q.add_argument("--reads-per-phase", type=int, default=8)
+    q.add_argument("--rate", type=float, default=60.0,
+                   help="open-loop arrival rate, req/s (default 60)")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--no-blackout",
+        action="store_true",
+        help="skip the mid-run full-site blackout",
+    )
+    q.add_argument(
+        "--no-coupled-demo",
+        action="store_true",
+        help="skip the staged coupled-decode demonstration",
+    )
+    q.add_argument(
+        "--site-max-size",
+        type=int,
+        default=6,
+        help="per-site erasure bound for graph selection (default 6)",
+    )
+    q.add_argument("--curve-samples", type=int, default=100,
+                   help="failure-curve samples per pairing (default 100)")
+    q.add_argument("--rpc-timeout", type=float, default=5.0)
+    q.add_argument(
+        "--repair-wan-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+    )
+    q.add_argument(
+        "--work-dir",
+        default=None,
+        help="manifest + per-site WAL directory "
+        "(default: private temp dir, removed afterwards)",
+    )
+    q.add_argument(
+        "--trace-dir",
+        default=None,
+        help="directory for per-process trace files "
+        "(gateway.jsonl, site-N-coordinator.jsonl, ...)",
+    )
+    q.add_argument("--out", default=None,
+                   help="write the federation report as JSON to this path")
+
+    q = sites_sub.add_parser(
+        "chaos",
+        help="hazard-curve fleet attrition + whole-site blackouts "
+        "against a live federation; verifies zero data loss",
+        parents=[common],
+    )
+    q.add_argument("--sites", type=int, default=2)
+    q.add_argument("--nodes-per-site", type=int, default=3)
+    q.add_argument("--objects", type=int, default=3)
+    q.add_argument("--object-size", type=int, default=4096)
+    q.add_argument("--block-size", type=int, default=512)
+    q.add_argument("--steps", type=int, default=6,
+                   help="campaign steps, one model year each (default 6)")
+    q.add_argument("--reads-per-step", type=int, default=2)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--afr", type=float, default=0.25,
+                   help="per-device annual failure rate (default 0.25)")
+    q.add_argument("--shape", type=float, default=3.0,
+                   help="Weibull wear-out shape (default 3.0)")
+    q.add_argument(
+        "--infant-mortality",
+        type=float,
+        default=0.15,
+        help="probability a replacement is an infant unit",
+    )
+    q.add_argument(
+        "--blackout-rate",
+        type=float,
+        default=0.25,
+        help="per-site-step whole-site outage probability",
+    )
+    q.add_argument("--mean-outage-steps", type=float, default=1.5)
+    q.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=1,
+        help="simultaneous dark sites allowed (default 1)",
+    )
+    q.add_argument("--repair-every", type=int, default=2,
+                   help="gateway repair cycle cadence in steps")
+    q.add_argument("--rpc-timeout", type=float, default=5.0)
+    q.add_argument(
+        "--repair-wan-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+    )
+    q.add_argument("--work-dir", default=None)
+    q.add_argument("--trace-dir", default=None)
+    q.add_argument("--out", default=None,
+                   help="write the campaign report as JSON to this path")
+
     return parser
 
 
@@ -735,6 +947,27 @@ def _cmd_mission(args) -> int:
     else:
         graph = tornado_catalog_graph(3)
     plan = FaultPlan.load(args.faults) if args.faults else FaultPlan()
+    afr = args.afr
+    if args.hazard != "binomial":
+        from .resilience import DeviceHazards
+
+        # The hazard spec replaces the memoryless binomial baseline:
+        # the mission's own AFR draw goes inert and the age-dependent
+        # curve (calibrated from the same --afr) takes over.
+        plan = FaultPlan(
+            faults=plan.faults
+            + (
+                DeviceHazards(
+                    curve=args.hazard,
+                    shape=args.shape,
+                    scale=args.scale,
+                    afr=args.afr,
+                    infant_mortality=args.infant_mortality,
+                    steps_per_year=args.steps_per_year,
+                ),
+            )
+        )
+        afr = 0.0
     archive = TornadoArchive(
         graph, DeviceArray(graph.num_nodes), block_size=256
     )
@@ -749,7 +982,7 @@ def _cmd_mission(args) -> int:
         mission=MissionConfig(
             years=args.years,
             steps_per_year=args.steps_per_year,
-            afr=args.afr,
+            afr=afr,
             replacement_lag_steps=args.replacement_lag,
             repair_margin=args.repair_margin,
         ),
@@ -962,13 +1195,16 @@ def _cmd_obs(args) -> int:
 
 
 def _cluster_graph(args):
+    catalog = getattr(args, "catalog", None)
+    if args.graph and catalog:
+        raise UsageError("--graph and --catalog are mutually exclusive")
     if args.graph:
         from .core import load_graphml
 
         return load_graphml(args.graph)
     from .graphs import tornado_catalog_graph
 
-    return tornado_catalog_graph(3)
+    return tornado_catalog_graph(catalog or 3)
 
 
 def _ready_line(role: str, host: str, port: int) -> None:
@@ -1188,6 +1424,156 @@ def _cmd_cluster(args) -> int:
     return handlers[args.cluster_command](args)
 
 
+def _cmd_sites_gateway(args) -> int:
+    import asyncio
+
+    from .resilience import RetryPolicy
+    from .sites import FederationGateway, FederationManifest, start_gateway
+
+    manifest = FederationManifest.load(args.manifest)
+    gateway = FederationGateway(
+        manifest,
+        block_size=args.block_size,
+        retry=RetryPolicy(
+            max_attempts=2,
+            base_delay=0.05,
+            max_delay=0.5,
+            jitter=0.1,
+            seed=args.seed,
+        ),
+        rpc_timeout=args.rpc_timeout,
+        repair_wan_budget=args.repair_wan_budget,
+        plan_capacity=args.plan_capacity,
+    )
+    for spec in args.attach:
+        try:
+            site_id, addr = spec.split("=", 1)
+            chost, cport = addr.rsplit(":", 1)
+            gateway.attach_site(site_id, chost, int(cport))
+        except ValueError:
+            raise UsageError(
+                f"--attach must look like SITE=HOST:PORT, got {spec!r}"
+            ) from None
+
+    async def run() -> int:
+        server = await start_gateway(gateway, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        _ready_line("gateway", host, port)
+        try:
+            await _daemon_wait(args.max_seconds)
+        finally:
+            server.close()
+            await server.wait_closed()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+
+
+def _cmd_sites_status(args) -> int:
+    import json
+
+    from .serve import SitesClient
+
+    with SitesClient(args.host, args.port) as client:
+        status = client.status()
+    print(json.dumps(status, indent=2, sort_keys=True))
+    dark = [
+        site_id
+        for site_id, entry in status["sites"].items()
+        if not entry["alive"]
+    ]
+    if dark:
+        print(f"dark sites: {', '.join(dark)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sites_loadgen(args) -> int:
+    import json
+
+    from .sites import SitesLoadConfig, run_sites_loadgen
+
+    if args.rate <= 0:
+        raise UsageError("--rate must be positive")
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+    config = SitesLoadConfig(
+        sites=args.sites,
+        nodes_per_site=args.nodes_per_site,
+        objects=args.objects,
+        object_size=args.object_size,
+        block_size=args.block_size,
+        reads_per_phase=args.reads_per_phase,
+        rate=args.rate,
+        seed=args.seed,
+        blackout=not args.no_blackout,
+        coupled_demo=not args.no_coupled_demo,
+        site_max_size=args.site_max_size,
+        curve_samples=args.curve_samples,
+        rpc_timeout=args.rpc_timeout,
+        repair_wan_budget=args.repair_wan_budget,
+        work_dir=args.work_dir,
+        trace_dir=args.trace_dir,
+    )
+    report = run_sites_loadgen(config)
+    print(report.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    return 1 if report.data_loss else 0
+
+
+def _cmd_sites_chaos(args) -> int:
+    import json
+
+    from .sites import SitesCampaignConfig, run_sites_campaign
+
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+    config = SitesCampaignConfig(
+        sites=args.sites,
+        nodes_per_site=args.nodes_per_site,
+        objects=args.objects,
+        object_size=args.object_size,
+        block_size=args.block_size,
+        steps=args.steps,
+        reads_per_step=args.reads_per_step,
+        seed=args.seed,
+        afr=args.afr,
+        shape=args.shape,
+        infant_mortality=args.infant_mortality,
+        site_blackout_rate=args.blackout_rate,
+        mean_outage_steps=args.mean_outage_steps,
+        max_concurrent=args.max_concurrent,
+        repair_every=args.repair_every,
+        rpc_timeout=args.rpc_timeout,
+        repair_wan_budget=args.repair_wan_budget,
+        work_dir=args.work_dir,
+        trace_dir=args.trace_dir,
+    )
+    report = run_sites_campaign(config)
+    print(report.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    return 1 if report.data_loss else 0
+
+
+def _cmd_sites(args) -> int:
+    handlers = {
+        "gateway": _cmd_sites_gateway,
+        "status": _cmd_sites_status,
+        "loadgen": _cmd_sites_loadgen,
+        "chaos": _cmd_sites_chaos,
+    }
+    return handlers[args.sites_command](args)
+
+
 def _cmd_render(args) -> int:
     from .analysis import save_svg, svg_failure_graph
     from .core import load_graphml, render_failure
@@ -1213,6 +1599,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "obs": _cmd_obs,
     "cluster": _cmd_cluster,
+    "sites": _cmd_sites,
     "render": _cmd_render,
 }
 

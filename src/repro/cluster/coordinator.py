@@ -102,6 +102,7 @@ from ..serve.protocol import (
     ClusterStatusRequest,
     Envelope,
     ErrorResponse,
+    FetchStripeRequest,
     GetRequest,
     MetricsRequest,
     MetricsResponse,
@@ -113,6 +114,7 @@ from ..serve.protocol import (
     Request,
     Response,
     StatusResponse,
+    StripeBlocksResponse,
     encode_request,
     parse_response,
 )
@@ -775,6 +777,37 @@ class ClusterCoordinator:
                 present[node] = True
         return blocks, present
 
+    async def fetch_stripe_raw(
+        self, name: str, seq: int
+    ) -> StripeBlocksResponse:
+        """Surviving raw blocks of stripe ordinal ``seq`` of an object.
+
+        The federation gateway's coupled-decode path: when this site's
+        erasure is locally uncoverable, the gateway pulls whatever
+        blocks *do* survive here and XORs them together with another
+        site's partial stripe.  No decoding happens on this side — a
+        site that cannot decode alone still answers.
+        """
+        manifest = self._manifest(name)
+        if seq >= len(manifest.stripes):
+            raise KeyError(
+                f"object {name!r} has no stripe ordinal {seq}"
+            )
+        record = manifest.stripes[seq]
+        async with self._stripe_lock(name, record.index):
+            blocks, present = await self._fetch_stripe(name, record)
+        held = {
+            str(int(node)): blocks[int(node)].tobytes()
+            for node in np.flatnonzero(present)
+        }
+        registry().counter("cluster.fetch_stripe.blocks").inc(len(held))
+        return StripeBlocksResponse(
+            name=name,
+            seq=seq,
+            payload_length=record.payload_length,
+            blocks=held,
+        )
+
     def _stripe_error(
         self, name: str, stripe_index: int, residual
     ) -> Exception:
@@ -1079,6 +1112,15 @@ async def handle_request(
             with trace_span("cluster.get", object=request.name):
                 return await coordinator.get(
                     request.name, want_payload=want
+                )
+        if isinstance(request, FetchStripeRequest):
+            with trace_span(
+                "cluster.fetch_stripe",
+                object=request.name,
+                seq=request.seq,
+            ):
+                return await coordinator.fetch_stripe_raw(
+                    request.name, request.seq
                 )
         if isinstance(request, ClusterStatusRequest):
             return StatusResponse(status=await coordinator.status())

@@ -10,9 +10,15 @@ node joins or leaves, only the keys in the arcs it gains or cedes move
 coordinator's rebalance pass ships.
 
 Determinism matters here: placement is a pure function of
-``(node ids, key)`` via SHA-256, independent of join order, process,
-and platform — two coordinators bootstrapped with the same membership
-agree on every owner, and tests can assert exact placements.
+``(node ids, weights, key)`` via SHA-256, independent of join order,
+process, and platform — two coordinators bootstrapped with the same
+membership agree on every owner, and tests can assert exact placements.
+
+Heterogeneous capacity is expressed through per-member *weights*: a
+member with weight ``w`` hashes ``replicas * w`` virtual nodes onto the
+ring, so its expected share of the key space is proportional to ``w``.
+Weight 1 (the default) produces the exact vnode labels the unweighted
+ring always used, so existing placements are byte-identical.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ class HashRing:
             raise ValueError("replicas must be positive")
         self.replicas = replicas
         self._members: set[str] = set()
+        self._weights: dict[str, int] = {}
         self._points: list[int] = []
         self._owners: list[str] = []
 
@@ -59,25 +66,41 @@ class HashRing:
     def members(self) -> tuple[str, ...]:
         return tuple(sorted(self._members))
 
-    def add(self, node_id: str) -> None:
+    def weight(self, node_id: str) -> int:
+        """The member's vnode multiplier (1 for unweighted members)."""
+        if node_id not in self._members:
+            raise KeyError(f"no ring member named {node_id!r}")
+        return self._weights[node_id]
+
+    def add(self, node_id: str, weight: int = 1) -> None:
         if not node_id:
             raise ValueError("node_id must be non-empty")
-        if node_id in self._members:
+        if weight < 1:
+            raise ValueError("weight must be a positive integer")
+        if (
+            node_id in self._members
+            and self._weights[node_id] == weight
+        ):
             return
         self._members.add(node_id)
+        self._weights[node_id] = weight
         self._rebuild()
 
     def remove(self, node_id: str) -> None:
         self._members.discard(node_id)
+        self._weights.pop(node_id, None)
         self._rebuild()
 
     def _rebuild(self) -> None:
         # Rebuilt from the sorted member set so the ring is a pure
-        # function of membership, never of add/remove history.
+        # function of membership (+ weights), never of add/remove
+        # history.  A weight-w member hashes replicas*w vnodes with the
+        # same "{node_id}#{i}" labels the unweighted ring used, so
+        # weight 1 reproduces historical placement exactly.
         pairs = sorted(
             (_point(f"{node_id}#{i}"), node_id)
             for node_id in self._members
-            for i in range(self.replicas)
+            for i in range(self.replicas * self._weights[node_id])
         )
         self._points = [p for p, _ in pairs]
         self._owners = [n for _, n in pairs]

@@ -19,7 +19,22 @@ from .lifetime import (
     simulate_lifetime,
 )
 
+from .hazards import (
+    BathtubHazard,
+    FleetHazards,
+    WeibullHazard,
+    calibrated_scale,
+    failure_rate_from_afr,
+    step_failure_probability,
+)
+
 __all__ = [
+    "BathtubHazard",
+    "FleetHazards",
+    "WeibullHazard",
+    "calibrated_scale",
+    "failure_rate_from_afr",
+    "step_failure_probability",
     "simulate_lifetime",
     "mttdl_raid",
     "mttdl_mirrored",

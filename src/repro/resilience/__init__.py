@@ -36,6 +36,7 @@ from .cluster_campaign import (
 )
 from .faults import (
     CoordinatorCrashes,
+    DeviceHazards,
     DrawerOutages,
     FaultInjector,
     FaultPlan,
@@ -44,6 +45,7 @@ from .faults import (
     NodeCrashes,
     ReplacementJitter,
     SilentCorruption,
+    SiteBlackouts,
     SlowNodes,
     TransientOutages,
 )
@@ -55,6 +57,7 @@ __all__ = [
     "ClusterCampaignConfig",
     "ClusterCampaignReport",
     "CoordinatorCrashes",
+    "DeviceHazards",
     "DrawerOutages",
     "FaultInjector",
     "FaultPlan",
@@ -64,6 +67,7 @@ __all__ = [
     "ReplacementJitter",
     "RetryPolicy",
     "SilentCorruption",
+    "SiteBlackouts",
     "SlowNodes",
     "TransientOutages",
     "default_cluster_plan",

@@ -27,7 +27,12 @@ semantics; ``repro loadgen`` and
 """
 
 from .batcher import Batch, MicroBatcher
-from .client import ClusterClient, ProtocolClient, ReconstructClient
+from .client import (
+    ClusterClient,
+    ProtocolClient,
+    ReconstructClient,
+    SitesClient,
+)
 from .errors import (
     DeadlineExceededError,
     ServiceClosedError,
@@ -55,6 +60,7 @@ __all__ = [
     "ProtocolError",
     "RemoteError",
     "ReconstructClient",
+    "SitesClient",
     "LoadGenConfig",
     "LoadReport",
     "MicroBatcher",

@@ -49,6 +49,7 @@ from .protocol import (
     ClusterSnapshotRequest,
     ClusterStatusRequest,
     ErrorResponse,
+    FetchStripeRequest,
     GetRequest,
     KeyListResponse,
     MetricsRequest,
@@ -59,13 +60,23 @@ from .protocol import (
     ProtocolError,
     Request,
     Response,
+    SitesGetRequest,
+    SitesPutRequest,
+    SitesRepairRequest,
+    SitesStatusRequest,
     StatsRequest,
     StatusResponse,
+    StripeBlocksResponse,
     encode_request,
     parse_response,
 )
 
-__all__ = ["ClusterClient", "ProtocolClient", "ReconstructClient"]
+__all__ = [
+    "ClusterClient",
+    "ProtocolClient",
+    "ReconstructClient",
+    "SitesClient",
+]
 
 
 class ProtocolClient:
@@ -287,6 +298,21 @@ class ClusterClient(ProtocolClient):
         response, _ = self.call(ClusterLeaveRequest(node_id=node_id))
         return self._expect(response, AckResponse).info
 
+    def fetch_stripe(
+        self, name: str, seq: int
+    ) -> tuple[dict[int, bytes], int]:
+        """Surviving raw blocks of stripe ordinal ``seq``.
+
+        Returns ``(blocks by graph-node index, payload_length)`` —
+        the federation gateway's coupled-decode primitive.
+        """
+        response, _ = self.call(FetchStripeRequest(name=name, seq=seq))
+        got = self._expect(response, StripeBlocksResponse)
+        return (
+            {int(k): v for k, v in (got.blocks or {}).items()},
+            got.payload_length,
+        )
+
     # -- storage-node block plane --------------------------------------
 
     def block_put(self, key: str, data: bytes) -> None:
@@ -321,4 +347,30 @@ class ClusterClient(ProtocolClient):
         response, _ = self.call(
             NodeAdminRequest(action=action, delay_seconds=delay_seconds)
         )
+        return self._expect(response, AckResponse).info
+
+
+class SitesClient(ProtocolClient):
+    """Typed client for a federation gateway (``sites.*`` ops)."""
+
+    def put(self, name: str, payload: bytes) -> dict[str, Any]:
+        response, _ = self.call(
+            SitesPutRequest(name=name, payload=payload)
+        )
+        return self._expect(response, AckResponse).info
+
+    def get(
+        self, name: str, *, want_payload: bool = False
+    ) -> ObjectInfoResponse:
+        response, _ = self.call(
+            SitesGetRequest(name=name, want_payload=want_payload)
+        )
+        return self._expect(response, ObjectInfoResponse)
+
+    def status(self) -> dict[str, Any]:
+        response, _ = self.call(SitesStatusRequest())
+        return self._expect(response, StatusResponse).status
+
+    def repair(self, mode: str = "drain") -> dict[str, Any]:
+        response, _ = self.call(SitesRepairRequest(mode=mode))
         return self._expect(response, AckResponse).info

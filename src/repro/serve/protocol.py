@@ -85,7 +85,13 @@ __all__ = [
     "ClusterSnapshotRequest",
     "ClusterJoinRequest",
     "ClusterLeaveRequest",
+    "FetchStripeRequest",
+    "SitesPutRequest",
+    "SitesGetRequest",
+    "SitesStatusRequest",
+    "SitesRepairRequest",
     "PongResponse",
+    "StripeBlocksResponse",
     "StatsResponse",
     "MetricsResponse",
     "ObjectInfoResponse",
@@ -636,6 +642,87 @@ class ClusterLeaveRequest(Request):
             raise ProtocolError("'cluster.leave' needs a string 'node_id'")
 
 
+@_request
+@dataclass(frozen=True)
+class FetchStripeRequest(Request):
+    """Raw stripe read for cross-site coupled decode.
+
+    ``seq`` is the ordinal into the object's manifest (0..stripes-1),
+    not the coordinator's global stripe index — ordinals line up
+    across federated sites that striped the same object independently.
+    The coordinator answers with whatever blocks currently survive; it
+    does NOT decode, so a site with an uncoverable erasure can still
+    contribute its partial stripe to a federation-level decode.
+    """
+
+    op: ClassVar[str] = "cluster.fetch_stripe"
+    name: str = ""
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProtocolError(
+                "'cluster.fetch_stripe' needs a string 'name'"
+            )
+        if self.seq < 0:
+            raise ProtocolError(
+                "'cluster.fetch_stripe' seq must be non-negative"
+            )
+
+
+@_request
+@dataclass(frozen=True)
+class SitesPutRequest(Request):
+    """Store an object through the federation gateway (all sites)."""
+
+    op: ClassVar[str] = "sites.put"
+    name: str = ""
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProtocolError("'sites.put' needs a string 'name'")
+
+
+@_request
+@dataclass(frozen=True)
+class SitesGetRequest(Request):
+    """WAN-cost-aware federated read (local → remote → coupled)."""
+
+    op: ClassVar[str] = "sites.get"
+    name: str = ""
+    want_payload: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProtocolError("'sites.get' needs a string 'name'")
+
+
+@_request
+@dataclass(frozen=True)
+class SitesStatusRequest(Request):
+    """Federation-wide view: per-site status + WAN traffic meters."""
+
+    op: ClassVar[str] = "sites.status"
+
+
+@_request
+@dataclass(frozen=True)
+class SitesRepairRequest(Request):
+    """Run every site's repair scheduler plus cross-site re-injection."""
+
+    op: ClassVar[str] = "sites.repair"
+    mode: str = "drain"
+
+    _MODES: ClassVar[tuple[str, ...]] = ("drain", "cycle", "scan")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ProtocolError(
+                f"'sites.repair' mode must be one of {self._MODES}"
+            )
+
+
 def parse_request(line: bytes | str) -> tuple[Request, Envelope]:
     """Parse one request line into ``(typed request, envelope)``.
 
@@ -765,6 +852,23 @@ class BlockMapResponse(Response):
     kind: ClassVar[str] = "blocks"
     blocks: dict[str, bytes] = None  # type: ignore[assignment]
     missing: tuple[str, ...] = ()
+
+
+@_response
+@dataclass(frozen=True)
+class StripeBlocksResponse(Response):
+    """One stripe's surviving raw blocks, keyed by graph-node index.
+
+    Keys are decimal strings (wire dicts key on strings); values are
+    the raw block bytes.  ``payload_length`` is the stripe's recorded
+    framing so a remote decoder can trim the reassembled payload.
+    """
+
+    kind: ClassVar[str] = "stripe"
+    name: str = ""
+    seq: int = 0
+    payload_length: int = 0
+    blocks: dict[str, bytes] = None  # type: ignore[assignment]
 
 
 @_response

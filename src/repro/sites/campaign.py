@@ -1,0 +1,401 @@
+"""Federation chaos campaign: hazard-curve attrition + site blackouts.
+
+``repro sites chaos`` marries the heterogeneous fleet hazards of
+:mod:`repro.reliability.hazards` to a live multi-process federation.
+Every storage node is a device on a Weibull (or bathtub) hazard
+curve — wear-out accelerates kills as the campaign ages, replacements
+draw infant-mortality lifetimes, and correlated batch defects take out
+groups of neighbouring drives.  On top of the per-device process, whole
+sites black out (SIGKILL coordinator + nodes) under a seeded outage
+process capped at ``max_concurrent`` so the federation always keeps a
+quorum of sites alive.  Throughout, the gateway keeps serving seeded
+reads and runs budgeted repair cycles; the campaign ends with a full
+heal, a drain repair, and an end-to-end verification sweep.
+
+The pass condition matches the paper's archival framing: after years
+of compressed wall-clock chaos, *zero acknowledged objects are lost*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..obs.seeding import SeedLike, derive_seed, resolve_rng, spawn_seeds
+from ..obs.trace import trace_span
+from ..reliability.hazards import FleetHazards, WeibullHazard
+from ..resilience.retry import RetryPolicy
+from ..serve.client import SitesClient
+from .driver import SitesLoadConfig, _Site, _spawn_gateway
+from .manifest import assign_site_graphs
+
+__all__ = [
+    "SitesCampaignConfig",
+    "SitesCampaignReport",
+    "run_sites_campaign",
+]
+
+
+@dataclass(frozen=True)
+class SitesCampaignConfig:
+    """Shape of one federation chaos campaign."""
+
+    sites: int = 2
+    nodes_per_site: int = 3
+    objects: int = 3
+    object_size: int = 4096
+    block_size: int = 512
+    steps: int = 6
+    reads_per_step: int = 2
+    seed: SeedLike = 0
+    # Per-device hazard process (one campaign step = one model year).
+    afr: float = 0.25
+    shape: float = 3.0
+    infant_mortality: float = 0.15
+    infant_first_year: float = 0.3
+    batch_defect_rate: float = 0.2
+    batch_size: int = 3
+    defect_multiplier: float = 4.0
+    # Whole-site outage process.
+    site_blackout_rate: float = 0.25
+    mean_outage_steps: float = 1.5
+    max_concurrent: int = 1
+    repair_every: int = 2
+    site_max_size: int = 6
+    curve_samples: int = 100
+    rpc_timeout: float = 5.0
+    repair_wan_budget: int | None = None
+    work_dir: str | None = None
+    trace_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.sites < 2:
+            raise ValueError("a federation needs at least two sites")
+        if self.steps < 1:
+            raise ValueError("steps must be positive")
+        if not 0 <= self.site_blackout_rate <= 1:
+            raise ValueError("site_blackout_rate must be in [0, 1]")
+        if not 1 <= self.max_concurrent < self.sites:
+            raise ValueError(
+                "max_concurrent must leave at least one site alive"
+            )
+
+
+@dataclass
+class SitesCampaignReport:
+    """Outcome of one federation chaos campaign."""
+
+    sites: int
+    nodes_per_site: int
+    objects: int
+    steps: int
+    graph_numbers: dict[str, int]
+    node_kills: int
+    infant_replacements: int
+    site_blackouts: int
+    reads_completed: int
+    reads_failed: int
+    mismatched: int
+    repair_cycles: int
+    wan: dict[str, int]
+    hazard: dict[str, Any]
+    verified_objects: int
+    elapsed_seconds: float
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def data_loss(self) -> bool:
+        return self.mismatched > 0 or self.verified_objects < self.objects
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sites": self.sites,
+            "nodes_per_site": self.nodes_per_site,
+            "objects": self.objects,
+            "steps": self.steps,
+            "graph_numbers": self.graph_numbers,
+            "node_kills": self.node_kills,
+            "infant_replacements": self.infant_replacements,
+            "site_blackouts": self.site_blackouts,
+            "reads_completed": self.reads_completed,
+            "reads_failed": self.reads_failed,
+            "mismatched": self.mismatched,
+            "repair_cycles": self.repair_cycles,
+            "wan": self.wan,
+            "hazard": self.hazard,
+            "verified_objects": self.verified_objects,
+            "elapsed_seconds": self.elapsed_seconds,
+            "events": self.events,
+            "data_loss": self.data_loss,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos campaign: {self.steps} steps over {self.sites} "
+            f"sites x {self.nodes_per_site} nodes",
+            f"hazards: {self.node_kills} node kills "
+            f"({self.infant_replacements} infant replacements), "
+            f"{self.site_blackouts} full-site blackouts",
+            f"reads: {self.reads_completed} completed, "
+            f"{self.reads_failed} failed, {self.mismatched} mismatched; "
+            f"{self.repair_cycles} gateway repair cycles",
+            f"WAN: {self.wan.get('total_bytes', 0)} bytes total "
+            f"({self.wan.get('repair_bytes', 0)} repair)",
+            f"verified {self.verified_objects}/{self.objects} objects "
+            + ("(ZERO data loss)" if not self.data_loss else "(LOSS!)"),
+            f"elapsed {self.elapsed_seconds:.2f}s",
+        ]
+        return "\n".join(lines)
+
+
+def run_sites_campaign(
+    config: SitesCampaignConfig | None = None,
+) -> SitesCampaignReport:
+    """Run the hazard + blackout campaign against a live federation."""
+    config = config or SitesCampaignConfig()
+    site_ids = [f"site-{i}" for i in range(config.sites)]
+    per_site = config.nodes_per_site + 1
+    all_seeds = [
+        derive_seed(s)
+        for s in spawn_seeds(
+            config.seed, config.sites * per_site + 5
+        )
+    ]
+    extra = all_seeds[config.sites * per_site :]
+    gateway_seed = extra[0]
+    payload_rng = resolve_rng(extra[1])
+    kill_rng = resolve_rng(extra[2])
+    blackout_rng = resolve_rng(extra[3])
+    fleet = FleetHazards(
+        config.sites * config.nodes_per_site,
+        WeibullHazard.from_afr(config.afr, shape=config.shape),
+        infant_mortality=config.infant_mortality,
+        infant_first_year=config.infant_first_year,
+        batch_defect_rate=config.batch_defect_rate,
+        batch_size=config.batch_size,
+        defect_multiplier=config.defect_multiplier,
+        seed=extra[4],
+    )
+
+    own_work = config.work_dir is None
+    work_dir = config.work_dir or tempfile.mkdtemp(
+        prefix="repro-sites-chaos-"
+    )
+    os.makedirs(work_dir, exist_ok=True)
+    manifest = assign_site_graphs(
+        site_ids,
+        site_max_size=config.site_max_size,
+        curve_samples=config.curve_samples,
+        seed=derive_seed(config.seed),
+    )
+    manifest_path = os.path.join(work_dir, "federation.json")
+    manifest.save(manifest_path)
+
+    load_config = SitesLoadConfig(
+        sites=config.sites,
+        nodes_per_site=config.nodes_per_site,
+        objects=config.objects,
+        object_size=config.object_size,
+        block_size=config.block_size,
+        seed=config.seed,
+        rpc_timeout=config.rpc_timeout,
+        repair_wan_budget=config.repair_wan_budget,
+        trace_dir=config.trace_dir,
+    )
+    sites = {
+        sid: _Site(
+            sid,
+            manifest.assignment(sid).graph_number,
+            os.path.join(work_dir, f"wal-{sid}"),
+            load_config,
+            all_seeds[i * per_site : (i + 1) * per_site],
+        )
+        for i, sid in enumerate(site_ids)
+    }
+
+    start = time.perf_counter()
+    report = SitesCampaignReport(
+        sites=config.sites,
+        nodes_per_site=config.nodes_per_site,
+        objects=config.objects,
+        steps=config.steps,
+        graph_numbers={
+            s.site_id: s.graph_number for s in manifest.sites
+        },
+        node_kills=0,
+        infant_replacements=0,
+        site_blackouts=0,
+        reads_completed=0,
+        reads_failed=0,
+        mismatched=0,
+        repair_cycles=0,
+        wan={},
+        hazard={},
+        verified_objects=0,
+        elapsed_seconds=0.0,
+    )
+
+    def note(kind: str, **detail: Any) -> None:
+        report.events.append({"kind": kind, **detail})
+
+    gateway = None
+    client: SitesClient | None = None
+    dark_until: dict[str, int] = {}  # site -> first step it heals
+    try:
+        for site in sites.values():
+            site.spawn()
+        gateway = _spawn_gateway(
+            load_config, manifest_path, sites, gateway_seed
+        )
+        client = SitesClient(
+            gateway.host,
+            gateway.port,
+            timeout=60.0,
+            retry=RetryPolicy(
+                max_attempts=5,
+                base_delay=0.2,
+                max_delay=1.0,
+                seed=derive_seed(config.seed),
+            ),
+        )
+
+        digests: dict[str, str] = {}
+        with trace_span("sites.campaign.seed"):
+            for i in range(config.objects):
+                name = f"object-{i:03d}"
+                payload = payload_rng.bytes(config.object_size)
+                client.put(name, payload)
+                digests[name] = hashlib.sha256(payload).hexdigest()
+        names = sorted(digests)
+
+        for step in range(config.steps):
+            with trace_span("sites.campaign.step", step=step):
+                # Heal sites whose outage has elapsed (fixed order).
+                for sid in site_ids:
+                    if sid in dark_until and dark_until[sid] <= step:
+                        note("site_recover", step=step, site=sid)
+                        sites[sid].recover()
+                        del dark_until[sid]
+
+                # Draw whole-site blackouts, capped at max_concurrent.
+                for sid in site_ids:
+                    if sid in dark_until:
+                        continue
+                    draw = float(blackout_rng.random())
+                    if draw >= config.site_blackout_rate:
+                        continue
+                    if len(dark_until) >= config.max_concurrent:
+                        continue
+                    outage = 1 + int(
+                        blackout_rng.exponential(
+                            max(config.mean_outage_steps - 1.0, 0.01)
+                        )
+                    )
+                    dark_until[sid] = step + outage
+                    report.site_blackouts += 1
+                    note(
+                        "site_blackout",
+                        step=step,
+                        site=sid,
+                        heal_at=step + outage,
+                    )
+                    sites[sid].blackout()
+
+                # Per-device hazard kills on sites that are alive.
+                for si, sid in enumerate(site_ids):
+                    if sid in dark_until:
+                        continue
+                    site = sites[sid]
+                    for ni, node_id in enumerate(sorted(site.nodes)):
+                        device = si * config.nodes_per_site + ni
+                        p = fleet.step_probability(
+                            device, float(step), float(step + 1)
+                        )
+                        if float(kill_rng.random()) >= p:
+                            continue
+                        report.node_kills += 1
+                        note(
+                            "node_kill",
+                            step=step,
+                            site=sid,
+                            node=node_id,
+                        )
+                        site.nodes[node_id].kill()
+                        if fleet.replace(device, float(step)):
+                            report.infant_replacements += 1
+                        site.spawn_node(node_id)
+
+                # Keep serving reads through whatever is left.
+                for r in range(config.reads_per_step):
+                    name = names[
+                        (step * config.reads_per_step + r) % len(names)
+                    ]
+                    try:
+                        info = client.get(name)
+                    except Exception as exc:
+                        report.reads_failed += 1
+                        note(
+                            "read_failed",
+                            step=step,
+                            object=name,
+                            error=type(exc).__name__,
+                        )
+                        continue
+                    if info.sha256 == digests[name]:
+                        report.reads_completed += 1
+                    else:
+                        report.mismatched += 1
+
+                # Periodic budgeted repair through the gateway.
+                if (step + 1) % config.repair_every == 0:
+                    try:
+                        client.repair("cycle")
+                        report.repair_cycles += 1
+                    except Exception as exc:
+                        note(
+                            "repair_failed",
+                            step=step,
+                            error=type(exc).__name__,
+                        )
+
+        # Final heal: bring every dark site back, drain, verify.
+        with trace_span("sites.campaign.final_heal"):
+            for sid in sorted(dark_until):
+                note("site_recover", step=config.steps, site=sid)
+                sites[sid].recover()
+            dark_until.clear()
+            client.repair("drain")
+            report.repair_cycles += 1
+            for name, digest in digests.items():
+                try:
+                    if client.get(name).sha256 == digest:
+                        report.verified_objects += 1
+                except Exception:
+                    pass
+
+        status = client.status()
+        wan = status["wan"]
+        report.wan = {
+            "total_bytes": wan["total_bytes"],
+            "read_bytes": wan["read_bytes"],
+            "repair_bytes": wan["repair_bytes"],
+            "replicate_bytes": wan["replicate_bytes"],
+        }
+        report.hazard = fleet.summary()
+    finally:
+        if client is not None:
+            client.close()
+        if gateway is not None:
+            gateway.terminate()
+        for site in sites.values():
+            site.teardown()
+        if own_work:
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

@@ -1,0 +1,718 @@
+"""Federation gateway: WAN-aware reads across per-site clusters.
+
+The gateway is the federation's object plane.  Each *site* is a whole
+:mod:`repro.cluster` deployment — its own coordinator, storage nodes,
+and WAL — deployed with the catalog graph the federation manifest
+assigned it (:mod:`repro.sites.manifest`).  ``sites.put`` replicates
+an object to every site; ``sites.get`` walks a priced read ladder:
+
+1. **local** — the object's home site (weighted consistent hashing
+   over site ids) reconstructs it; zero WAN bytes;
+2. **remote** — a remote site that can decode alone ships the whole
+   object; ``size`` WAN bytes;
+3. **coupled** — no single site can decode, so the gateway pulls every
+   surviving raw block of every stripe from every reachable site
+   (``cluster.fetch_stripe``) and peels the site graphs *jointly*,
+   exchanging recovered data rows between sites to fixpoint — the
+   paper's multi-graph coupled reconstruction (§5.3) executed on real
+   bytes over TCP.  Remote blocks are priced; home-site blocks ride
+   the LAN free.
+
+WAN accounting is first-class and split by purpose, because the
+federation's CI asserts on the split: ``sites.wan.bytes`` totals all
+wide-area traffic, ``sites.read.wan_bytes`` / ``sites.repair.wan_bytes``
+attribute it to reads vs repair, per-site ``sites.wan.bytes.<site>``
+attributes it to the shipping site, and put-time replication is
+metered separately as ``sites.replicate.bytes`` (replication is the
+steady state; WAN read/repair traffic is the anomaly signal).
+
+``sites.repair`` makes "remote blocks vs local reconstruction" a
+priced decision: every site first runs its own budgeted
+:class:`~repro.cluster.scheduler.RepairScheduler` (local
+reconstruction, free); only objects a site still cannot decode are
+re-derived federation-wide and re-injected over the WAN, bounded per
+call by ``repair_wan_budget`` bytes, deferred (and reported) beyond it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..cluster.coordinator import NodeDownError
+from ..cluster.ring import HashRing
+from ..obs.prom import render_prometheus
+from ..obs.registry import registry
+from ..obs.trace import start_span, trace_span, tracer, use_context
+from ..resilience.retry import RetryPolicy
+from ..serve.lineserver import start_line_server
+from ..serve.plancache import PlanCache
+from ..serve.protocol import (
+    AckResponse,
+    ClusterGetRequest,
+    ClusterPutRequest,
+    ClusterRepairRequest,
+    ClusterStatusRequest,
+    Envelope,
+    ErrorResponse,
+    FetchStripeRequest,
+    MetricsRequest,
+    MetricsResponse,
+    ObjectInfoResponse,
+    PingRequest,
+    PongResponse,
+    ProtocolError,
+    RemoteError,
+    Request,
+    Response,
+    SitesGetRequest,
+    SitesPutRequest,
+    SitesRepairRequest,
+    SitesStatusRequest,
+    StatusResponse,
+    encode_request,
+    parse_response,
+)
+from ..storage.archive import DataLossError
+from ..storage.device import TransientUnavailableError
+from .manifest import FederationManifest
+
+__all__ = ["FederationGateway", "SiteDownError", "SiteLink", "start_gateway"]
+
+# Same shape as the coordinator's transport policy: one quick seeded
+# retry, so a WAN blip survives without stretching every dead-site
+# path by seconds.
+_DEFAULT_RETRY = RetryPolicy(
+    max_attempts=2, base_delay=0.05, max_delay=0.5, jitter=0.1, seed=0
+)
+
+
+@dataclass
+class SiteLink:
+    """One site's coordinator endpoint and its (lazy) RPC connection."""
+
+    site_id: str
+    host: str
+    port: int
+    reader: asyncio.StreamReader | None = None
+    writer: asyncio.StreamWriter | None = None
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    _next_id: int = 0
+
+
+class SiteDownError(NodeDownError):
+    """A whole site's coordinator could not be reached."""
+
+
+def _rung_failure(exc: BaseException) -> bool:
+    """Failures that move the read ladder to its next rung.
+
+    A dark site, an outage-blocked site, an object the site never
+    heard of, and a site-local data loss all mean the same thing to
+    the federation: *this* site cannot serve the read.  Remote data
+    loss crosses the wire as ``RemoteError(code="data_loss")``, not as
+    a local :class:`DataLossError` — both forms count.
+    """
+    if isinstance(
+        exc,
+        (SiteDownError, TransientUnavailableError,
+         DataLossError, KeyError),
+    ):
+        return True
+    return isinstance(exc, RemoteError) and exc.code == "data_loss"
+
+
+@dataclass(frozen=True)
+class _ObjectRecord:
+    """The gateway's ack authority for one federated object."""
+
+    name: str
+    size: int
+    sha256: str
+    sites: tuple[str, ...]  # sites that acked the put
+
+
+class FederationGateway:
+    """The federation's object plane over per-site cluster coordinators."""
+
+    def __init__(
+        self,
+        manifest: FederationManifest,
+        *,
+        block_size: int = 4096,
+        retry: RetryPolicy | None = _DEFAULT_RETRY,
+        rpc_timeout: float | None = 10.0,
+        repair_wan_budget: int | None = None,
+        plan_capacity: int = 256,
+    ):
+        if rpc_timeout is not None and rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive")
+        if repair_wan_budget is not None and repair_wan_budget < 0:
+            raise ValueError("repair_wan_budget must be non-negative")
+        self.manifest = manifest
+        self.block_size = block_size
+        self.graphs = manifest.graphs()
+        # Coupled decode requires the shared data layout; validating
+        # at construction turns a mis-assembled manifest into a
+        # startup error instead of a wrong answer later.
+        self.system = manifest.system()
+        self.retry = retry
+        self.rpc_timeout = rpc_timeout
+        self.repair_wan_budget = repair_wan_budget
+        self.plans = PlanCache(plan_capacity)
+        self.ring = HashRing()
+        for assignment in manifest.sites:
+            self.ring.add(assignment.site_id, weight=assignment.weight)
+        self.links: dict[str, SiteLink] = {}
+        self.objects: dict[str, _ObjectRecord] = {}
+        # WAN accounting mirrors the registry so status() reports it
+        # even under the disabled null registry.
+        self.wan_bytes = 0
+        self.read_wan_bytes = 0
+        self.repair_wan_bytes = 0
+        self.replicate_bytes = 0
+        self.wan_bytes_by_site: dict[str, int] = {}
+        self.reads = {"local": 0, "remote": 0, "coupled": 0, "failed": 0}
+
+    # ------------------------------------------------------------------
+    # Site RPC plumbing (the coordinator's node RPC, one level up)
+    # ------------------------------------------------------------------
+
+    def attach_site(self, site_id: str, host: str, port: int) -> None:
+        """Bind (or re-bind) a manifest site to its coordinator address."""
+        self.manifest.assignment(site_id)  # KeyError on unknown site
+        self.links[site_id] = SiteLink(site_id, host, port)
+
+    def _link(self, site_id: str) -> SiteLink:
+        try:
+            return self.links[site_id]
+        except KeyError:
+            raise SiteDownError(
+                f"site {site_id!r} has no attached coordinator"
+            ) from None
+
+    async def _rpc(self, link: SiteLink, request: Request) -> Response:
+        delays = self.retry.delays() if self.retry is not None else []
+        attempt = 0
+        while True:
+            try:
+                return await self._rpc_once(link, request)
+            except SiteDownError:
+                if attempt >= len(delays):
+                    self._reset_connection(link)
+                    raise
+                registry().counter("sites.rpc.retries").inc()
+                await asyncio.sleep(delays[attempt])
+                attempt += 1
+
+    async def _rpc_once(
+        self, link: SiteLink, request: Request
+    ) -> Response:
+        span = start_span(
+            f"sites.rpc.{request.op}",
+            activate=False,
+            site=link.site_id,
+        )
+        try:
+            async with link.lock:
+                link._next_id += 1
+                data = encode_request(
+                    request,
+                    request_id=link._next_id,
+                    trace=span.context() if span else None,
+                )
+                try:
+                    line = await asyncio.wait_for(
+                        self._exchange(link, data), self.rpc_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self._reset_connection(link)
+                    registry().counter("sites.rpc.timeouts").inc()
+                    raise SiteDownError(
+                        f"site {link.site_id!r}: no reply within the "
+                        f"{self.rpc_timeout}s RPC deadline"
+                    ) from None
+                except OSError as exc:
+                    self._reset_connection(link)
+                    raise SiteDownError(
+                        f"site {link.site_id!r} unreachable: {exc}"
+                    ) from exc
+                if not line:
+                    self._reset_connection(link)
+                    raise SiteDownError(
+                        f"site {link.site_id!r} closed the connection"
+                    )
+                if not line.endswith(b"\n"):
+                    self._reset_connection(link)
+                    raise SiteDownError(
+                        f"site {link.site_id!r} closed mid-frame"
+                    )
+            response, frame = parse_response(line)
+            t = tracer()
+            if t is not None and frame.get("spans"):
+                t.ingest(frame["spans"])
+            if isinstance(response, ErrorResponse):
+                response.raise_remote()
+            return response
+        except BaseException as exc:
+            span.end(error=type(exc).__name__)
+            raise
+        finally:
+            span.end()
+
+    async def _exchange(self, link: SiteLink, data: bytes) -> bytes:
+        if link.writer is None:
+            link.reader, link.writer = await asyncio.open_connection(
+                link.host, link.port
+            )
+        link.writer.write(data)
+        await link.writer.drain()
+        return await link.reader.readline()
+
+    def _reset_connection(self, link: SiteLink) -> None:
+        if link.writer is not None:
+            link.writer.close()
+        link.reader = link.writer = None
+
+    # ------------------------------------------------------------------
+    # WAN accounting
+    # ------------------------------------------------------------------
+
+    def _meter_wan(self, site_id: str, nbytes: int, purpose: str) -> None:
+        """Attribute ``nbytes`` of WAN traffic shipped *from* a site."""
+        self.wan_bytes += nbytes
+        if purpose == "repair":
+            self.repair_wan_bytes += nbytes
+        else:
+            self.read_wan_bytes += nbytes
+        self.wan_bytes_by_site[site_id] = (
+            self.wan_bytes_by_site.get(site_id, 0) + nbytes
+        )
+        reg = registry()
+        reg.counter("sites.wan.bytes").inc(nbytes)
+        reg.counter(f"sites.wan.bytes.{site_id}").inc(nbytes)
+        reg.counter(f"sites.{purpose}.wan_bytes").inc(nbytes)
+
+    # ------------------------------------------------------------------
+    # Object plane
+    # ------------------------------------------------------------------
+
+    def _site_order(self, name: str) -> list[str]:
+        """Home site first, the rest in deterministic ring order."""
+        members = list(self.ring.members)
+        home = self.ring.owner(name)
+        anchor = members.index(home)
+        return members[anchor:] + members[:anchor]
+
+    def home_site(self, name: str) -> str:
+        return self.ring.owner(name)
+
+    async def put(self, name: str, payload: bytes) -> dict[str, Any]:
+        """Replicate an object to every site; ack once any site holds it.
+
+        Replication bytes are metered (``sites.replicate.bytes``) but
+        are *not* WAN read/repair traffic — a put that fans out to N
+        sites is the federation's steady state, not its anomaly.
+        """
+        order = self._site_order(name)
+
+        async def one(site_id: str) -> bool:
+            try:
+                await self._rpc(
+                    self._link(site_id),
+                    ClusterPutRequest(name=name, payload=payload),
+                )
+                return True
+            except (SiteDownError, TransientUnavailableError):
+                return False
+
+        results = await asyncio.gather(*(one(sid) for sid in order))
+        acked = tuple(
+            sid for sid, ok in zip(order, results) if ok
+        )
+        if not acked:
+            raise TransientUnavailableError(
+                f"no site acked put of {name!r} "
+                f"({len(order)} sites tried)"
+            )
+        replicated = sum(len(payload) for sid in acked if sid != order[0])
+        self.replicate_bytes += replicated
+        reg = registry()
+        reg.counter("sites.replicate.bytes").inc(replicated)
+        reg.counter("sites.put.objects").inc()
+        record = _ObjectRecord(
+            name=name,
+            size=len(payload),
+            sha256=hashlib.sha256(payload).hexdigest(),
+            sites=acked,
+        )
+        self.objects[name] = record
+        return {
+            "name": name,
+            "size": record.size,
+            "sha256": record.sha256,
+            "home": order[0],
+            "sites": list(acked),
+        }
+
+    async def get(
+        self, name: str, *, want_payload: bool = False
+    ) -> ObjectInfoResponse:
+        """Walk the read ladder: local, remote, coupled."""
+        order = self._site_order(name)
+        home = order[0]
+        # Rung 1: the home site, zero WAN bytes.
+        try:
+            response = await self._rpc(
+                self._link(home),
+                ClusterGetRequest(name=name, want_payload=want_payload),
+            )
+            self.reads["local"] += 1
+            registry().counter("sites.get.local").inc()
+            return response
+        except Exception as exc:
+            if not _rung_failure(exc):
+                raise
+        # Rung 2: any remote site that decodes alone; size WAN bytes.
+        for site_id in order[1:]:
+            try:
+                response = await self._rpc(
+                    self._link(site_id),
+                    ClusterGetRequest(name=name, want_payload=True),
+                )
+            except Exception as exc:
+                if not _rung_failure(exc):
+                    raise
+                continue
+            self._meter_wan(site_id, response.size, "read")
+            self.reads["remote"] += 1
+            registry().counter("sites.get.remote").inc()
+            return ObjectInfoResponse(
+                name=name,
+                size=response.size,
+                sha256=response.sha256,
+                payload=response.payload if want_payload else None,
+            )
+        # Rung 3: coupled cross-site decode on raw blocks.
+        try:
+            payload = await self._coupled_read(name, home)
+        except Exception:
+            self.reads["failed"] += 1
+            registry().counter("sites.get.failed").inc()
+            raise
+        self.reads["coupled"] += 1
+        registry().counter("sites.get.coupled").inc()
+        return ObjectInfoResponse(
+            name=name,
+            size=len(payload),
+            sha256=hashlib.sha256(payload).hexdigest(),
+            payload=payload if want_payload else None,
+        )
+
+    # -- coupled decode ------------------------------------------------
+
+    async def _coupled_read(self, name: str, home: str) -> bytes:
+        """Reconstruct ``name`` by peeling the site graphs jointly.
+
+        Per stripe ordinal: fetch every site's surviving raw blocks,
+        then iterate (site-local partial peel replay, cross-site
+        exchange of recovered *data* rows) to fixpoint — the byte-level
+        execution of :meth:`FederatedSystem.decode`.  Blocks shipped by
+        non-home sites are WAN read traffic.
+        """
+        record = self.objects.get(name)
+        if record is None:
+            raise KeyError(f"no federated object named {name!r}")
+        graph = self.graphs[home]
+        capacity = graph.num_data * self.block_size
+        num_stripes = max(1, -(-record.size // capacity))
+        parts: list[bytes] = []
+        with trace_span(
+            "sites.coupled_decode", object=name, stripes=num_stripes
+        ):
+            for seq in range(num_stripes):
+                parts.append(await self._couple_stripe(name, home, seq))
+        payload = b"".join(parts)
+        if hashlib.sha256(payload).hexdigest() != record.sha256:
+            raise DataLossError(name, -1, frozenset({-1}))
+        return payload
+
+    async def _couple_stripe(
+        self, name: str, home: str, seq: int
+    ) -> bytes:
+        per_site: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        payload_length: int | None = None
+        reachable = 0
+        for site_id in self._site_order(name):
+            graph = self.graphs[site_id]
+            try:
+                response = await self._rpc(
+                    self._link(site_id),
+                    FetchStripeRequest(name=name, seq=seq),
+                )
+            except (SiteDownError, TransientUnavailableError, KeyError):
+                continue
+            reachable += 1
+            payload_length = response.payload_length
+            blocks = np.zeros(
+                (graph.num_nodes, self.block_size), dtype=np.uint8
+            )
+            present = np.zeros(graph.num_nodes, dtype=bool)
+            shipped = 0
+            for key, data in (response.blocks or {}).items():
+                node = int(key)
+                blocks[node] = np.frombuffer(data, dtype=np.uint8)
+                present[node] = True
+                shipped += len(data)
+            if site_id != home:
+                self._meter_wan(site_id, shipped, "read")
+            per_site[site_id] = (blocks, present)
+        if payload_length is None:
+            raise TransientUnavailableError(
+                f"object {name!r} stripe {seq}: no site reachable"
+            )
+        data_nodes = list(self.graphs[home].data_nodes)
+        known: dict[int, np.ndarray] = {}
+        for site_id, (blocks, present) in per_site.items():
+            for d in data_nodes:
+                if present[d] and d not in known:
+                    known[d] = blocks[d]
+        # Exchange-and-peel to fixpoint: inject every known data row
+        # into every site, replay that site's partial peeling
+        # schedule, and harvest newly recovered data rows.
+        progressed = True
+        while progressed and len(known) < len(data_nodes):
+            progressed = False
+            for site_id, (blocks, present) in per_site.items():
+                graph = self.graphs[site_id]
+                members = graph.constraint_members()
+                for d, row in known.items():
+                    if not present[d]:
+                        blocks[d] = row
+                        present[d] = True
+                missing = np.flatnonzero(~present)
+                if missing.size == 0:
+                    continue
+                plan = self.plans.schedule(graph, missing)
+                for ci, node in plan.steps:
+                    others = [m for m in members[ci] if m != node]
+                    np.bitwise_xor.reduce(
+                        blocks[others], axis=0, out=blocks[node]
+                    )
+                    present[node] = True
+                    if node in data_nodes and node not in known:
+                        known[node] = blocks[node]
+                        progressed = True
+        if len(known) < len(data_nodes):
+            lost = frozenset(set(data_nodes) - set(known))
+            if reachable < len(self.ring.members):
+                raise TransientUnavailableError(
+                    f"object {name!r} stripe {seq}: coupled decode "
+                    f"stuck on {len(lost)} data blocks with "
+                    f"{len(self.ring.members) - reachable} sites "
+                    "unreachable (retry or repair may succeed)"
+                )
+            raise DataLossError(name, seq, lost)
+        stripe = np.concatenate([known[d] for d in data_nodes])
+        return stripe.tobytes()[:payload_length]
+
+    # ------------------------------------------------------------------
+    # Repair: local reconstruction first, priced WAN re-injection last
+    # ------------------------------------------------------------------
+
+    async def repair(self, mode: str = "drain") -> dict[str, Any]:
+        """Heal every site, then re-inject what sites cannot rebuild.
+
+        Phase 1 delegates to each site's own budgeted repair scheduler
+        (``mode`` passes through) — local reconstruction moves zero
+        WAN bytes, so it always runs first.  Phase 2 sweeps the
+        gateway's acked objects: a site that still answers
+        ``data_loss`` gets the object re-derived from the rest of the
+        federation and re-put over the WAN, budgeted per call by
+        ``repair_wan_budget`` and deferred (reported, not silent)
+        beyond it.  ``scan`` mode skips phase 2.
+        """
+        per_site: dict[str, Any] = {}
+        for site_id in self.ring.members:
+            try:
+                response = await self._rpc(
+                    self._link(site_id),
+                    ClusterRepairRequest(mode=mode),
+                )
+                per_site[site_id] = response.info
+            except (SiteDownError, TransientUnavailableError) as exc:
+                per_site[site_id] = {"error": str(exc)}
+        reinjected: list[dict[str, Any]] = []
+        deferred: list[dict[str, Any]] = []
+        spent = 0
+        if mode != "scan":
+            for name in sorted(self.objects):
+                for site_id in self.ring.members:
+                    need = await self._needs_reinjection(site_id, name)
+                    if not need:
+                        continue
+                    size = self.objects[name].size
+                    if (
+                        self.repair_wan_budget is not None
+                        and spent + size > self.repair_wan_budget
+                    ):
+                        deferred.append(
+                            {"name": name, "site": site_id, "bytes": size}
+                        )
+                        continue
+                    if await self._reinject(site_id, name):
+                        spent += size
+                        reinjected.append(
+                            {"name": name, "site": site_id, "bytes": size}
+                        )
+        if deferred:
+            registry().counter("sites.repair.deferred").inc(len(deferred))
+        return {
+            "sites": per_site,
+            "reinjected": reinjected,
+            "deferred": deferred,
+            "wan_bytes": spent,
+        }
+
+    async def _needs_reinjection(self, site_id: str, name: str) -> bool:
+        """True iff the site is up but cannot serve the object."""
+        try:
+            await self._rpc(
+                self._link(site_id), ClusterGetRequest(name=name)
+            )
+            return False
+        except (SiteDownError, TransientUnavailableError):
+            return False  # not reachable/healthy enough to re-inject
+        except Exception as exc:
+            if not _rung_failure(exc):
+                raise
+            return True  # data loss or unknown object: re-inject
+
+    async def _reinject(self, site_id: str, name: str) -> bool:
+        """Re-derive ``name`` federation-wide and re-put it at a site."""
+        order = [
+            sid for sid in self._site_order(name) if sid != site_id
+        ]
+        payload: bytes | None = None
+        for source in order:
+            try:
+                response = await self._rpc(
+                    self._link(source),
+                    ClusterGetRequest(name=name, want_payload=True),
+                )
+            except Exception as exc:
+                if not _rung_failure(exc):
+                    raise
+                continue
+            payload = response.payload
+            self._meter_wan(source, len(payload), "repair")
+            break
+        if payload is None:
+            try:
+                payload = await self._coupled_read(
+                    name, self.home_site(name)
+                )
+            except Exception as exc:
+                if not _rung_failure(exc):
+                    raise
+                return False
+        try:
+            await self._rpc(
+                self._link(site_id),
+                ClusterPutRequest(name=name, payload=payload),
+            )
+        except (SiteDownError, TransientUnavailableError):
+            return False
+        self._meter_wan(site_id, len(payload), "repair")
+        registry().counter("sites.repair.reinjected").inc()
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    async def status(self) -> dict[str, Any]:
+        sites: dict[str, Any] = {}
+        for assignment in self.manifest.sites:
+            site_id = assignment.site_id
+            entry: dict[str, Any] = {
+                "graph": assignment.graph_number,
+                "weight": assignment.weight,
+                "alive": False,
+            }
+            link = self.links.get(site_id)
+            if link is not None:
+                entry["host"], entry["port"] = link.host, link.port
+                try:
+                    response = await self._rpc(
+                        link, ClusterStatusRequest()
+                    )
+                    entry["alive"] = True
+                    entry["status"] = response.status
+                except (SiteDownError, TransientUnavailableError):
+                    pass
+            sites[site_id] = entry
+        return {
+            "sites": sites,
+            "objects": len(self.objects),
+            "first_failure_floor": self.manifest.first_failure_floor(),
+            "reads": dict(self.reads),
+            "wan": {
+                "total_bytes": self.wan_bytes,
+                "read_bytes": self.read_wan_bytes,
+                "repair_bytes": self.repair_wan_bytes,
+                "replicate_bytes": self.replicate_bytes,
+                "by_site": dict(self.wan_bytes_by_site),
+            },
+        }
+
+
+async def handle_request(
+    gateway: FederationGateway,
+    request: Request,
+    envelope: Envelope,
+) -> Response:
+    """Dispatch one typed gateway request under the caller's trace."""
+    with use_context(envelope.trace):
+        if isinstance(request, PingRequest):
+            return PongResponse()
+        if isinstance(request, MetricsRequest):
+            return MetricsResponse(
+                metrics=render_prometheus(registry().snapshot())
+            )
+        if isinstance(request, SitesPutRequest):
+            with trace_span("sites.put", object=request.name):
+                info = await gateway.put(request.name, request.payload)
+            return AckResponse(info=info)
+        if isinstance(request, SitesGetRequest):
+            with trace_span("sites.get", object=request.name):
+                return await gateway.get(
+                    request.name, want_payload=request.want_payload
+                )
+        if isinstance(request, SitesStatusRequest):
+            return StatusResponse(status=await gateway.status())
+        if isinstance(request, SitesRepairRequest):
+            with trace_span("sites.repair", mode=request.mode):
+                info = await gateway.repair(mode=request.mode)
+            return AckResponse(info=info)
+    raise ProtocolError(
+        f"op {request.op!r} is not served by the federation gateway",
+        code="unknown_op",
+    )
+
+
+async def start_gateway(
+    gateway: FederationGateway,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.base_events.Server:
+    """Serve the gateway on a TCP port (``port=0`` = ephemeral)."""
+
+    async def handler(request: Request, envelope: Envelope) -> Response:
+        return await handle_request(gateway, request, envelope)
+
+    return await start_line_server(handler, host, port)

@@ -63,3 +63,63 @@ class TestHashRing:
             HashRing().add("")
         with pytest.raises(ValueError):
             HashRing(replicas=0)
+
+
+class TestWeightedRing:
+    """Per-member weights: proportional placement, weight-1 identity."""
+
+    def test_weight_one_reproduces_unweighted_placement_exactly(self):
+        # Property: for any membership, adding every member with an
+        # explicit weight of 1 is byte-identical to the historical
+        # unweighted ring — same vnode labels, same owners everywhere.
+        for members in (
+            ["n0"],
+            ["n0", "n1"],
+            ["n0", "n1", "n2"],
+            [f"site-{i}/node-{j}" for i in range(3) for j in range(4)],
+        ):
+            unweighted = ring_with(members)
+            weighted = HashRing()
+            for member in members:
+                weighted.add(member, weight=1)
+            assert weighted._points == unweighted._points
+            assert weighted._owners == unweighted._owners
+            assert [weighted.owner(k) for k in KEYS] == [
+                unweighted.owner(k) for k in KEYS
+            ]
+
+    def test_weighted_member_owns_a_proportional_share(self):
+        ring = HashRing()
+        ring.add("small")
+        ring.add("big", weight=3)
+        histogram = ring.spread(KEYS)
+        # big hashes 3x the vnodes, so it should own roughly 3x the
+        # keys; allow generous slack for hash variance.
+        assert histogram["big"] > histogram["small"]
+        ratio = histogram["big"] / max(1, histogram["small"])
+        assert 1.5 < ratio < 6.0
+
+    def test_reweighting_is_deterministic_and_idempotent(self):
+        a = HashRing()
+        a.add("n0", weight=2)
+        a.add("n1")
+        b = HashRing()
+        b.add("n1")
+        b.add("n0")
+        b.add("n0", weight=2)  # re-add with new weight reweights
+        assert a.weight("n0") == b.weight("n0") == 2
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+        a.add("n0", weight=2)  # same weight: no-op
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_weight_validation_and_introspection(self):
+        ring = HashRing()
+        with pytest.raises(ValueError):
+            ring.add("n0", weight=0)
+        ring.add("n0", weight=2)
+        assert ring.weight("n0") == 2
+        with pytest.raises(KeyError):
+            ring.weight("missing")
+        ring.remove("n0")
+        ring.add("n0")
+        assert ring.weight("n0") == 1

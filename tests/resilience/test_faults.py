@@ -195,3 +195,131 @@ class TestReproducibility:
             return log, dict(injector.counts)
 
         assert run() == run()
+
+
+class TestDeviceHazardInjection:
+    def test_spec_roundtrip_and_validation(self):
+        from repro.resilience import DeviceHazards, SiteBlackouts
+
+        plan = FaultPlan(
+            faults=(
+                DeviceHazards(
+                    curve="bathtub",
+                    shape=3.0,
+                    afr=0.05,
+                    infant_mortality=0.2,
+                    batch_defect_rate=0.1,
+                ),
+                SiteBlackouts(rate=0.05, mean_outage_steps=3.0),
+            )
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        with pytest.raises(ValueError):
+            DeviceHazards(curve="tub")
+        with pytest.raises(ValueError):
+            DeviceHazards(shape=0.0)
+        with pytest.raises(ValueError):
+            DeviceHazards(afr=0.0)
+        with pytest.raises(ValueError):
+            SiteBlackouts(max_concurrent=0)
+
+    def test_wearout_failures_accumulate_with_age(self, archive):
+        from repro.resilience import DeviceHazards
+
+        injector = FaultInjector(
+            FaultPlan(
+                faults=(
+                    DeviceHazards(
+                        shape=4.0, afr=0.02, steps_per_year=4
+                    ),
+                )
+            )
+        )
+        rng = np.random.default_rng(5)
+        early = late = 0
+        for step in range(24):  # six simulated years
+            events = injector.inject(step, archive, rng)
+            failures = [e for e in events if "failed at age" in e.detail]
+            if step < 8:
+                early += len(failures)
+            else:
+                late += len(failures)
+        assert injector.counts.get("hazard", 0) == early + late
+        # Shape 4 wear-out: the old fleet fails much harder than the
+        # young one.
+        assert late > early
+
+    def test_replacement_draws_infant_mortality(self, archive):
+        from repro.resilience import DeviceHazards
+
+        injector = FaultInjector(
+            FaultPlan(
+                faults=(
+                    DeviceHazards(
+                        shape=1.0,
+                        afr=0.5,
+                        infant_mortality=1.0,
+                        steps_per_year=4,
+                    ),
+                )
+            )
+        )
+        rng = np.random.default_rng(1)
+        infants = 0
+        for step in range(12):
+            events = injector.inject(step, archive, rng)
+            infants += sum(
+                1 for e in events if "infant-mortality" in e.detail
+            )
+            # Instant replacement pipeline: every failed device is
+            # swapped before the next step, like run_mission's lag-0.
+            for did in archive.devices.failed_ids:
+                archive.devices[did].rebuild()
+        assert infants > 0
+        assert injector.hazard_summary()["infant_replacements"] == infants
+
+    def test_hazard_runs_are_reproducible(self, small_tornado):
+        from repro.resilience import DeviceHazards
+
+        plan = FaultPlan(
+            faults=(
+                DeviceHazards(
+                    curve="bathtub",
+                    shape=4.0,
+                    afr=0.3,
+                    infant_mortality=0.5,
+                    batch_defect_rate=0.2,
+                    batch_size=8,
+                    steps_per_year=4,
+                ),
+            )
+        )
+
+        def run():
+            archive = TornadoArchive(
+                small_tornado, DeviceArray(32), block_size=64
+            )
+            archive.put("doc", bytes(range(256)) * 8)
+            injector = FaultInjector(plan)
+            rng = np.random.default_rng(77)
+            log = []
+            for step in range(10):
+                log.extend(
+                    (e.step, e.kind, e.detail)
+                    for e in injector.inject(step, archive, rng)
+                )
+                for did in archive.devices.failed_ids:
+                    archive.devices[did].rebuild()
+            return log, injector.hazard_summary()
+
+        assert run() == run()
+
+    def test_site_blackouts_skipped_by_device_layer(self, archive):
+        from repro.resilience import SiteBlackouts
+
+        injector = FaultInjector(
+            FaultPlan(faults=(SiteBlackouts(rate=1.0),))
+        )
+        events = injector.inject(0, archive, np.random.default_rng(0))
+        assert events == []
+        assert archive.devices.failed_ids == []

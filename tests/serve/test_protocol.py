@@ -32,6 +32,7 @@ from repro.serve.protocol import (
     ClusterSnapshotRequest,
     ClusterStatusRequest,
     ErrorResponse,
+    FetchStripeRequest,
     GetRequest,
     KeyListResponse,
     MetricsRequest,
@@ -43,9 +44,14 @@ from repro.serve.protocol import (
     PongResponse,
     ProtocolError,
     RemoteError,
+    SitesGetRequest,
+    SitesPutRequest,
+    SitesRepairRequest,
+    SitesStatusRequest,
     StatsRequest,
     StatsResponse,
     StatusResponse,
+    StripeBlocksResponse,
     encode_request,
     error_code,
     exception_for,
@@ -87,6 +93,11 @@ COVERED_REQUESTS = {
     ClusterSnapshotRequest,
     ClusterJoinRequest,
     ClusterLeaveRequest,
+    FetchStripeRequest,
+    SitesPutRequest,
+    SitesGetRequest,
+    SitesStatusRequest,
+    SitesRepairRequest,
 }
 COVERED_RESPONSES = {
     PongResponse,
@@ -98,6 +109,7 @@ COVERED_RESPONSES = {
     KeyListResponse,
     AckResponse,
     StatusResponse,
+    StripeBlocksResponse,
     ErrorResponse,
 }
 request_strategies = st.one_of(
@@ -147,6 +159,18 @@ request_strategies = st.one_of(
         port=st.integers(min_value=1, max_value=65535),
     ),
     st.builds(ClusterLeaveRequest, node_id=names),
+    st.builds(
+        FetchStripeRequest,
+        name=names,
+        seq=st.integers(min_value=0, max_value=2**20),
+    ),
+    st.builds(SitesPutRequest, name=names, payload=payloads),
+    st.builds(SitesGetRequest, name=names, want_payload=st.booleans()),
+    st.just(SitesStatusRequest()),
+    st.builds(
+        SitesRepairRequest,
+        mode=st.sampled_from(SitesRepairRequest._MODES),
+    ),
 )
 
 # One strategy per response type likewise.
@@ -172,6 +196,17 @@ response_strategies = st.one_of(
     ),
     st.builds(AckResponse, info=json_dicts),
     st.builds(StatusResponse, status=json_dicts),
+    st.builds(
+        StripeBlocksResponse,
+        name=names,
+        seq=st.integers(min_value=0, max_value=2**20),
+        payload_length=st.integers(min_value=0, max_value=2**30),
+        blocks=st.dictionaries(
+            st.integers(min_value=0, max_value=95).map(str),
+            payloads,
+            max_size=6,
+        ),
+    ),
     st.builds(
         ErrorResponse,
         code=st.sampled_from(

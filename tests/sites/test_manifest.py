@@ -1,0 +1,104 @@
+"""Federation manifests: cooperative graph assignment, persistence."""
+
+import pytest
+
+from repro.sites import (
+    FederationManifest,
+    PairingRecord,
+    SiteAssignment,
+    assign_site_graphs,
+)
+
+
+def make_manifest(site_ids=("site-a", "site-b"), **kwargs):
+    kwargs.setdefault("site_max_size", 6)
+    kwargs.setdefault("curve_samples", 100)
+    kwargs.setdefault("seed", 0)
+    return assign_site_graphs(list(site_ids), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return make_manifest()
+
+
+class TestAssignment:
+    def test_two_sites_get_the_complementary_catalog_pair(self, manifest):
+        numbers = sorted(
+            a.graph_number for a in manifest.sites
+        )
+        # The measured catalog winner: graphs 2 and 3 (no joint failure
+        # detected within the probed bound).
+        assert numbers == [2, 3]
+
+    def test_assignment_is_deterministic_across_calls(self, manifest):
+        again = make_manifest()
+        assert again.to_dict() == manifest.to_dict()
+
+    def test_first_failure_floor_beats_single_graph(self, manifest):
+        # An undetected pairing at bound B floors at 2B + 1; either way
+        # the federation must clear the duplicated-graph value (10).
+        assert manifest.first_failure_floor() > 10
+
+    def test_three_sites_extend_greedily_from_the_catalog(self):
+        manifest = make_manifest(("s0", "s1", "s2"))
+        assert len(manifest.sites) == 3
+        assert all(
+            a.graph_number in (1, 2, 3) for a in manifest.sites
+        )
+        # Every unordered pair is recorded.
+        assert len(manifest.pairings) == 3
+
+    def test_rejects_single_site(self):
+        with pytest.raises(ValueError):
+            make_manifest(("lonely",))
+
+    def test_rejects_duplicate_site_ids(self):
+        with pytest.raises(ValueError):
+            make_manifest(("twin", "twin"))
+
+
+class TestManifestModel:
+    def test_roundtrips_through_json(self, manifest, tmp_path):
+        path = tmp_path / "federation.json"
+        manifest.save(path)
+        loaded = FederationManifest.load(path)
+        assert loaded == manifest
+
+    def test_assignment_lookup(self, manifest):
+        assignment = manifest.assignment("site-a")
+        assert assignment.site_id == "site-a"
+        with pytest.raises(KeyError):
+            manifest.assignment("nowhere")
+
+    def test_system_spans_every_site(self, manifest):
+        system = manifest.system()
+        assert system.num_sites == len(manifest.sites)
+        assert system.num_devices == sum(
+            a.graph.num_nodes for a in manifest.sites
+        )
+
+    def test_graphs_resolve_from_the_catalog(self, manifest):
+        graphs = manifest.graphs()
+        for assignment in manifest.sites:
+            graph = graphs[assignment.site_id]
+            assert graph.num_nodes == 96
+
+    def test_handbuilt_manifest_validates(self):
+        manifest = FederationManifest(
+            sites=(
+                SiteAssignment("a", 2),
+                SiteAssignment("b", 3),
+            ),
+            site_max_size=6,
+            pairings=(
+                PairingRecord("a", "b", None, 13),
+            ),
+        )
+        assert manifest.first_failure_floor() == 13
+        with pytest.raises(ValueError):
+            FederationManifest(
+                sites=(SiteAssignment("a", 2),),
+                site_max_size=6,
+                pairings=(),
+            )

@@ -1,0 +1,68 @@
+"""WAN cost model: the priced read ladder's shared arithmetic."""
+
+import pytest
+
+from repro.federation import FederatedSystem
+from repro.graphs import tornado_catalog_graph
+from repro.sites import WanCostModel, estimate_wan_read_cost
+
+
+@pytest.fixture(scope="module")
+def system():
+    return FederatedSystem(
+        [tornado_catalog_graph(2), tornado_catalog_graph(3)]
+    )
+
+
+class TestWanCostModel:
+    def test_ladder_prices(self):
+        model = WanCostModel()
+        assert model.local_read() == 0.0
+        assert model.remote_read(4096) == 4096.0
+        assert model.coupled_read(8192) == 8192.0
+
+    def test_byte_cost_scales_everything(self):
+        model = WanCostModel(remote_byte_cost=2.0)
+        assert model.remote_read(100) == 200.0
+        assert model.coupled_read(100) == 200.0
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            WanCostModel(remote_byte_cost=-1.0)
+
+
+class TestEstimate:
+    def test_no_losses_means_every_read_is_local_and_free(self, system):
+        estimate = estimate_wan_read_cost(
+            system, 0, object_size=4096, samples=20
+        )
+        assert estimate.mean_wan_bytes == 0.0
+        assert estimate.path_fractions["local"] == 1.0
+
+    def test_fractions_partition_the_samples(self, system):
+        estimate = estimate_wan_read_cost(
+            system, 40, object_size=4096, samples=100, seed=3
+        )
+        assert sum(estimate.path_fractions.values()) == pytest.approx(1.0)
+
+    def test_same_seed_same_estimate(self, system):
+        kwargs = dict(object_size=4096, samples=100, seed=7)
+        first = estimate_wan_read_cost(system, 30, **kwargs)
+        second = estimate_wan_read_cost(system, 30, **kwargs)
+        assert first == second
+
+    def test_heavy_local_loss_moves_bytes_over_the_wan(self, system):
+        # Concentrated home-site damage can't stay free forever: at a
+        # fleet-wide k well past the local graph's critical sets some
+        # samples must pay remote or coupled prices.
+        estimate = estimate_wan_read_cost(
+            system, 60, object_size=4096, samples=200, seed=0
+        )
+        assert estimate.path_fractions["local"] < 1.0
+        assert estimate.mean_wan_bytes > 0.0
+
+    def test_rejects_out_of_range_k(self, system):
+        with pytest.raises(ValueError):
+            estimate_wan_read_cost(
+                system, system.num_devices + 1, object_size=4096
+            )

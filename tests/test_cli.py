@@ -170,6 +170,70 @@ class TestMission:
         assert code == 0
         assert "tornado-graph-3" in capsys.readouterr().out
 
+    def test_hazard_flag_swaps_the_binomial_baseline(self, capsys):
+        code = main(
+            [
+                "mission",
+                "--hazard",
+                "weibull",
+                "--shape",
+                "2.0",
+                "--afr",
+                "0.05",
+                "--years",
+                "1",
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        # Exit codes keep the contract: 0 intact, 1 loss — never a crash.
+        assert code in (0, 1)
+        assert "hazard" in out
+        # The memoryless baseline goes inert; the curve takes over.
+        assert "AFR 0.0%" in out
+
+    def test_bathtub_hazard_with_infant_mortality(self, capsys):
+        code = main(
+            [
+                "mission",
+                "--hazard",
+                "bathtub",
+                "--infant-mortality",
+                "0.3",
+                "--afr",
+                "0.05",
+                "--years",
+                "1",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code in (0, 1)
+        assert "hazard" in capsys.readouterr().out
+
+    def test_hazard_runs_are_reproducible(self, capsys):
+        argv = [
+            "mission",
+            "--hazard",
+            "weibull",
+            "--afr",
+            "0.1",
+            "--years",
+            "1",
+            "--seed",
+            "4",
+        ]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_unknown_hazard_rejected(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["mission", "--hazard", "gamma"])
+        assert exc_info.value.code == 2
+
 
 class TestMetricsFlag:
     def test_profile_emits_jsonl_and_manifest(
@@ -489,3 +553,83 @@ class TestObsVerbs:
     def test_missing_file_exits_1(self, capsys):
         assert main(["obs", "report", "/no/such/file.jsonl"]) == 1
         assert capsys.readouterr().err.startswith("error:")
+
+
+class TestSitesVerbs:
+    """Exit-code contract for the federation verbs (cheap paths only;
+    the process-spawning loadgen/chaos run in CI's federation-smoke)."""
+
+    def make_manifest(self, tmp_path):
+        from repro.sites import (
+            FederationManifest,
+            PairingRecord,
+            SiteAssignment,
+        )
+
+        path = tmp_path / "federation.json"
+        FederationManifest(
+            sites=(
+                SiteAssignment("site-a", 2),
+                SiteAssignment("site-b", 3),
+            ),
+            site_max_size=6,
+            pairings=(PairingRecord("site-a", "site-b", None, 13),),
+        ).save(path)
+        return str(path)
+
+    def test_sites_requires_subcommand(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["sites"])
+        assert exc_info.value.code == 2
+
+    def test_gateway_requires_manifest_flag(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["sites", "gateway"])
+        assert exc_info.value.code == 2
+
+    def test_gateway_malformed_attach_exits_2(self, tmp_path, capsys):
+        manifest = self.make_manifest(tmp_path)
+        code = main(
+            [
+                "sites",
+                "gateway",
+                "--manifest",
+                manifest,
+                "--attach",
+                "nonsense",
+            ]
+        )
+        assert code == 2
+        assert "SITE=HOST:PORT" in capsys.readouterr().err
+
+    def test_gateway_missing_manifest_exits_1(self, capsys):
+        code = main(
+            ["sites", "gateway", "--manifest", "/no/such/file.json"]
+        )
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_status_against_dead_port_exits_1(self, capsys):
+        code = main(
+            ["sites", "status", "--port", "1"]  # nothing listens there
+        )
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_coordinator_graph_and_catalog_conflict_exits_2(
+        self, graph_file, capsys
+    ):
+        code = main(
+            [
+                "cluster",
+                "coordinator",
+                "--graph",
+                graph_file,
+                "--catalog",
+                "2",
+                "--max-seconds",
+                "0.01",
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
