@@ -64,7 +64,10 @@ from .analysis import ProfileCache, default_cache
 from .core import (
     BatchPeelingDecoder,
     BitsetBatchDecoder,
+    CsrGraph,
+    EngineUnsupportedError,
     ErasureGraph,
+    SparseBitsetDecoder,
     TornadoCodec,
     adjust_graph,
     analyze_worst_case,
@@ -73,6 +76,7 @@ from .core import (
     make_batch_decoder,
     resolve_engine,
     save_graphml,
+    tornado_csr_graph,
     tornado_graph,
 )
 from .graphs import tornado_catalog_graph
@@ -111,6 +115,8 @@ __all__ = [
     "BitsetBatchDecoder",
     "ClusterClient",
     "ClusterCoordinator",
+    "CsrGraph",
+    "EngineUnsupportedError",
     "ErasureGraph",
     "FailureProfile",
     "FaultPlan",
@@ -123,6 +129,7 @@ __all__ = [
     "RetryPolicy",
     "RunManifest",
     "ServeConfig",
+    "SparseBitsetDecoder",
     "StorageNode",
     "TornadoArchive",
     "TornadoCodec",
@@ -161,6 +168,7 @@ __all__ = [
     "sim",
     "storage",
     "tornado_catalog_graph",
+    "tornado_csr_graph",
     "tornado_graph",
     "trace_capture",
     "worst_case_search",

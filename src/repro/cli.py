@@ -175,10 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--engine",
-        choices=["auto", "bitset", "matmul"],
+        choices=["auto", "bitset", "matmul", "sparse"],
         default="auto",
-        help="batch decode kernel (auto honours REPRO_DECODE_ENGINE; "
-        "results are identical either way)",
+        help="batch decode kernel (auto honours REPRO_DECODE_ENGINE, "
+        "then picks sparse for large graphs; results are identical "
+        "either way)",
     )
 
     p = sub.add_parser(
@@ -192,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--engine",
-        choices=["auto", "bitset", "matmul", "scalar"],
+        choices=["auto", "bitset", "matmul", "sparse", "scalar"],
         default="auto",
         help="peeling evaluation kernel (scalar = per-trial incremental "
         "loop; results are identical either way)",
@@ -474,6 +475,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="auto-snapshot the WAL after every N journaled records",
+    )
+    q.add_argument(
+        "--decode-engine",
+        choices=["auto", "bitset", "matmul", "sparse"],
+        default="auto",
+        help="batch kernel for decode-headroom probes "
+        "(auto honours REPRO_DECODE_ENGINE)",
     )
     q.add_argument(
         "--max-seconds",
@@ -1249,6 +1257,7 @@ def _cmd_cluster_coordinator(args) -> int:
         rpc_timeout=args.rpc_timeout,
         repair_bytes_per_cycle=args.repair_budget,
         snapshot_every=args.snapshot_every,
+        decode_engine=args.decode_engine,
     )
 
     async def run() -> int:

@@ -79,6 +79,7 @@ from typing import Any
 import numpy as np
 
 from ..core.codec import TornadoCodec
+from ..core.decoder import make_batch_decoder, resolve_engine
 from ..core.graph import ErasureGraph
 from ..obs.registry import registry
 from ..obs.trace import start_span, tracer, trace_span, use_context
@@ -195,6 +196,7 @@ class ClusterCoordinator:
         rpc_timeout: float | None = 30.0,
         repair_bytes_per_cycle: int | None = None,
         snapshot_every: int | None = None,
+        decode_engine: str = "auto",
     ):
         if rpc_timeout is not None and rpc_timeout <= 0:
             raise ValueError("rpc_timeout must be positive")
@@ -202,6 +204,12 @@ class ClusterCoordinator:
             raise ValueError("snapshot_every must be positive")
         self.graph = graph
         self.codec = TornadoCodec(graph, block_size)
+        # Batch what-if probes (decode_headroom) run through the
+        # engine-selected kernel; scalar reads keep the PlanCache path.
+        self.decode_engine = resolve_engine(
+            decode_engine, num_nodes=graph.num_nodes
+        )
+        self._headroom_decoder = None
         self.plans = PlanCache(plan_capacity)
         self.ring = HashRing()
         self.nodes: dict[str, NodeLink] = {}
@@ -1052,6 +1060,81 @@ class ClusterCoordinator:
     # Introspection
     # ------------------------------------------------------------------
 
+    async def decode_headroom(self) -> dict[str, Any]:
+        """Bulk what-if probe: which node loss would break a stripe?
+
+        The cluster-level analogue of the serve layer's
+        ``degraded_headroom``: one erasure case per stored stripe for
+        the *current* liveness state, plus one per (stripe, live node)
+        for the state after that node additionally dies, all pushed
+        through a single engine-selected batch decode
+        (:func:`~repro.core.decoder.make_batch_decoder`).  Hundreds of
+        scenarios cost one packed decode call instead of one scalar
+        peel each.
+        """
+        liveness = await self.probe()
+        dead = {n for n, alive in liveness.items() if not alive}
+        live = [n for n in self.ring.members if n not in dead]
+        cases: list[list[int]] = []
+        meta: list[tuple[str, int, str | None]] = []
+        for name, manifest in self.manifests.items():
+            for stripe in manifest.stripes:
+                base = [
+                    j for j, owner in enumerate(stripe.placement)
+                    if owner in dead or owner not in self.nodes
+                ]
+                cases.append(base)
+                meta.append((name, stripe.index, None))
+                for node_id in live:
+                    extra = [
+                        j for j, owner in enumerate(stripe.placement)
+                        if owner == node_id
+                    ]
+                    cases.append(base + extra)
+                    meta.append((name, stripe.index, node_id))
+        if self._headroom_decoder is None:
+            self._headroom_decoder = make_batch_decoder(
+                self.graph, engine=self.decode_engine
+            )
+        ok = (
+            self._headroom_decoder.decode_missing_sets(cases)
+            if cases
+            else np.zeros(0, dtype=bool)
+        )
+        base_ok: dict[tuple[str, int], bool] = {}
+        for (name, index, node_id), good in zip(meta, ok):
+            if node_id is None:
+                base_ok[(name, index)] = bool(good)
+        at_risk: set[str] = set()
+        for (name, index, node_id), good in zip(meta, ok):
+            if (
+                node_id is not None
+                and base_ok[(name, index)]
+                and not good
+            ):
+                at_risk.add(node_id)
+        failing_now = sorted(
+            f"{name}/{index}"
+            for (name, index), good in base_ok.items()
+            if not good
+        )
+        reg = registry()
+        reg.counter("cluster.headroom_probes").inc()
+        reg.event(
+            "cluster.headroom",
+            engine=self.decode_engine,
+            cases=len(cases),
+            at_risk=sorted(at_risk),
+            failing_now=failing_now,
+        )
+        return {
+            "engine": self.decode_engine,
+            "cases": len(cases),
+            "dead_nodes": sorted(dead),
+            "failing_now": failing_now,
+            "at_risk_nodes": sorted(at_risk),
+        }
+
     async def status(self) -> dict[str, Any]:
         """Cluster-wide view: membership, liveness, stats, repair bytes."""
         liveness = await self.probe()
@@ -1079,6 +1162,7 @@ class ClusterCoordinator:
             "repair_bytes": self.repair_bytes,
             "repair_bytes_by_node": dict(self.repair_bytes_by_node),
             "repair": self.scheduler.status(),
+            "decode_engine": self.decode_engine,
             "state_sha256": self.state_sha256(),
             "wal": self.wal.stats() if self.wal is not None else None,
             "plan_cache": {

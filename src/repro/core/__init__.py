@@ -32,15 +32,18 @@ from .bitdecoder import (
     packed_random_loss_masks,
     unpack_cases,
 )
+from .csrgraph import CsrGraph, tornado_csr_graph
 from .decoder import (
     DECODE_ENGINES,
     BatchPeelingDecoder,
     DecodeResult,
+    EngineUnsupportedError,
     PeelingDecoder,
     make_batch_decoder,
     make_batch_decoder_from_matrix,
     resolve_engine,
 )
+from .sparse import SparseBitsetDecoder, packed_sparse_loss_masks
 from .density import (
     DensityReport,
     density_report,
@@ -81,8 +84,11 @@ __all__ = [
     "BatchPeelingDecoder",
     "BitsetBatchDecoder",
     "CascadePlan",
+    "CsrGraph",
     "DECODE_ENGINES",
     "Constraint",
+    "EngineUnsupportedError",
+    "SparseBitsetDecoder",
     "CriticalReport",
     "DecodeFailure",
     "DecodeResult",
@@ -119,6 +125,7 @@ __all__ = [
     "match_edge_total",
     "pack_cases",
     "packed_random_loss_masks",
+    "packed_sparse_loss_masks",
     "min_bad_stopping_set_containing",
     "minimal_bad_stopping_sets",
     "plan_cascade",
@@ -132,6 +139,7 @@ __all__ = [
     "shifted",
     "solve_poisson_alpha",
     "to_networkx",
+    "tornado_csr_graph",
     "tornado_graph",
     "unpack_cases",
 ]

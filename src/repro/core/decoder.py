@@ -24,13 +24,20 @@ Three engines are provided:
   engine: packs 64 cases per ``uint64`` word and peels with bitwise
   sweeps (see :mod:`repro.core.bitdecoder`), typically 5–12× the matmul
   engine's cases/sec on the paper's 96-node graphs.  The default.
+* :class:`~repro.core.sparse.SparseBitsetDecoder` — the **sparse**
+  engine: same 64-cases-per-word packing, but constraint membership as
+  flat CSR edge arrays with constraint retirement and chunked planes
+  (see :mod:`repro.core.sparse`), scaling to 2^20-node graphs the dense
+  bit-plane layout cannot hold.
 
 Batch callers should not pick a class directly; use
 :func:`make_batch_decoder` (or :func:`make_batch_decoder_from_matrix`
 for raw relation matrices).  ``engine="auto"`` resolves to the
-``REPRO_DECODE_ENGINE`` environment variable when set, else to the
-bitset engine.  Both batch engines produce identical success vectors
-and identical Monte Carlo profiles at the same seed.
+``REPRO_DECODE_ENGINE`` environment variable when set; otherwise it
+picks by size — the bitset engine below ``_SPARSE_AUTO_MIN_NODES``
+nodes and the sparse engine at or above it.  All batch engines produce
+identical success vectors and identical Monte Carlo profiles at the
+same seed.
 """
 
 from __future__ import annotations
@@ -45,12 +52,15 @@ import numpy as np
 from ..obs.registry import registry
 from .bitdecoder import BitsetBatchDecoder, missing_sets_to_unknown
 from .graph import ErasureGraph
+from .sparse import SparseBitsetDecoder
 
 __all__ = [
     "DecodeResult",
     "PeelingDecoder",
     "BatchPeelingDecoder",
     "BitsetBatchDecoder",
+    "SparseBitsetDecoder",
+    "EngineUnsupportedError",
     "DECODE_ENGINES",
     "resolve_engine",
     "make_batch_decoder",
@@ -58,7 +68,7 @@ __all__ = [
 ]
 
 #: Batch engines selectable via ``engine=`` / ``REPRO_DECODE_ENGINE``.
-DECODE_ENGINES = ("bitset", "matmul")
+DECODE_ENGINES = ("bitset", "matmul", "sparse")
 
 _ENGINE_ENV = "REPRO_DECODE_ENGINE"
 _DEFAULT_ENGINE = "bitset"
@@ -69,19 +79,43 @@ _DEFAULT_ENGINE = "bitset"
 # tests can lower it.
 _MATMUL_MAX_NODES = 1 << 24
 
+# ``engine="auto"`` switches from the dense bitset layout to the sparse
+# CSR engine at this node count: below it the bitset engine's padded
+# member matrix is small and its flat sweeps win; above it the dense
+# (C, W) bit-planes start to dominate memory and time.  Module-level so
+# tests can lower it to exercise the boundary.
+_SPARSE_AUTO_MIN_NODES = 1 << 14
 
-def resolve_engine(engine: str | None = "auto") -> str:
+
+class EngineUnsupportedError(ValueError):
+    """A decode engine cannot run on the requested graph.
+
+    Raised instead of silently falling back so callers pinning an
+    engine (differential tests, benchmarks) notice when the pin cannot
+    be honoured — e.g. the matmul engine beyond its float32 addressing
+    limit.  Subclasses ``ValueError`` for backward compatibility with
+    callers catching the old error.
+    """
+
+
+def resolve_engine(
+    engine: str | None = "auto", *, num_nodes: int | None = None
+) -> str:
     """Resolve an ``engine=`` argument to a concrete batch engine name.
 
     An explicit engine name wins; ``"auto"`` (or ``None``) defers to the
-    ``REPRO_DECODE_ENGINE`` environment variable, falling back to the
-    bitset engine.  Raises ``ValueError`` for unknown names (including
-    unknown env values, so typos fail loudly rather than silently
-    changing kernels).
+    ``REPRO_DECODE_ENGINE`` environment variable.  When that is unset
+    too, the choice falls to graph size: sparse for graphs with at
+    least ``_SPARSE_AUTO_MIN_NODES`` nodes (when ``num_nodes`` is
+    given), else the bitset default.  Raises ``ValueError`` for unknown
+    names (including unknown env values, so typos fail loudly rather
+    than silently changing kernels).
     """
     if engine is None or engine == "auto":
         env = os.environ.get(_ENGINE_ENV, "").strip().lower()
         if not env or env == "auto":
+            if num_nodes is not None and num_nodes >= _SPARSE_AUTO_MIN_NODES:
+                return "sparse"
             return _DEFAULT_ENGINE
         engine = env
     if engine not in DECODE_ENGINES:
@@ -93,16 +127,27 @@ def resolve_engine(engine: str | None = "auto") -> str:
 
 
 def make_batch_decoder(
-    graph: ErasureGraph, engine: str = "auto"
-) -> "BatchPeelingDecoder | BitsetBatchDecoder":
+    graph, engine: str = "auto"
+) -> "BatchPeelingDecoder | BitsetBatchDecoder | SparseBitsetDecoder":
     """Build the selected batch decode engine for ``graph``.
 
     This is the single entry point every batch caller (Monte Carlo,
     exhaustive checks, federation, overhead, serve) goes through, so an
     ``engine=`` argument or ``REPRO_DECODE_ENGINE`` reaches all of them
-    without API churn.
+    without API churn.  Accepts an :class:`ErasureGraph` or a
+    :class:`~repro.core.csrgraph.CsrGraph`; CSR graphs require the
+    sparse engine (only it can hold million-node graphs) and refuse
+    others with :class:`EngineUnsupportedError`.
     """
-    engine = resolve_engine(engine)
+    engine = resolve_engine(engine, num_nodes=graph.num_nodes)
+    if hasattr(graph, "con_indptr") and engine != "sparse":
+        raise EngineUnsupportedError(
+            f"engine {engine!r} cannot decode a CsrGraph: only the "
+            "sparse engine consumes flat CSR membership; pass "
+            "engine='sparse' or 'auto', or convert via to_graph()."
+        )
+    if engine == "sparse":
+        return SparseBitsetDecoder(graph)
     if engine == "bitset":
         return BitsetBatchDecoder(graph)
     return BatchPeelingDecoder(graph)
@@ -113,12 +158,15 @@ def make_batch_decoder_from_matrix(
     data_nodes,
     num_nodes: int,
     engine: str = "auto",
-) -> "BatchPeelingDecoder | BitsetBatchDecoder":
+) -> "BatchPeelingDecoder | BitsetBatchDecoder | SparseBitsetDecoder":
     """Engine-selected counterpart of the ``from_matrix`` constructors."""
-    engine = resolve_engine(engine)
-    cls = (
-        BitsetBatchDecoder if engine == "bitset" else BatchPeelingDecoder
-    )
+    engine = resolve_engine(engine, num_nodes=num_nodes)
+    if engine == "sparse":
+        cls = SparseBitsetDecoder
+    elif engine == "bitset":
+        cls = BitsetBatchDecoder
+    else:
+        cls = BatchPeelingDecoder
     return cls.from_matrix(membership, data_nodes, num_nodes)
 
 
@@ -289,12 +337,13 @@ class BatchPeelingDecoder:
 
     def _init_from(self, a: np.ndarray, data_nodes, num_nodes: int) -> None:
         if num_nodes >= _MATMUL_MAX_NODES:
-            raise ValueError(
+            raise EngineUnsupportedError(
                 f"matmul engine cannot address {num_nodes} nodes: node "
                 f"ids at or above {_MATMUL_MAX_NODES} are not exactly "
                 "representable in float32, so the index-weighted matmul "
                 "would silently solve the wrong node.  Use the bitset "
-                "engine (make_batch_decoder(graph, engine='bitset'))."
+                "or sparse engine (make_batch_decoder(graph, "
+                "engine='bitset'))."
             )
         self._a = np.asarray(a, dtype=np.float32)
         self._num_nodes = num_nodes

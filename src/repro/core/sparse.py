@@ -1,0 +1,499 @@
+"""Sparse CSR word-packed peeling: million-node graphs, 64 cases/word.
+
+The bitset engine (:mod:`repro.core.bitdecoder`) already packs 64 Monte
+Carlo cases per ``uint64`` word, but it was built for the paper's
+96-node graphs: every peeling round materialises full ``(C, W)``
+bit-planes over *all* constraints, and its padded member matrix scales
+with ``C * dmax``.  At 2^20 nodes both drown — a round touches half a
+million constraints even when only a handful still have unknown
+members.
+
+This engine keeps the same packed case layout and the same
+once/twice bit-plane trick but stores the graph as flat CSR arrays
+(``con_nodes`` + ``con_indptr``, degree-sorted) and exploits sparsity
+three ways:
+
+* **constraint retirement** — unknowns only ever decrease, so a
+  constraint whose members are all known in every active word can never
+  become solvable again; each round shrinks the active-row set and all
+  later rounds scan only survivors;
+* **chunked planes** — the once/twice planes are computed per bounded
+  chunk of active rows, so peak plane memory is ``O(chunk * W)``
+  instead of ``O(C * W)`` no matter how large the graph is;
+* **sparse clearing** — only the (few) solvable constraints contribute
+  to the solved-bit clear; their member edges are gathered, sorted by
+  node, and applied with one segmented OR, so clear cost scales with
+  the nodes actually solved, not with the edge count.
+
+Word-level column compaction (retiring converged 64-case words) is
+inherited from the bitset engine unchanged, and results are bit-exact
+across engines — the property tests assert it case for case.
+
+Optional JIT
+------------
+If :mod:`numba` is importable, the per-chunk plane sweep runs through
+an ``@njit``-compiled kernel (:func:`_plane_kernel`), auto-detected at
+import.  Set ``REPRO_DECODE_JIT=0`` to opt out.  The pure-NumPy path is
+the differential oracle: both paths execute the identical algorithm on
+the identical data, consume no RNG, and must produce bit-identical
+planes (the tests run the kernel in plain Python against the NumPy
+sweep even when numba is absent).
+
+Scalable mask generation
+------------------------
+:func:`packed_sparse_loss_masks` draws exactly-``k``-loss patterns in
+packed form with bounded memory: per-leaf loss counts come from one
+vectorised ``multivariate_hypergeometric`` draw (a uniform random
+k-subset of ``N`` restricted to a partition is exactly multivariate
+hypergeometric), then positions within each leaf are chosen by
+top-count selection over a leaf-sized score block.  Peak memory is
+``O(batch * leaf)`` instead of the ``O(batch * N)`` score matrix of
+:func:`~repro.sim.montecarlo._random_loss_masks`, which at 2^20 nodes
+is the difference between 32 MB and 4 GB per draw.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from ..obs.registry import registry
+from .bitdecoder import missing_sets_to_unknown, pack_cases
+
+__all__ = [
+    "SparseBitsetDecoder",
+    "packed_sparse_loss_masks",
+    "jit_enabled",
+]
+
+#: Max active constraint rows per once/twice plane chunk.  Bounds plane
+#: memory at ``3 * chunk * W * 8`` bytes regardless of graph size.
+DEFAULT_CHUNK = 1 << 15
+
+#: Leaf width of the scalable mask generator (see module docstring).
+#: Part of the generator's deterministic output — do not change lightly.
+_MASK_LEAF = 1 << 12
+
+_JIT_ENV = "REPRO_DECODE_JIT"
+
+
+def _plane_kernel(ua, con_nodes, base, lens, once, twice):
+    """Fill the once/twice planes for one chunk of constraint rows.
+
+    ``base[i]``/``lens[i]`` slice row ``i``'s members out of
+    ``con_nodes``; ``ua`` is the packed ``(N, W)`` unknown matrix.  On
+    return ``once[i]`` has a bit set where >= 1 member of row ``i`` is
+    unknown and ``twice[i]`` where >= 2 are — ``once & ~twice`` is the
+    solvable plane.  Written in nopython-compatible form so the same
+    source runs under numba when available and as the plain-Python
+    differential oracle in the tests when it is not.
+    """
+    w = ua.shape[1]
+    for i in range(base.shape[0]):
+        b = base[i]
+        first = con_nodes[b]
+        for c in range(w):
+            once[i, c] = ua[first, c]
+            twice[i, c] = 0
+        for j in range(1, lens[i]):
+            node = con_nodes[b + j]
+            for c in range(w):
+                v = ua[node, c]
+                twice[i, c] |= once[i, c] & v
+                once[i, c] |= v
+
+
+def _detect_jit():
+    """Compile the plane kernel with numba when available and enabled."""
+    if os.environ.get(_JIT_ENV, "1").strip() in ("0", "false", "no"):
+        return None
+    try:
+        import numba
+    except ImportError:
+        return None
+    try:
+        return numba.njit(cache=False, nogil=True)(_plane_kernel)
+    except Exception:  # pragma: no cover - numba present but broken
+        return None
+
+
+_JIT_KERNEL = _detect_jit()
+
+
+def jit_enabled() -> bool:
+    """True when the numba plane kernel compiled at import.
+
+    Auto-detected: numba importable and ``REPRO_DECODE_JIT`` not set to
+    ``0``.  The NumPy and JIT paths are bit-identical by construction.
+    """
+    return _JIT_KERNEL is not None
+
+
+def packed_sparse_loss_masks(
+    num_nodes: int, k: int, batch: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Random exactly-``k``-loss patterns, packed, with bounded memory.
+
+    Distributionally a uniform random ``k``-subset per case, like
+    :func:`~repro.core.bitdecoder.packed_random_loss_masks`, but the
+    RNG *stream* differs (documented in docs/PERF.md): loss counts per
+    ``_MASK_LEAF``-node leaf come from one vectorised multivariate
+    hypergeometric draw, then in-leaf positions from a leaf-sized score
+    block.  Peak memory is ``O(batch * leaf)``.
+    """
+    if not 0 <= k <= num_nodes:
+        raise ValueError(f"k={k} outside [0, {num_nodes}]")
+    w = max(1, (batch + 63) // 64)
+    packed = np.zeros((num_nodes, w), dtype=np.uint64)
+    if k == 0 or batch == 0:
+        return packed
+
+    leaf_sizes = np.full(
+        (num_nodes + _MASK_LEAF - 1) // _MASK_LEAF, _MASK_LEAF, dtype=np.int64
+    )
+    rem = num_nodes % _MASK_LEAF
+    if rem:
+        leaf_sizes[-1] = rem
+    if leaf_sizes.size == 1:
+        counts = np.full((batch, 1), k, dtype=np.int64)
+    else:
+        counts = rng.multivariate_hypergeometric(
+            leaf_sizes, k, size=batch, method="marginals"
+        )
+
+    lane_bits = np.uint64(1) << (
+        np.arange(batch, dtype=np.uint64) & np.uint64(63)
+    )
+    lane_words = np.arange(batch, dtype=np.intp) >> 6
+    for j, size in enumerate(leaf_sizes):
+        c = counts[:, j]
+        kmax = int(c.max())
+        if kmax == 0:
+            continue
+        start = j * _MASK_LEAF
+        size = int(size)
+        scores = rng.random((batch, size))
+        if kmax >= size:
+            cand = np.broadcast_to(
+                np.arange(size, dtype=np.intp), (batch, size)
+            )
+            cand_scores = scores
+        else:
+            cand = np.argpartition(scores, kmax - 1, axis=1)[:, :kmax]
+            cand_scores = np.take_along_axis(scores, cand, axis=1)
+        # Order the candidate pool so "the c smallest scores" is a
+        # prefix per row; ties are impossible almost surely and broken
+        # deterministically by argsort either way.
+        order = np.argsort(cand_scores, axis=1, kind="stable")
+        ranked = np.take_along_axis(cand, order, axis=1)
+        sel = np.arange(ranked.shape[1], dtype=np.intp)[None, :] < c[:, None]
+        rows, pos = np.nonzero(sel)
+        nodes = start + ranked[rows, pos]
+        # Within one lane every case owns a distinct word, and a case's
+        # node ids within a leaf are distinct, so the fancy |= below
+        # never sees a duplicate (node, word) pair.
+        for lane in range(64):
+            m = (rows & 63) == lane
+            if not m.any():
+                continue
+            packed[nodes[m], lane_words[rows[m]]] |= lane_bits[lane]
+    return packed
+
+
+class SparseBitsetDecoder:
+    """CSR word-packed peeling engine (see module docstring).
+
+    Drop-in alternative to the bitset/matmul engines: identical
+    :meth:`decode_batch` / :meth:`decode_missing_sets` /
+    :meth:`decode_packed` results, plus constructors from flat CSR
+    arrays (:meth:`from_csr`) for the shared-memory zero-pickle worker
+    handoff and from raw relation matrices (:meth:`from_matrix`) for
+    the federated cross-site path.  Accepts an
+    :class:`~repro.core.graph.ErasureGraph` or a
+    :class:`~repro.core.csrgraph.CsrGraph`.
+    """
+
+    engine = "sparse"
+
+    def __init__(self, graph, *, jit: bool | None = None,
+                 chunk: int = DEFAULT_CHUNK):
+        self.graph = graph
+        if hasattr(graph, "con_indptr"):  # CsrGraph: zero-copy arrays
+            self._init_from_csr(
+                graph.con_nodes,
+                graph.con_indptr,
+                graph.data_nodes,
+                graph.num_nodes,
+                jit=jit,
+                chunk=chunk,
+            )
+        else:
+            members = [c.members() for c in graph.constraints]
+            lens = np.fromiter(
+                (len(m) for m in members), dtype=np.intp, count=len(members)
+            )
+            indptr = np.zeros(len(members) + 1, dtype=np.intp)
+            np.cumsum(lens, out=indptr[1:])
+            flat = np.fromiter(
+                (n for m in members for n in m),
+                dtype=np.intp,
+                count=int(lens.sum()),
+            )
+            self._init_from_csr(
+                flat, indptr, graph.data_nodes, graph.num_nodes,
+                jit=jit, chunk=chunk,
+            )
+
+    def _init_from_csr(self, con_nodes, con_indptr, data_nodes,
+                       num_nodes: int, *, jit: bool | None,
+                       chunk: int) -> None:
+        con_nodes = np.ascontiguousarray(con_nodes, dtype=np.intp)
+        con_indptr = np.ascontiguousarray(con_indptr, dtype=np.intp)
+        self._num_nodes = int(num_nodes)
+        lens = np.diff(con_indptr)
+        keep = lens > 0
+        if not keep.all():
+            # Tolerate empty relations (all-zero matrix rows).
+            rows = np.flatnonzero(keep)
+            con_nodes = con_nodes  # members of empty rows don't exist
+            starts = con_indptr[:-1][rows]
+            lens = lens[rows]
+        else:
+            rows = None
+            starts = con_indptr[:-1]
+        # Degree-descending order lets every slot sweep act on a
+        # shrinking row prefix instead of a padded rectangle.
+        order = np.argsort(-lens, kind="stable")
+        self._base = np.ascontiguousarray(starts[order])
+        self._lens = np.ascontiguousarray(lens[order])
+        self._con_nodes = con_nodes
+        self._num_cons = int(self._lens.size)
+        self._dmax = int(self._lens[0]) if self._num_cons else 0
+        self._data = np.ascontiguousarray(
+            np.asarray(data_nodes, dtype=np.intp)
+        )
+        self._chunk = max(1, int(chunk))
+        self._use_jit = (
+            _JIT_KERNEL is not None if jit is None else
+            bool(jit) and _JIT_KERNEL is not None
+        )
+
+    @classmethod
+    def from_csr(
+        cls,
+        con_nodes: np.ndarray,
+        con_indptr: np.ndarray,
+        data_nodes,
+        num_nodes: int,
+        *,
+        jit: bool | None = None,
+        chunk: int = DEFAULT_CHUNK,
+    ) -> "SparseBitsetDecoder":
+        """Build straight from flat CSR arrays (zero-copy).
+
+        This is the shared-memory handoff entry point: the arrays may
+        be views into a :mod:`multiprocessing.shared_memory` segment;
+        the decoder never writes to them.
+        """
+        self = cls.__new__(cls)
+        self.graph = None
+        self._init_from_csr(
+            con_nodes, con_indptr, data_nodes, num_nodes,
+            jit=jit, chunk=chunk,
+        )
+        return self
+
+    @classmethod
+    def from_matrix(
+        cls, membership: np.ndarray, data_nodes, num_nodes: int
+    ) -> "SparseBitsetDecoder":
+        """Build from a raw constraint-membership matrix.
+
+        Mirrors the other engines' ``from_matrix``: each nonzero row
+        entry marks one member of a parity relation; all-zero rows are
+        ignored (federated cross-site path).
+        """
+        membership = np.asarray(membership)
+        cons, nodes = np.nonzero(membership)
+        lens = np.bincount(cons, minlength=membership.shape[0]).astype(
+            np.intp
+        )
+        indptr = np.zeros(membership.shape[0] + 1, dtype=np.intp)
+        np.cumsum(lens, out=indptr[1:])
+        return cls.from_csr(
+            nodes.astype(np.intp), indptr, data_nodes, num_nodes
+        )
+
+    # ------------------------------------------------------------------
+
+    def decode_batch(self, unknown: np.ndarray) -> np.ndarray:
+        """Boolean success vector for ``(batch, num_nodes)`` patterns."""
+        if unknown.ndim != 2 or unknown.shape[1] != self._num_nodes:
+            raise ValueError(
+                f"expected (batch, {self._num_nodes}) unknown matrix"
+            )
+        batch = unknown.shape[0]
+        if batch == 0:
+            return np.ones(0, dtype=bool)
+        return self.decode_packed(pack_cases(unknown), batch)
+
+    def decode_missing_sets(self, missing_sets) -> np.ndarray:
+        """Convenience wrapper taking explicit lost-node id lists."""
+        return self.decode_batch(
+            missing_sets_to_unknown(missing_sets, self._num_nodes)
+        )
+
+    def decode_packed(
+        self, packed: np.ndarray, batch: int | None = None
+    ) -> np.ndarray:
+        """Success vector for cases already in packed ``(N, W)`` form."""
+        packed = np.asarray(packed)
+        if packed.ndim != 2 or packed.shape[0] != self._num_nodes:
+            raise ValueError(
+                f"expected ({self._num_nodes}, W) packed matrix"
+            )
+        w = packed.shape[1]
+        if batch is None:
+            batch = w * 64
+        if not 0 <= batch <= w * 64:
+            raise ValueError(f"batch={batch} does not fit {w} words")
+        if batch == 0:
+            return np.ones(0, dtype=bool)
+
+        reg = registry()
+        t0 = time.perf_counter() if reg.enabled else 0.0
+        rounds = 0
+        u = np.array(packed, dtype=np.uint64, copy=True)
+        if self._num_cons and self._data.size:
+            rounds = self._peel(u)
+
+        if self._data.size:
+            fail_words = np.bitwise_or.reduce(u[self._data], axis=0)
+        else:
+            fail_words = np.zeros(w, dtype=np.uint64)
+        lanes = (
+            fail_words[:, np.newaxis] >> np.arange(64, dtype=np.uint64)
+        ) & np.uint64(1)
+        ok = lanes.reshape(-1)[:batch] == 0
+
+        reg.counter("decoder.batches").inc()
+        reg.counter("decoder.cases").inc(batch)
+        reg.counter(f"decoder.cases.{self.engine}").inc(batch)
+        reg.counter("decoder.rounds").inc(rounds)
+        if reg.enabled:
+            reg.histogram("decoder.batch_size").observe(batch)
+            reg.histogram("decoder.peel_rounds").observe(rounds)
+            reg.histogram("decoder.decode_seconds").observe(
+                time.perf_counter() - t0
+            )
+        return ok
+
+    # ------------------------------------------------------------------
+
+    def _planes_numpy(self, ua, rows, rl, once, twice):
+        """Vectorised slot sweep over one degree-sorted row chunk."""
+        nodes = self._con_nodes
+        base = self._base[rows]
+        np.copyto(once, ua[nodes[base]])
+        twice[:] = 0
+        dmax = int(rl[0]) if rl.size else 0
+        r = rl.size
+        for j in range(1, dmax):
+            # rl is descending, so rows with a j-th member are a prefix.
+            while r > 0 and rl[r - 1] <= j:
+                r -= 1
+            col = ua[nodes[base[:r] + j]]
+            np.bitwise_or(twice[:r], once[:r] & col, out=twice[:r])
+            np.bitwise_or(once[:r], col, out=once[:r])
+
+    def _peel(self, u: np.ndarray) -> int:
+        """Run the packed peeling fixpoint in place; returns rounds."""
+        nodes = self._con_nodes
+        base_all = self._base
+        lens_all = self._lens
+        data = self._data
+        chunk = self._chunk
+
+        data_any = np.bitwise_or.reduce(u[data], axis=0)
+        cols = np.flatnonzero(data_any)
+        if cols.size == 0:
+            return 0
+        ua = np.ascontiguousarray(u[:, cols])
+        # Active rows as indices into the degree-sorted arrays; slicing
+        # keeps descending-length order, so prefix sweeps stay valid.
+        arows = np.arange(self._num_cons, dtype=np.intp)
+        rounds = 0
+        while True:
+            rounds += 1
+            wa = ua.shape[1]
+            sol_rows_parts: list[np.ndarray] = []
+            sol_vals_parts: list[np.ndarray] = []
+            keep_parts: list[np.ndarray] = []
+            for c0 in range(0, arows.size, chunk):
+                rows = arows[c0:c0 + chunk]
+                rl = lens_all[rows]
+                once = np.empty((rows.size, wa), dtype=np.uint64)
+                twice = np.empty_like(once)
+                if self._use_jit:
+                    _JIT_KERNEL(
+                        ua, nodes, base_all[rows], rl, once, twice
+                    )
+                else:
+                    self._planes_numpy(ua, rows, rl, once, twice)
+                solv = once & ~twice
+                alive = once.any(axis=1)
+                keep_parts.append(alive)
+                hit = solv.any(axis=1)
+                if hit.any():
+                    idx = np.flatnonzero(hit)
+                    sol_rows_parts.append(rows[idx])
+                    sol_vals_parts.append(solv[idx])
+            if not sol_rows_parts:
+                break
+            sol_rows = np.concatenate(sol_rows_parts)
+            sol_vals = np.concatenate(sol_vals_parts, axis=0)
+            word_prog = np.bitwise_or.reduce(sol_vals, axis=0)
+
+            # Sparse clear: only solvable constraints' member edges.
+            srl = lens_all[sol_rows]
+            total = int(srl.sum())
+            offs = np.arange(total, dtype=np.intp)
+            starts = np.zeros(sol_rows.size, dtype=np.intp)
+            np.cumsum(srl[:-1], out=starts[1:])
+            offs -= np.repeat(starts, srl)
+            eidx = np.repeat(base_all[sol_rows], srl) + offs
+            enodes = nodes[eidx]
+            evals = np.repeat(sol_vals, srl, axis=0)
+            evals &= ua[enodes]
+            order = np.argsort(enodes, kind="stable")
+            en_s = enodes[order]
+            seg = np.flatnonzero(
+                np.r_[True, en_s[1:] != en_s[:-1]]
+            )
+            clear = np.bitwise_or.reduceat(evals[order], seg, axis=0)
+            ua[en_s[seg]] &= np.invert(clear, out=clear)
+
+            # Retire constraints with no unknown members left anywhere
+            # in the active words (monotone: unknowns only decrease).
+            keep = np.concatenate(keep_parts)
+            nkeep = int(keep.sum())
+            if nkeep == 0:
+                break
+            if nkeep <= (arows.size * 7) // 8:
+                arows = arows[keep]
+
+            # Column compaction, identical policy to the bitset engine.
+            data_words = np.bitwise_or.reduce(ua[data], axis=0)
+            keepw = (word_prog & data_words) != 0
+            nkeepw = int(keepw.sum())
+            if nkeepw == 0:
+                break
+            if nkeepw <= (wa * 3) // 4:
+                drop = ~keepw
+                u[:, cols[drop]] = ua[:, drop]
+                cols = cols[keepw]
+                ua = np.ascontiguousarray(ua[:, keepw])
+        u[:, cols] = ua
+        return rounds

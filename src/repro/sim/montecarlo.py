@@ -56,14 +56,17 @@ from ..core.bitdecoder import packed_random_loss_masks
 from ..core.decoder import (
     BatchPeelingDecoder,
     BitsetBatchDecoder,
+    SparseBitsetDecoder,
     make_batch_decoder,
     resolve_engine,
 )
 from ..core.graph import ErasureGraph
+from ..core.sparse import packed_sparse_loss_masks
 from ..obs.registry import MetricsRegistry, capture, registry
 from ..obs.seeding import SeedLike, resolve_rng, spawn_seeds
 from ..obs.trace import Tracer, context_seed, start_span, tracer
 from .results import FailureProfile
+from .shm import SharedArrayBundle
 
 __all__ = [
     "sample_fail_fraction",
@@ -75,6 +78,34 @@ __all__ = [
 DEFAULT_SAMPLES_PER_K = 20_000
 DEFAULT_EXACT_UPTO = 6
 _MAX_BATCH = 8_192
+
+# Largest graph still served by the dense O(batch * N) mask generators
+# at the full `_MAX_BATCH`.  Up to here the RNG stream — and therefore
+# every existing profile and checkpoint — is unchanged; above it masks
+# come from the leaf-wise sparse generator with a size-adaptive batch
+# so working memory stays bounded on million-node graphs.
+_DENSE_MASK_MAX_NODES = 1 << 13
+
+
+def _mask_batch(num_nodes: int) -> int:
+    """Per-decode batch size: 8192 up to 2^13 nodes, shrinking above.
+
+    The cap keeps the packed case matrix plus one mask-generation block
+    around a gigabyte at 2^20 nodes; always a multiple of 64 so packed
+    words have no dead pad lanes mid-run.
+    """
+    if num_nodes <= _DENSE_MASK_MAX_NODES:
+        return _MAX_BATCH
+    return max(64, min(_MAX_BATCH, ((1 << 30) // num_nodes) & ~63))
+
+
+def _packed_masks(
+    num_nodes: int, k: int, batch: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Packed exactly-k loss masks via the size-appropriate generator."""
+    if num_nodes <= _DENSE_MASK_MAX_NODES:
+        return packed_random_loss_masks(num_nodes, k, batch, rng)
+    return packed_sparse_loss_masks(num_nodes, k, batch, rng)
 
 
 def _random_loss_masks(
@@ -95,12 +126,14 @@ def _random_loss_masks(
 
 
 def sample_fail_fraction(
-    graph: ErasureGraph,
+    graph,
     k: int,
     n_samples: int,
     rng: SeedLike = None,
-    decoder: BatchPeelingDecoder | BitsetBatchDecoder | None = None,
+    decoder=None,
     engine: str = "auto",
+    *,
+    n_jobs: int = 1,
 ) -> float:
     """Estimate P(fail | k offline) from ``n_samples`` random loss sets.
 
@@ -108,33 +141,221 @@ def sample_fail_fraction(
     existing :class:`numpy.random.Generator`, or ``None`` for fresh
     entropy (see :func:`repro.obs.seeding.resolve_rng`).  ``engine``
     picks the batch decode kernel when no ``decoder`` is supplied (see
-    :func:`repro.core.decoder.make_batch_decoder`); either engine
+    :func:`repro.core.decoder.make_batch_decoder`); every engine
     consumes the same RNG stream, so estimates are identical at the
-    same seed.  The bitset engine decodes packed masks directly,
-    skipping the ``(batch, num_nodes)`` boolean intermediate.
+    same seed.  Packed engines decode packed masks directly, skipping
+    the ``(batch, num_nodes)`` boolean intermediate; above
+    ``_DENSE_MASK_MAX_NODES`` nodes masks come from the bounded-memory
+    sparse generator with a size-adaptive batch.
+
+    ``n_jobs > 1`` fans decode batches out over a process pool with the
+    **zero-pickle** handoff: the parent draws masks (identical RNG
+    stream at any worker count) into shared-memory segments and workers
+    attach by name (see :mod:`repro.sim.shm`).  Requires a packed
+    engine; other configurations fall back to in-process decoding.
     """
     if k == 0:
         return 0.0
     if k > graph.num_nodes:
         raise ValueError(f"k={k} exceeds {graph.num_nodes} nodes")
     rng = resolve_rng(rng)
+    if n_jobs > 1 and decoder is None:
+        resolved = resolve_engine(engine, num_nodes=graph.num_nodes)
+        if resolved in ("bitset", "sparse"):
+            return _sample_fail_fraction_shm(
+                graph, k, n_samples, rng, resolved, n_jobs
+            )
     if decoder is None:
         decoder = make_batch_decoder(graph, engine=engine)
     packed_path = hasattr(decoder, "decode_packed")
+    max_batch = _mask_batch(graph.num_nodes)
     failures = 0
     remaining = n_samples
     while remaining > 0:
-        batch = min(remaining, _MAX_BATCH)
+        batch = min(remaining, max_batch)
         if packed_path:
-            packed = packed_random_loss_masks(
-                graph.num_nodes, k, batch, rng
-            )
+            packed = _packed_masks(graph.num_nodes, k, batch, rng)
             ok = decoder.decode_packed(packed, batch)
         else:
             masks = _random_loss_masks(graph.num_nodes, k, batch, rng)
             ok = decoder.decode_batch(masks)
         failures += int(batch - ok.sum())
         remaining -= batch
+    return failures / n_samples
+
+
+# ----------------------------------------------------------------------
+# Zero-pickle shared-memory fan-out
+# ----------------------------------------------------------------------
+
+
+class _ShmGraphRef:
+    """Picklable stand-in for a graph whose CSR lives in shared memory.
+
+    Carries the :class:`~repro.sim.shm.SharedArrayBundle` descriptor
+    plus the scalars workers need (``num_nodes``, ``name``); workers
+    rebuild a :class:`SparseBitsetDecoder` zero-copy via
+    :func:`_worker_decoder` instead of unpickling megabytes of graph.
+    """
+
+    __slots__ = ("descriptor", "num_nodes", "num_data", "name")
+
+    def __init__(self, descriptor, num_nodes, num_data, name):
+        self.descriptor = descriptor
+        self.num_nodes = num_nodes
+        self.num_data = num_data
+        self.name = name
+
+
+def _graph_csr_arrays(graph) -> dict[str, np.ndarray]:
+    """Flat CSR membership arrays for any graph flavour."""
+    if hasattr(graph, "con_indptr"):
+        return {
+            "con_nodes": np.asarray(graph.con_nodes, dtype=np.intp),
+            "con_indptr": np.asarray(graph.con_indptr, dtype=np.intp),
+            "data_nodes": np.asarray(graph.data_nodes, dtype=np.intp),
+        }
+    members = [c.members() for c in graph.constraints]
+    lens = np.fromiter(
+        (len(m) for m in members), dtype=np.intp, count=len(members)
+    )
+    indptr = np.zeros(len(members) + 1, dtype=np.intp)
+    np.cumsum(lens, out=indptr[1:])
+    flat = np.fromiter(
+        (n for m in members for n in m), dtype=np.intp,
+        count=int(lens.sum()),
+    )
+    return {
+        "con_nodes": flat,
+        "con_indptr": indptr,
+        "data_nodes": np.asarray(graph.data_nodes, dtype=np.intp),
+    }
+
+
+def _publish_graph(graph) -> tuple[_ShmGraphRef, SharedArrayBundle]:
+    """Parent side: put a graph's CSR structure into shared memory."""
+    bundle = SharedArrayBundle.create(_graph_csr_arrays(graph))
+    ref = _ShmGraphRef(
+        bundle.descriptor, graph.num_nodes, graph.num_data, graph.name
+    )
+    return ref, bundle
+
+
+# Worker-side cache: one attached decoder per structure segment, so a
+# worker serving many cells of the same sweep attaches exactly once.
+# Keyed by segment name; capped at one entry (sweeps use one graph).
+_WORKER_DECODERS: dict[str, tuple] = {}
+
+
+def _worker_decoder(ref: _ShmGraphRef) -> SparseBitsetDecoder:
+    """Attach (or reuse) the shared-memory decoder for ``ref``."""
+    key = ref.descriptor[0]
+    hit = _WORKER_DECODERS.get(key)
+    if hit is not None:
+        return hit[0]
+    bundle = SharedArrayBundle.attach(ref.descriptor)
+    decoder = SparseBitsetDecoder.from_csr(
+        bundle["con_nodes"],
+        bundle["con_indptr"],
+        bundle["data_nodes"],
+        ref.num_nodes,
+    )
+    for stale_key in [k for k in _WORKER_DECODERS if not
+                      k.startswith("pickled-")]:
+        _WORKER_DECODERS.pop(stale_key)[1].close()
+    # The bundle must stay mapped as long as the decoder's zero-copy
+    # views are alive, so it rides along in the cache entry.
+    _WORKER_DECODERS[key] = (decoder, bundle)
+    return decoder
+
+
+def _decode_masks_cell(args):
+    """Process-pool worker: decode one shared-memory mask segment.
+
+    ``graph_or_ref`` is either a picklable graph (small: decoder built
+    per worker and cached by engine) or a :class:`_ShmGraphRef` (CSR
+    structure attached zero-copy).  Returns ``(failures, snapshot)``.
+    """
+    graph_or_ref, engine, mask_desc, batch, collect_metrics = args
+    if isinstance(graph_or_ref, _ShmGraphRef):
+        decoder = _worker_decoder(graph_or_ref)
+    else:
+        key = f"pickled-{engine}-{graph_or_ref.name}"
+        hit = _WORKER_DECODERS.get(key)
+        if hit is not None and hit[1] == graph_or_ref.num_nodes:
+            decoder = hit[0]
+        else:
+            decoder = make_batch_decoder(graph_or_ref, engine=engine)
+            _WORKER_DECODERS[key] = (decoder, graph_or_ref.num_nodes)
+    bundle = SharedArrayBundle.attach(mask_desc)
+    try:
+        if collect_metrics:
+            with capture(MetricsRegistry()) as reg:
+                ok = decoder.decode_packed(bundle["masks"], batch)
+            snapshot = reg.snapshot()
+        else:
+            ok = decoder.decode_packed(bundle["masks"], batch)
+            snapshot = None
+    finally:
+        bundle.close()
+    return int(batch - ok.sum()), snapshot
+
+
+def _sample_fail_fraction_shm(
+    graph, k: int, n_samples: int, rng: np.random.Generator,
+    engine: str, n_jobs: int,
+) -> float:
+    """Parallel estimator: parent-drawn masks, shared-memory handoff.
+
+    The parent draws every mask batch from ``rng`` in the same order
+    the serial path would, so the estimate is bit-identical at any
+    ``n_jobs``; only the decode work fans out.  Mask segments are
+    unlinked as each wave's results land, and a ``finally`` plus the
+    bundle atexit hooks cover crash paths — a SIGKILLed *worker* leaks
+    nothing because workers never own segments.
+    """
+    reg = registry()
+    struct_bundle = None
+    if engine == "sparse":
+        graph_or_ref, struct_bundle = _publish_graph(graph)
+    else:
+        graph_or_ref = graph
+    max_batch = _mask_batch(graph.num_nodes)
+    workers = min(n_jobs, os.cpu_count() or 1)
+    failures = 0
+    remaining = n_samples
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while remaining > 0:
+            wave: list[tuple] = []
+            try:
+                while remaining > 0 and len(wave) < workers:
+                    batch = min(remaining, max_batch)
+                    packed = _packed_masks(
+                        graph.num_nodes, k, batch, rng
+                    )
+                    bundle = SharedArrayBundle.create({"masks": packed})
+                    fut = pool.submit(
+                        _decode_masks_cell,
+                        (
+                            graph_or_ref, engine, bundle.descriptor,
+                            batch, bool(reg.enabled),
+                        ),
+                    )
+                    wave.append((fut, bundle, batch))
+                    remaining -= batch
+                for fut, bundle, batch in wave:
+                    fails, snapshot = fut.result()
+                    failures += fails
+                    if snapshot is not None:
+                        reg.merge_snapshot(snapshot)
+            finally:
+                for _, bundle, _ in wave:
+                    bundle.close()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        if struct_bundle is not None:
+            struct_bundle.close()
     return failures / n_samples
 
 
@@ -158,6 +379,10 @@ def _fault_drill(k: int) -> None:
 def _sweep_cell(args):
     """Process-pool worker: one (graph, k) cell of a profile sweep.
 
+    The first field is a graph, or — for sparse sweeps with
+    ``n_jobs > 1`` — a :class:`_ShmGraphRef` segment descriptor, in
+    which case the CSR structure is attached from shared memory
+    (zero-pickle) and the decoder is cached across this worker's cells.
     Returns ``(k, frac, seconds, snapshot, spans)``.
     """
     # Pre-engine task tuples had five fields and pre-trace tuples six;
@@ -165,6 +390,10 @@ def _sweep_cell(args):
     graph, k, n_samples, seed_seq, collect_metrics, *rest = args
     engine = rest[0] if rest else "auto"
     ctx = rest[1] if len(rest) > 1 else None
+    decoder = (
+        _worker_decoder(graph) if isinstance(graph, _ShmGraphRef)
+        else None
+    )
     _fault_drill(k)
     cell_tracer = None
     span = None
@@ -191,12 +420,13 @@ def _sweep_cell(args):
         # decode telemetry whenever n_jobs > 1.
         with capture(MetricsRegistry()) as reg:
             frac = sample_fail_fraction(
-                graph, k, n_samples, rng, engine=engine
+                graph, k, n_samples, rng, decoder=decoder,
+                engine=engine,
             )
         snapshot = reg.snapshot()
     else:
         frac = sample_fail_fraction(
-            graph, k, n_samples, rng, engine=engine
+            graph, k, n_samples, rng, decoder=decoder, engine=engine
         )
     if span is not None:
         span.end(frac=frac)
@@ -363,7 +593,7 @@ def _run_cells_parallel(
 
 
 def profile_graph(
-    graph: ErasureGraph,
+    graph,
     *,
     samples_per_k: int = DEFAULT_SAMPLES_PER_K,
     exact_upto: int = DEFAULT_EXACT_UPTO,
@@ -402,13 +632,23 @@ def profile_graph(
     worker-side ``decoder.*`` counters are snapshotted per cell and
     merged back into the parent registry.
 
-    ``engine`` selects the batch decode kernel (bitset by default, see
-    :func:`repro.core.decoder.make_batch_decoder`); both engines draw
-    the same RNG stream, so profiles — and checkpoints — are
-    byte-identical across engines at the same seed.  The resolved
-    engine is recorded in the ``profile.done`` event.
+    ``engine`` selects the batch decode kernel (bitset by default,
+    sparse above the auto cutoff — see
+    :func:`repro.core.decoder.resolve_engine`); every engine draws the
+    same RNG stream, so profiles — and checkpoints — are byte-identical
+    across engines at the same seed.  The resolved engine is recorded
+    in the ``profile.done`` event.
+
+    ``graph`` may also be a :class:`~repro.core.csrgraph.CsrGraph`
+    (sparse engine only).  CSR graphs skip the exact
+    inclusion–exclusion stage — enumerating minimal stopping sets needs
+    the constraint-object view — and sample every requested cell
+    instead.  With ``n_jobs > 1`` a sparse sweep ships the CSR
+    structure to workers through one shared-memory segment (task
+    tuples carry the segment descriptor, not the graph), so the pool
+    never re-pickles megabytes of membership per cell.
     """
-    engine = resolve_engine(engine)
+    engine = resolve_engine(engine, num_nodes=graph.num_nodes)
     reg = registry()
     t_start = time.perf_counter() if reg.enabled else 0.0
     n = graph.num_nodes
@@ -417,15 +657,26 @@ def profile_graph(
     coverage = np.ones(n + 1, dtype=bool)
 
     exact_upto = min(exact_upto, n)
-    with reg.timer("profile.exact_seconds"):
-        minimal = minimal_bad_stopping_sets(graph, max_size=exact_upto)
-        for k in range(exact_upto + 1):
-            try:
-                fail[k] = count_failing_sets(n, k, minimal) / comb(n, k)
-            except CountBudgetExceeded:
-                # Pathological critical-set family: sample this k instead.
-                exact_upto = k - 1
-                break
+    if not hasattr(graph, "constraints"):
+        # CsrGraph: no constraint-object view for the stopping-set
+        # enumeration; Monte Carlo covers the whole grid (k=0 stays
+        # exactly 0 — no loss cannot fail).
+        exact_upto = 0
+    else:
+        with reg.timer("profile.exact_seconds"):
+            minimal = minimal_bad_stopping_sets(
+                graph, max_size=exact_upto
+            )
+            for k in range(exact_upto + 1):
+                try:
+                    fail[k] = (
+                        count_failing_sets(n, k, minimal) / comb(n, k)
+                    )
+                except CountBudgetExceeded:
+                    # Pathological critical-set family: sample this k
+                    # instead.
+                    exact_upto = k - 1
+                    break
 
     # Beyond the data-node count... every k > n - 1 data availability:
     # losing more nodes than the check count forces data loss only at
@@ -481,6 +732,13 @@ def profile_graph(
             graph, k, samples_per_k, child, bool(reg.enabled), engine,
             sweep_ctx,
         )
+
+    # Sparse parallel sweeps ship the CSR structure once via shared
+    # memory; task tuples then carry only the tiny segment descriptor.
+    struct_bundle = None
+    if engine == "sparse" and n_jobs > 1 and len(tasks) > 1:
+        ref, struct_bundle = _publish_graph(graph)
+        tasks = {k: (ref,) + t[1:] for k, t in tasks.items()}
 
     def record_cell(k: int, seconds: float) -> None:
         reg.histogram("profile.cell_seconds").observe(seconds)
@@ -554,6 +812,8 @@ def profile_graph(
         sweep_span.end(uncovered=len(uncovered))
         if writer is not None:
             writer.close()
+        if struct_bundle is not None:
+            struct_bundle.close()
 
     for k in uncovered:
         coverage[k] = False

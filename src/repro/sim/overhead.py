@@ -177,7 +177,8 @@ def measure_retrieval_overhead(
     convention (int or an existing :class:`numpy.random.Generator`).
 
     For the peeling rule, ``engine`` picks how trials are evaluated:
-    ``"auto"``/``"bitset"``/``"matmul"`` batch all trials through one
+    ``"auto"``/``"bitset"``/``"matmul"``/``"sparse"`` batch all trials
+    through one
     :func:`~repro.core.decoder.make_batch_decoder` kernel, bisecting
     every trial's prefix length in parallel (peeling progress is
     monotone in the arrival prefix, so the bisected minimum equals the
@@ -243,7 +244,8 @@ def measure_retrieval_overhead(
     if reg.enabled:
         if decoder == "peeling":
             engine_label = (
-                "scalar" if engine == "scalar" else resolve_engine(engine)
+                "scalar" if engine == "scalar"
+                else resolve_engine(engine, num_nodes=graph.num_nodes)
             )
         else:
             engine_label = "ml"

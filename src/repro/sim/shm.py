@@ -1,0 +1,142 @@
+"""Zero-pickle array handoff via ``multiprocessing.shared_memory``.
+
+ProcessPool fan-out in :mod:`repro.sim.montecarlo` historically pickled
+the whole graph (and, for packed engines, would have pickled megabyte
+case matrices) into every worker task.  At 2^20 nodes the CSR arrays
+alone are ~20 MB; re-serialising them per task cell dominates the sweep.
+
+:class:`SharedArrayBundle` instead publishes a set of named NumPy
+arrays in one POSIX shared-memory segment.  The parent creates the
+bundle and passes only its *descriptor* — segment name plus array
+shapes/dtypes, a tiny picklable tuple — through the task queue; workers
+attach by name and get zero-copy read-only views.
+
+Crash safety
+------------
+Segments outlive processes, so leaks are the failure mode that matters
+(a SIGKILLed worker cannot run ``finally`` blocks).  Three guards:
+
+* only the **parent** ever unlinks; workers attach without taking
+  ownership, so a worker crash can never strand a segment the parent
+  still uses, and a crashed worker leaves nothing behind (its mapping
+  dies with it);
+* the parent registers an :mod:`atexit` hook per bundle (idempotent
+  with the normal ``close()`` path) so even an unhandled exception in
+  the sweep unlinks the segment;
+* segment names carry the ``repro-shm-`` prefix plus the parent pid, so
+  stale segments from a killed *parent* are recognisable in
+  ``/dev/shm`` and the test-suite leak check can scope its assertion.
+
+Resource-tracker note: ``multiprocessing`` pool children (fork *and*
+spawn) inherit the parent's resource-tracker process, so a worker's
+register-on-attach is an idempotent set-add in the same tracker — no
+unregister dance is needed (attempting one would strip the parent's own
+registration and make the final unlink raise in the tracker).  The
+shared tracker doubles as a last-ditch guard: if the parent itself is
+SIGKILLed, the surviving tracker unlinks the leaked segments at
+shutdown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArrayBundle", "SHM_PREFIX"]
+
+#: Prefix of every segment this module creates (visible in /dev/shm).
+SHM_PREFIX = "repro-shm"
+
+
+class SharedArrayBundle:
+    """A named set of NumPy arrays in one shared-memory segment.
+
+    Create in the parent with :meth:`create`, ship ``bundle.descriptor``
+    to workers, attach there with :meth:`attach`.  Views are read-only
+    on attach so a buggy worker cannot corrupt sibling tasks' input.
+    """
+
+    def __init__(self, shm, arrays, descriptor, owner: bool):
+        self._shm = shm
+        self.arrays = arrays
+        self.descriptor = descriptor
+        self._owner = owner
+        self._closed = False
+        if owner:
+            atexit.register(self.close)
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayBundle":
+        """Copy ``arrays`` into a fresh segment owned by this process."""
+        specs = []
+        total = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            specs.append((key, arr, total))
+            total += arr.nbytes
+        name = f"{SHM_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(total, 1)
+        )
+        views: dict[str, np.ndarray] = {}
+        desc_arrays = []
+        for key, arr, off in specs:
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off
+            )
+            view[...] = arr
+            views[key] = view
+            desc_arrays.append((key, arr.shape, arr.dtype.str, off))
+        descriptor = (shm.name, tuple(desc_arrays))
+        return cls(shm, views, descriptor, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor) -> "SharedArrayBundle":
+        """Attach to an existing segment by descriptor (worker side)."""
+        name, desc_arrays = descriptor
+        shm = shared_memory.SharedMemory(name=name)
+        views: dict[str, np.ndarray] = {}
+        for key, shape, dtype, off in desc_arrays:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off
+            )
+            view.flags.writeable = False
+            views[key] = view
+        return cls(shm, views, descriptor, owner=False)
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.arrays[key]
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment.
+
+        Idempotent — safe to call from ``finally`` blocks and the
+        atexit hook both.  Drops array views first because a mapped
+        buffer with live exports cannot be closed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+            atexit.unregister(self.close)
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

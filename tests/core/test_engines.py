@@ -16,7 +16,9 @@ from repro.core import (
     DECODE_ENGINES,
     BatchPeelingDecoder,
     BitsetBatchDecoder,
+    EngineUnsupportedError,
     PeelingDecoder,
+    SparseBitsetDecoder,
     make_batch_decoder,
     pack_cases,
     packed_random_loss_masks,
@@ -43,14 +45,15 @@ def random_small_graphs():
 
 
 class TestEngineAgreement:
-    def test_property_three_way_agreement(self):
-        """Scalar, matmul, and bitset agree case-for-case on ~50 graphs."""
+    def test_property_four_way_agreement(self):
+        """Scalar, matmul, bitset, sparse agree case-for-case, ~50 graphs."""
         rng = np.random.default_rng(2024)
         for graph in random_small_graphs():
             n = graph.num_nodes
             scalar = PeelingDecoder(graph)
             matmul = BatchPeelingDecoder(graph)
             bitset = BitsetBatchDecoder(graph)
+            sparse = SparseBitsetDecoder(graph)
             k = int(rng.integers(1, n))
             masks = _random_loss_masks(n, k, 64, rng)
             # Edge rows: none lost, all lost.
@@ -58,7 +61,9 @@ class TestEngineAgreement:
             masks[1] = True
             ok_mat = matmul.decode_batch(masks)
             ok_bit = bitset.decode_batch(masks)
+            ok_sp = sparse.decode_batch(masks)
             assert np.array_equal(ok_mat, ok_bit), graph.name
+            assert np.array_equal(ok_mat, ok_sp), graph.name
             assert ok_mat[0] and not ok_mat[1]
             for row in range(0, 64, 7):
                 assert ok_mat[row] == scalar.is_recoverable(
@@ -69,7 +74,9 @@ class TestEngineAgreement:
         sets = [[0, 0, 1], [3, 3, 3], [], [5, 4, 5, 4]]
         mat = BatchPeelingDecoder(small_tornado).decode_missing_sets(sets)
         bit = BitsetBatchDecoder(small_tornado).decode_missing_sets(sets)
+        sp = SparseBitsetDecoder(small_tornado).decode_missing_sets(sets)
         assert np.array_equal(mat, bit)
+        assert np.array_equal(mat, sp)
         assert mat[2]  # nothing lost
 
     def test_empty_batch(self, small_tornado):
@@ -103,20 +110,31 @@ class TestEngineAgreement:
         bit = BitsetBatchDecoder.from_matrix(
             membership, data_nodes, num_nodes
         )
+        sp = SparseBitsetDecoder.from_matrix(
+            membership, data_nodes, num_nodes
+        )
         masks = rng.random((256, num_nodes)) < 0.4
         assert np.array_equal(
             mat.decode_batch(masks), bit.decode_batch(masks)
+        )
+        assert np.array_equal(
+            mat.decode_batch(masks), sp.decode_batch(masks)
         )
 
     def test_decode_packed_trims_pad_lanes(self, graph3):
         rng = np.random.default_rng(9)
         bit = BitsetBatchDecoder(graph3)
+        sp = SparseBitsetDecoder(graph3)
         mat = BatchPeelingDecoder(graph3)
         for batch in (1, 63, 64, 65, 130):
             masks = _random_loss_masks(graph3.num_nodes, 30, batch, rng)
+            expected = mat.decode_batch(masks)
             out = bit.decode_packed(pack_cases(masks), batch)
             assert out.shape == (batch,)
-            assert np.array_equal(out, mat.decode_batch(masks))
+            assert np.array_equal(out, expected)
+            out_sp = sp.decode_packed(pack_cases(masks), batch)
+            assert out_sp.shape == (batch,)
+            assert np.array_equal(out_sp, expected)
 
 
 class TestPackingHelpers:
@@ -193,6 +211,7 @@ class TestEngineSelection:
     def test_engine_attribute(self, small_tornado):
         assert make_batch_decoder(small_tornado, "bitset").engine == "bitset"
         assert make_batch_decoder(small_tornado, "matmul").engine == "matmul"
+        assert make_batch_decoder(small_tornado, "sparse").engine == "sparse"
 
     def test_from_matrix_selector(self, monkeypatch):
         monkeypatch.delenv("REPRO_DECODE_ENGINE", raising=False)
@@ -203,20 +222,53 @@ class TestEngineSelection:
             membership, [0, 1], 4, engine="matmul"
         )
         assert isinstance(dec, BatchPeelingDecoder)
+        dec = make_batch_decoder_from_matrix(
+            membership, [0, 1], 4, engine="sparse"
+        )
+        assert isinstance(dec, SparseBitsetDecoder)
+
+    def test_auto_picks_sparse_above_cutoff(
+        self, monkeypatch, small_tornado
+    ):
+        """The size heuristic flips exactly at _SPARSE_AUTO_MIN_NODES."""
+        monkeypatch.delenv("REPRO_DECODE_ENGINE", raising=False)
+        n = small_tornado.num_nodes  # 32
+        monkeypatch.setattr(decoder_module, "_SPARSE_AUTO_MIN_NODES", n + 1)
+        assert resolve_engine("auto", num_nodes=n) == "bitset"
+        assert isinstance(
+            make_batch_decoder(small_tornado), BitsetBatchDecoder
+        )
+        monkeypatch.setattr(decoder_module, "_SPARSE_AUTO_MIN_NODES", n)
+        assert resolve_engine("auto", num_nodes=n) == "sparse"
+        assert isinstance(
+            make_batch_decoder(small_tornado), SparseBitsetDecoder
+        )
+        # Without a size hint, auto keeps the bitset default.
+        assert resolve_engine("auto") == "bitset"
+        # Env override beats the size heuristic.
+        monkeypatch.setenv("REPRO_DECODE_ENGINE", "bitset")
+        assert resolve_engine("auto", num_nodes=n) == "bitset"
 
 
 class TestMatmulPrecisionGuard:
     def test_guard_raises_past_float32_ids(self, monkeypatch, small_tornado):
         monkeypatch.setattr(decoder_module, "_MATMUL_MAX_NODES", 16)
-        with pytest.raises(ValueError, match="bitset"):
+        with pytest.raises(EngineUnsupportedError, match="bitset"):
             BatchPeelingDecoder(small_tornado)  # 32 nodes >= mocked 16
 
     def test_guard_covers_from_matrix(self, monkeypatch):
         monkeypatch.setattr(decoder_module, "_MATMUL_MAX_NODES", 4)
-        with pytest.raises(ValueError, match="float32"):
+        with pytest.raises(EngineUnsupportedError, match="float32"):
             BatchPeelingDecoder.from_matrix(
                 np.ones((1, 8), dtype=np.float32), [0], 8
             )
+
+    def test_guard_error_is_a_value_error(self, monkeypatch, small_tornado):
+        # Pre-existing callers catch ValueError; the subclass keeps them
+        # working.
+        monkeypatch.setattr(decoder_module, "_MATMUL_MAX_NODES", 16)
+        with pytest.raises(ValueError):
+            BatchPeelingDecoder(small_tornado)
 
     def test_bitset_unaffected(self, monkeypatch, small_tornado):
         monkeypatch.setattr(decoder_module, "_MATMUL_MAX_NODES", 16)
@@ -248,7 +300,9 @@ class TestEngineMetrics:
         with capture(MetricsRegistry()) as reg:
             BitsetBatchDecoder(small_tornado).decode_batch(masks)
             BatchPeelingDecoder(small_tornado).decode_batch(masks)
+            SparseBitsetDecoder(small_tornado).decode_batch(masks)
         counters = reg.snapshot()["counters"]
         assert counters["decoder.cases.bitset"] == 10
         assert counters["decoder.cases.matmul"] == 10
-        assert counters["decoder.cases"] == 20
+        assert counters["decoder.cases.sparse"] == 10
+        assert counters["decoder.cases"] == 30

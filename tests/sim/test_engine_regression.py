@@ -22,13 +22,17 @@ class TestProfileByteIdentical:
         sweep = dict(samples_per_k=600, exact_upto=3, seed=7)
         p_bit = profile_graph(small_tornado, **sweep, engine="bitset")
         p_mat = profile_graph(small_tornado, **sweep, engine="matmul")
+        p_sp = profile_graph(small_tornado, **sweep, engine="sparse")
         assert p_bit.to_json() == p_mat.to_json()
+        assert p_bit.to_json() == p_sp.to_json()
 
     def test_sparse_k_grid_identical(self, small_tornado):
         sweep = dict(samples_per_k=500, exact_upto=2, seed=3, ks=[6, 10, 14])
         p_bit = profile_graph(small_tornado, **sweep, engine="bitset")
         p_mat = profile_graph(small_tornado, **sweep, engine="matmul")
+        p_sp = profile_graph(small_tornado, **sweep, engine="sparse")
         assert p_bit.to_json() == p_mat.to_json()
+        assert p_bit.to_json() == p_sp.to_json()
 
     def test_sample_fail_fraction_identical(self, small_tornado):
         for k in (4, 9, 20):
@@ -38,7 +42,10 @@ class TestProfileByteIdentical:
             f_mat = sample_fail_fraction(
                 small_tornado, k, 3000, rng=11, engine="matmul"
             )
-            assert f_bit == f_mat
+            f_sp = sample_fail_fraction(
+                small_tornado, k, 3000, rng=11, engine="sparse"
+            )
+            assert f_bit == f_mat == f_sp
 
     def test_checkpoint_resumes_across_engines(self, small_tornado, tmp_path):
         """A sweep checkpointed under one engine resumes under the other."""
@@ -65,6 +72,32 @@ class TestProfileByteIdentical:
         )
         assert resumed.to_json() == baseline.to_json()
 
+    def test_sparse_resumes_bitset_checkpoint(self, small_tornado, tmp_path):
+        """Sparse picks up a bitset checkpoint byte-identically."""
+        sweep = dict(samples_per_k=400, exact_upto=3, seed=5)
+        baseline = profile_graph(small_tornado, **sweep, engine="bitset")
+        ckpt = tmp_path / "sweep.jsonl"
+        ks_all = list(range(4, small_tornado.num_nodes))
+        profile_graph(
+            small_tornado,
+            **sweep,
+            ks=ks_all[: len(ks_all) // 2],
+            checkpoint=ckpt,
+            engine="bitset",
+        )
+        ckpt_after_bitset = ckpt.read_bytes()
+        resumed = profile_graph(
+            small_tornado,
+            **sweep,
+            checkpoint=ckpt,
+            resume=True,
+            engine="sparse",
+        )
+        assert resumed.to_json() == baseline.to_json()
+        # The resumed run appended the remaining cells to the same
+        # file, preserving every bitset-era byte.
+        assert ckpt.read_bytes().startswith(ckpt_after_bitset)
+
 
 class TestOverheadIdentical:
     def test_all_engines_identical_downloads(self, small_tornado):
@@ -72,11 +105,12 @@ class TestOverheadIdentical:
             engine: measure_retrieval_overhead(
                 small_tornado, n_trials=250, seed=13, engine=engine
             )
-            for engine in ("scalar", "bitset", "matmul")
+            for engine in ("scalar", "bitset", "matmul", "sparse")
         }
         base = results["scalar"].downloads
         assert np.array_equal(base, results["bitset"].downloads)
         assert np.array_equal(base, results["matmul"].downloads)
+        assert np.array_equal(base, results["sparse"].downloads)
 
     def test_batched_floor_and_ceiling(self, small_tornado):
         res = measure_retrieval_overhead(
@@ -93,4 +127,6 @@ class TestFederatedIdentical:
         kwargs = dict(samples_per_k=400, seed=5)
         f_bit = federated_profile(system, **kwargs, engine="bitset")
         f_mat = federated_profile(system, **kwargs, engine="matmul")
+        f_sp = federated_profile(system, **kwargs, engine="sparse")
         assert f_bit.to_json() == f_mat.to_json()
+        assert f_bit.to_json() == f_sp.to_json()
