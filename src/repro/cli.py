@@ -408,6 +408,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="show only the trace with this ID (prefix accepted)",
     )
 
+    q = obs_sub.add_parser(
+        "top",
+        help="fleet dashboard rendered from a telemetry timeline",
+    )
+    q.add_argument(
+        "file",
+        help="timeline JSONL (fleet.sample events from a scraper)",
+    )
+    q.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit instead of following the file",
+    )
+    q.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between live refreshes (default 2)",
+    )
+    q.add_argument(
+        "--window",
+        type=float,
+        default=300.0,
+        help="rate/quantile window in seconds (default 300)",
+    )
+    q.add_argument(
+        "--spec",
+        default=None,
+        metavar="SLO.json",
+        help="SLO spec to evaluate (default: built-in archive SLOs)",
+    )
+
+    q = obs_sub.add_parser(
+        "slo",
+        help="replay a timeline through the SLO engine "
+        "(report, or check with a firing-alert exit code)",
+    )
+    q.add_argument(
+        "slo_command",
+        choices=("report", "check"),
+        help="report: full burn/budget status; check: exit 1 if any "
+        "alert is firing at the end of the timeline",
+    )
+    q.add_argument(
+        "file",
+        help="timeline JSONL (fleet.sample events from a scraper)",
+    )
+    q.add_argument(
+        "--spec",
+        default=None,
+        metavar="SLO.json",
+        help="SLO spec to evaluate (default: built-in archive SLOs)",
+    )
+
+    q = obs_sub.add_parser(
+        "prom",
+        help="Prometheus text export of the newest fleet sample "
+        "in a timeline",
+    )
+    q.add_argument(
+        "file",
+        help="timeline JSONL (fleet.sample events from a scraper)",
+    )
+
     p = sub.add_parser(
         "cluster",
         help="distributed archive cluster (coordinator / storage nodes)",
@@ -568,6 +632,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for per-process trace files "
         "(coordinator.jsonl; pair with --trace for the driver's own)",
+    )
+    q.add_argument(
+        "--obs-dir",
+        default=None,
+        help="scrape the fleet during the run and write a telemetry "
+        "timeline (timeline.jsonl) plus SLO alerts to this directory",
+    )
+    q.add_argument(
+        "--scrape-every",
+        type=int,
+        default=10,
+        help="scrape after every N requests (default 10)",
+    )
+    q.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=60.0,
+        help="logical seconds each scrape advances the telemetry "
+        "clock (default 60)",
+    )
+    q.add_argument(
+        "--slo-spec",
+        default=None,
+        metavar="SLO.json",
+        help="SLO spec evaluated live during the run "
+        "(default: built-in archive SLOs)",
     )
     q.add_argument("--out", default=None,
                    help="write the cluster report as JSON to this path")
@@ -747,6 +837,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for per-process trace files "
         "(gateway.jsonl, site-N-coordinator.jsonl, ...)",
+    )
+    q.add_argument(
+        "--obs-dir",
+        default=None,
+        help="scrape the federation at phase boundaries and write a "
+        "telemetry timeline (timeline.jsonl) to this directory",
     )
     q.add_argument("--out", default=None,
                    help="write the federation report as JSON to this path")
@@ -1163,25 +1259,116 @@ def _cmd_loadgen(args) -> int:
     return 1 if report.errors else 0
 
 
+def _load_obs_events(path: str) -> list:
+    """Load one telemetry JSONL with operator-grade failure modes.
+
+    A missing or empty file means the run being analysed never
+    produced telemetry — silently printing an empty table would hide
+    that, so both cases exit 1 with an ``error:`` line instead.
+    """
+    from .obs import load_events
+
+    if not os.path.exists(path):
+        raise OSError(f"telemetry file {path} does not exist")
+    events = load_events(path)
+    if not events:
+        raise ValueError(f"telemetry file {path} is empty")
+    return events
+
+
+def _load_obs_timeline(path: str):
+    """Load a scraper timeline (fleet.sample JSONL) into a store."""
+    from .obs import load_timeline
+
+    if not os.path.exists(path):
+        raise OSError(f"timeline file {path} does not exist")
+    if os.path.getsize(path) == 0:
+        raise ValueError(f"timeline file {path} is empty")
+    return load_timeline(path)
+
+
+def _obs_engine(store, spec_path: str | None):
+    """Replay a timeline through a fresh SLO engine; return it."""
+    from .obs import SloEngine, SloSpec
+
+    spec = SloSpec.load(spec_path) if spec_path else None
+    engine = SloEngine(spec)
+    engine.replay(store)
+    return engine
+
+
+def _cmd_obs_top(args) -> int:
+    from .obs import render_top
+
+    def frame() -> str:
+        store = _load_obs_timeline(args.file)
+        engine = _obs_engine(store, args.spec)
+        return render_top(store, engine, window=args.window)
+
+    if args.once:
+        print(frame(), end="")
+        return 0
+    import time
+
+    # Live mode re-reads the file each tick: the scraper appends
+    # samples, so a plain reload follows the run without any tailing
+    # machinery.  ANSI home+clear keeps the frame in place.
+    try:
+        while True:
+            print("\x1b[H\x1b[2J" + frame(), end="", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print()
+        return 0
+
+
+def _cmd_obs_slo(args) -> int:
+    import json
+
+    from .obs import render_top
+
+    store = _load_obs_timeline(args.file)
+    engine = _obs_engine(store, args.spec)
+    if args.slo_command == "report":
+        # Same store, same renderer as `obs top --once`: the two
+        # commands must agree on the fleet view by construction.
+        print(render_top(store, engine), end="")
+        print(json.dumps(engine.status(store), indent=2, sort_keys=True))
+        return 0
+    # check: a CI gate — exit 1 when any alert is still firing at the
+    # end of the replayed timeline.
+    firing = engine.firing()
+    for alert in firing:
+        print(f"FIRING {alert['objective']}[{alert['window']}]")
+    if firing:
+        print(
+            f"slo check: {len(firing)} alert(s) firing",
+            file=sys.stderr,
+        )
+        return 1
+    print("slo check: ok — no alerts firing")
+    return 0
+
+
 def _cmd_obs(args) -> int:
     from .obs import (
         build_trace_trees,
         format_phase_report,
         format_tail,
-        load_events,
         phase_stats,
+        render_prometheus,
         render_trace_tree,
         span_records,
     )
 
     if args.obs_command == "tail":
-        events = load_events(args.file)
+        events = _load_obs_events(args.file)
         print(format_tail(events, args.n, kind=args.kind))
         return 0
     if args.obs_command == "report":
         events = []
         for path in args.files:
-            events.extend(load_events(path))
+            events.extend(_load_obs_events(path))
         print(format_phase_report(phase_stats(events)))
         return 0
     if args.obs_command == "trace-tree":
@@ -1189,7 +1376,7 @@ def _cmd_obs(args) -> int:
         # trace file per process, and spans parent across them.
         events = []
         for path in args.files:
-            events.extend(load_events(path))
+            events.extend(_load_obs_events(path))
         spans = span_records(events)
         roots, orphans = build_trace_trees(spans)
         print(
@@ -1199,6 +1386,20 @@ def _cmd_obs(args) -> int:
         # obs-smoke job catches regressions with the same command an
         # operator would run.
         return 1 if orphans else 0
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
+    if args.obs_command == "slo":
+        return _cmd_obs_slo(args)
+    if args.obs_command == "prom":
+        store = _load_obs_timeline(args.file)
+        latest = store.latest()
+        snapshot = {
+            "counters": latest["counters"],
+            "gauges": latest["gauges"],
+            "histograms": latest["histograms"],
+        }
+        print(render_prometheus(snapshot), end="")
+        return 0
     raise UsageError(f"unknown obs command {args.obs_command!r}")
 
 
@@ -1241,6 +1442,21 @@ async def _daemon_wait(max_seconds) -> None:
         await asyncio.Event().wait()
 
 
+def _ensure_daemon_registry() -> None:
+    """Give every daemon a live in-process metrics registry.
+
+    ``cluster.metrics`` / ``sites.metrics`` scrapes read the global
+    registry; without ``--metrics`` nothing would have enabled one and
+    every scrape would come back empty.  Daemons therefore always
+    collect (collection is cheap and bounded) — ``--metrics`` still
+    layers a JSONL sink on top via the usual capture path.
+    """
+    from .obs import MetricsRegistry, enable, metrics_enabled
+
+    if not metrics_enabled():
+        enable(MetricsRegistry())
+
+
 def _cmd_cluster_coordinator(args) -> int:
     import asyncio
 
@@ -1248,6 +1464,7 @@ def _cmd_cluster_coordinator(args) -> int:
 
     if args.wal and args.recover:
         raise UsageError("--wal and --recover are mutually exclusive")
+    _ensure_daemon_registry()
     coordinator = ClusterCoordinator(
         _cluster_graph(args),
         block_size=args.block_size,
@@ -1286,6 +1503,7 @@ def _cmd_cluster_node(args) -> int:
     from .resilience import FaultPlan
 
     plan = FaultPlan.load(args.faults) if args.faults else None
+    _ensure_daemon_registry()
     node = StorageNode(args.id, seed=args.seed, fault_plan=plan)
 
     async def run() -> int:
@@ -1362,8 +1580,14 @@ def _cmd_cluster_loadgen(args) -> int:
         raise UsageError("--requests must be positive")
     if args.rate <= 0:
         raise UsageError("--rate must be positive")
+    if args.scrape_every < 1:
+        raise UsageError("--scrape-every must be positive")
+    if args.scrape_interval <= 0:
+        raise UsageError("--scrape-interval must be positive")
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
+    if args.obs_dir:
+        os.makedirs(args.obs_dir, exist_ok=True)
     config = ClusterLoadConfig(
         nodes=args.nodes,
         objects=args.objects,
@@ -1376,6 +1600,10 @@ def _cmd_cluster_loadgen(args) -> int:
         rejoin=not args.no_rejoin,
         graph=args.graph,
         trace_dir=args.trace_dir,
+        obs_dir=args.obs_dir,
+        scrape_every=args.scrape_every,
+        scrape_interval=args.scrape_interval,
+        slo_spec=args.slo_spec,
     )
     report = run_cluster_loadgen(config)
     print(report.describe())
@@ -1440,6 +1668,7 @@ def _cmd_sites_gateway(args) -> int:
     from .sites import FederationGateway, FederationManifest, start_gateway
 
     manifest = FederationManifest.load(args.manifest)
+    _ensure_daemon_registry()
     gateway = FederationGateway(
         manifest,
         block_size=args.block_size,
@@ -1509,6 +1738,8 @@ def _cmd_sites_loadgen(args) -> int:
         raise UsageError("--rate must be positive")
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
+    if args.obs_dir:
+        os.makedirs(args.obs_dir, exist_ok=True)
     config = SitesLoadConfig(
         sites=args.sites,
         nodes_per_site=args.nodes_per_site,
@@ -1526,6 +1757,7 @@ def _cmd_sites_loadgen(args) -> int:
         repair_wan_budget=args.repair_wan_budget,
         work_dir=args.work_dir,
         trace_dir=args.trace_dir,
+        obs_dir=args.obs_dir,
     )
     report = run_sites_loadgen(config)
     print(report.describe())

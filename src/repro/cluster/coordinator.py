@@ -73,6 +73,7 @@ import asyncio
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -95,6 +96,7 @@ from ..serve.protocol import (
     BlockPutRequest,
     ClusterGetRequest,
     ClusterJoinRequest,
+    ClusterMetricsRequest,
     ClusterLeaveRequest,
     ClusterPutRequest,
     ClusterRepairRequest,
@@ -107,6 +109,7 @@ from ..serve.protocol import (
     GetRequest,
     MetricsRequest,
     MetricsResponse,
+    MetricsSnapshotResponse,
     NodeStatsRequest,
     ObjectInfoResponse,
     PingRequest,
@@ -694,6 +697,7 @@ class ClusterCoordinator:
     ) -> ObjectInfoResponse:
         """Reconstruct an object from whatever the cluster still holds."""
         manifest = self._manifest(name)
+        started = time.perf_counter()
         self.reads_inflight += 1
         try:
             parts: list[bytes] = []
@@ -709,6 +713,9 @@ class ClusterCoordinator:
         payload = b"".join(parts)
         reg = registry()
         reg.counter("cluster.get.objects").inc()
+        reg.histogram("cluster.get.seconds").observe(
+            time.perf_counter() - started
+        )
         if degraded:
             reg.counter("cluster.get.degraded").inc()
         return ObjectInfoResponse(
@@ -1135,6 +1142,40 @@ class ClusterCoordinator:
             "at_risk_nodes": sorted(at_risk),
         }
 
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Registry snapshot plus coordinator-synthesized gauges.
+
+        The scrape plane's view of this process: everything the local
+        registry accumulated, extended with the control-plane facts a
+        fleet dashboard needs that only live on coordinator state
+        (object counts, membership, repair-queue margins).  Purely
+        local — no node RPCs — so a scrape stays cheap and cannot
+        wedge on a dark node.
+        """
+        snap = registry().snapshot()
+        sched = self.scheduler
+        gauges = snap.setdefault("gauges", {})
+        gauges["cluster.objects"] = float(len(self.manifests))
+        gauges["cluster.stripes"] = float(
+            sum(len(m.stripes) for m in self.manifests.values())
+        )
+        gauges["cluster.members"] = float(len(self.ring.members))
+        gauges["cluster.reads_inflight"] = float(self.reads_inflight)
+        gauges["cluster.repair.queue_depth"] = float(sched.queue_depth)
+        gauges["cluster.repair.margin_min"] = float(sched.margin_min)
+        gauges["cluster.repair.at_risk_stripes"] = float(
+            sched.at_risk_stripes
+        )
+        gauges["cluster.repair.healthy_margin"] = float(
+            sched.healthy_margin
+        )
+        counters = snap.setdefault("counters", {})
+        counters.setdefault("cluster.repair.bytes", 0)
+        counters["cluster.repair.bytes"] = max(
+            counters["cluster.repair.bytes"], self.repair_bytes
+        )
+        return snap
+
     async def status(self) -> dict[str, Any]:
         """Cluster-wide view: membership, liveness, stats, repair bytes."""
         liveness = await self.probe()
@@ -1184,6 +1225,12 @@ async def handle_request(
         if isinstance(request, MetricsRequest):
             return MetricsResponse(
                 metrics=render_prometheus(registry().snapshot())
+            )
+        if isinstance(request, ClusterMetricsRequest):
+            return MetricsSnapshotResponse(
+                role="coordinator",
+                source="coordinator",
+                snapshot=coordinator.metrics_snapshot(),
             )
         if isinstance(request, ClusterPutRequest):
             with trace_span("cluster.put", object=request.name):

@@ -29,6 +29,7 @@ one seed (modulo wall-clock latencies).
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 import time
@@ -63,6 +64,10 @@ class ClusterLoadConfig:
     rejoin: bool = True
     graph: str | None = None  # GraphML path for child processes
     trace_dir: str | None = None  # per-process trace files land here
+    obs_dir: str | None = None  # fleet telemetry timeline lands here
+    scrape_every: int = 10  # scrape the fleet every N requests
+    scrape_interval: float = 60.0  # logical seconds per scrape
+    slo_spec: str | None = None  # JSON spec path (None = built-ins)
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -71,6 +76,10 @@ class ClusterLoadConfig:
             raise ValueError("objects must be positive")
         if not 0.0 < self.kill_fraction < 1.0:
             raise ValueError("kill_fraction must lie in (0, 1)")
+        if self.scrape_every < 1:
+            raise ValueError("scrape_every must be positive")
+        if self.scrape_interval <= 0:
+            raise ValueError("scrape_interval must be positive")
 
 
 @dataclass
@@ -90,6 +99,7 @@ class ClusterLoadReport:
     latency: dict[str, float]
     elapsed_seconds: float
     verified_objects: int
+    telemetry: dict[str, Any] | None = None
 
     @property
     def data_loss(self) -> bool:
@@ -111,6 +121,7 @@ class ClusterLoadReport:
             "elapsed_seconds": self.elapsed_seconds,
             "verified_objects": self.verified_objects,
             "data_loss": self.data_loss,
+            "telemetry": self.telemetry,
         }
 
     def describe(self) -> str:
@@ -141,6 +152,18 @@ class ClusterLoadReport:
                 f"p50 {self.latency['p50'] * 1e3:.1f}ms "
                 f"p95 {self.latency['p95'] * 1e3:.1f}ms "
                 f"p99 {self.latency['p99'] * 1e3:.1f}ms"
+            )
+        if self.telemetry:
+            fires = sum(
+                1
+                for a in self.telemetry.get("alerts", [])
+                if a.get("state") == "firing"
+            )
+            lines.append(
+                f"telemetry: {self.telemetry.get('samples', 0)} samples, "
+                f"{fires} alert(s) fired, "
+                f"{len(self.telemetry.get('firing', []))} still firing "
+                f"-> {self.telemetry.get('timeline', '?')}"
             )
         return "\n".join(lines)
 
@@ -197,6 +220,123 @@ class _Child:
             except subprocess.TimeoutExpired:
                 self.proc.kill()
                 self.proc.wait()
+
+
+class _FleetTelemetry:
+    """Scrape the spawned fleet on a logical clock; persist a timeline.
+
+    The driver owns the clock: every scrape advances logical time by
+    ``scrape_interval`` regardless of wall time, so the kill → alert →
+    heal → clear sequence lands at the same timeline offsets run after
+    run.  Samples and SLO transitions interleave in one JSONL artifact
+    (``timeline.jsonl``) that ``repro obs top`` / ``repro obs slo``
+    replay offline.
+    """
+
+    def __init__(
+        self,
+        obs_dir: str,
+        targets: list,
+        *,
+        scrape_interval: float = 60.0,
+        slo_spec: str | None = None,
+    ):
+        from ..obs import (
+            JsonlSink,
+            LogicalClock,
+            SloEngine,
+            SloSpec,
+            TimeSeriesStore,
+        )
+
+        self.scrape_interval = float(scrape_interval)
+        os.makedirs(obs_dir, exist_ok=True)
+        self.path = os.path.join(obs_dir, "timeline.jsonl")
+        if os.path.exists(self.path):
+            os.unlink(self.path)  # timelines are per-run artifacts
+        self.sink = JsonlSink(self.path)
+        self.clock = LogicalClock()
+        self.store = TimeSeriesStore(
+            resolution=self.scrape_interval, sink=self.sink
+        )
+        self.engine = SloEngine(
+            SloSpec.load(slo_spec) if slo_spec else None
+        )
+        self.scraper = self._build_scraper(targets)
+        self.alerts: list[dict[str, Any]] = []
+
+    def _build_scraper(self, targets: list):
+        from ..obs import FleetScraper
+
+        return FleetScraper(
+            targets, timeout=2.0, clock=self.clock, store=self.store
+        )
+
+    def retarget(self, targets: list) -> None:
+        """Healed processes come back on fresh ephemeral ports."""
+        self.scraper = self._build_scraper(targets)
+
+    def scrape(self, note: str | None = None) -> list[dict[str, Any]]:
+        self.clock.advance(self.scrape_interval)
+        self.scraper.scrape_once()  # ingests + persists the sample
+        if note:
+            self.sink.emit(
+                {"event": "driver.note", "ts": self.clock(), "note": note}
+            )
+        transitions = self.engine.evaluate(self.store)
+        for transition in transitions:
+            self.sink.emit(transition)
+        self.alerts.extend(transitions)
+        return transitions
+
+    def settle(self, max_scrapes: int = 90) -> None:
+        """Keep scraping a healed fleet until every alert clears.
+
+        Clearing needs each pair's *short* burn window to drain of bad
+        samples — for the standard slow pair that is a full logical
+        hour, ~60 scrapes at the default interval (cheap: each scrape
+        is a handful of local RPCs and no wall-clock sleeps).  The
+        bound keeps a fleet that *cannot* heal (e.g. ``rejoin=False``)
+        from spinning forever.
+        """
+        for _ in range(max_scrapes):
+            if not self.engine.firing():
+                break
+            self.scrape()
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "timeline": self.path,
+            "samples": self.store.ingested,
+            "scrapes": self.scraper.scrapes,
+            "scrape_interval": self.scrape_interval,
+            "alerts": list(self.alerts),
+            "firing": self.engine.firing(),
+            "durability": self.engine.durability(self.store),
+        }
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def _cluster_targets(
+    coordinator: _Child, nodes: dict[str, _Child]
+) -> list:
+    from ..obs import ScrapeTarget
+
+    targets = [
+        ScrapeTarget(
+            "coordinator",
+            "coordinator",
+            coordinator.host,
+            coordinator.port,
+        )
+    ]
+    for node_id, child in sorted(nodes.items()):
+        targets.append(
+            ScrapeTarget("node", node_id, child.host, child.port)
+        )
+    return targets
 
 
 def _spawn_coordinator(
@@ -263,6 +403,7 @@ def run_cluster_loadgen(
     coordinator: _Child | None = None
     nodes: dict[str, _Child] = {}
     client: ClusterClient | None = None
+    telemetry: _FleetTelemetry | None = None
     try:
         coordinator = _spawn_coordinator(config, child_seeds[0])
         for i in range(config.nodes):
@@ -271,6 +412,13 @@ def run_cluster_loadgen(
                 config, node_id, child_seeds[i + 1], coordinator
             )
         client = ClusterClient(coordinator.host, coordinator.port)
+        if config.obs_dir:
+            telemetry = _FleetTelemetry(
+                config.obs_dir,
+                _cluster_targets(coordinator, nodes),
+                scrape_interval=config.scrape_interval,
+                slo_spec=config.slo_spec,
+            )
 
         # Phase: seed the cluster with verifiable objects.
         digests: dict[str, str] = {}
@@ -280,6 +428,8 @@ def run_cluster_loadgen(
                 payload = payload_rng.bytes(config.object_size)
                 info = client.put(name, payload)
                 digests[name] = info["sha256"]
+        if telemetry is not None:
+            telemetry.scrape(note="baseline after seeding")
 
         # Phase: seeded open-loop reads, one node killed mid-run.
         names = sorted(digests)
@@ -310,6 +460,11 @@ def run_cluster_loadgen(
                 if kill_at is not None and i == kill_at:
                     killed = sorted(nodes)[0]
                     nodes[killed].kill()
+                    if telemetry is not None:
+                        # Scrape while the node is dark: the acceptance
+                        # bar is "alert fires within one scrape
+                        # interval of the kill".
+                        telemetry.scrape(note=f"killed {killed}")
                 try:
                     info = client.get(name)
                 except Exception:
@@ -322,6 +477,11 @@ def run_cluster_loadgen(
                     completed += 1
                 else:
                     mismatched += 1
+                if (
+                    telemetry is not None
+                    and (i + 1) % config.scrape_every == 0
+                ):
+                    telemetry.scrape()
 
         # Phase: declare the kill a loss and rebuild onto survivors.
         repair: dict[str, Any] = {}
@@ -330,6 +490,8 @@ def run_cluster_loadgen(
         repair_extra = client.repair()
         for key in ("moved_blocks", "rebuilt_blocks"):
             repair[key] = repair.get(key, 0) + repair_extra.get(key, 0)
+        if telemetry is not None:
+            telemetry.scrape(note="repair complete")
 
         # Phase: bring the node back; joining re-shards onto it.
         rejoined = False
@@ -341,6 +503,12 @@ def run_cluster_loadgen(
                 coordinator,
             )
             rejoined = True
+            if telemetry is not None:
+                # The node came back on a fresh ephemeral port.
+                telemetry.retarget(_cluster_targets(coordinator, nodes))
+                telemetry.scrape(note=f"rejoined {killed}")
+        if telemetry is not None and rejoined:
+            telemetry.settle()
 
         # Phase: full verification sweep — the zero-data-loss check.
         verified = 0
@@ -352,6 +520,8 @@ def run_cluster_loadgen(
                 except Exception:
                     pass
         status = client.status()
+        if telemetry is not None:
+            telemetry.scrape(note="final verification sweep")
     finally:
         if client is not None:
             client.close()
@@ -359,6 +529,8 @@ def run_cluster_loadgen(
             child.terminate()
         if coordinator is not None:
             coordinator.terminate()
+        if telemetry is not None:
+            telemetry.close()
 
     lat = np.array(latencies) if latencies else np.array([0.0])
     return ClusterLoadReport(
@@ -381,4 +553,5 @@ def run_cluster_loadgen(
         },
         elapsed_seconds=time.perf_counter() - start,
         verified_objects=verified,
+        telemetry=telemetry.summary() if telemetry is not None else None,
     )

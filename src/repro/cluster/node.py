@@ -41,6 +41,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
+from ..obs.registry import registry
 from ..obs.seeding import SeedLike, resolve_rng
 from ..obs.trace import Tracer, context_seed
 from ..resilience.faults import FaultPlan, TransientOutages
@@ -56,8 +57,10 @@ from ..serve.protocol import (
     BlockListRequest,
     BlockMapResponse,
     BlockPutRequest,
+    ClusterMetricsRequest,
     Envelope,
     KeyListResponse,
+    MetricsSnapshotResponse,
     NodeAdminRequest,
     NodeStatsRequest,
     PingRequest,
@@ -152,12 +155,45 @@ class StorageNode:
             **self.store.stats(),
         }
 
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Registry snapshot plus node-state gauges for the scraper.
+
+        Node facts (availability, block counts) live on the node
+        object, not in the metrics registry, so the scrape plane
+        synthesizes gauges from :meth:`stats` — one source of truth,
+        no double bookkeeping.  Served from the control plane: a node
+        in a transient outage still reports itself, which is exactly
+        how the fleet view distinguishes "dark" from "down".
+        """
+        snap = registry().snapshot()
+        stats = self.stats()
+        gauges = snap.setdefault("gauges", {})
+        gauges["node.available"] = float(bool(stats["available"]))
+        gauges["node.partitioned"] = float(bool(stats["partitioned"]))
+        gauges["node.slow_seconds"] = float(stats["slow_seconds"])
+        gauges["node.outage_remaining"] = float(
+            stats["outage_remaining"]
+        )
+        gauges["node.outages_drawn"] = float(stats["outages_drawn"])
+        gauges["node.blocks"] = float(stats["blocks"])
+        gauges["node.bytes_stored"] = float(stats["bytes_stored"])
+        counters = snap.setdefault("counters", {})
+        counters.setdefault("node.puts", stats["puts"])
+        counters.setdefault("node.gets", stats["gets"])
+        return snap
+
     def handle(self, request: Request) -> Response:
         """Dispatch one typed request (availability already enforced)."""
         if isinstance(request, PingRequest):
             return PongResponse()
         if isinstance(request, NodeStatsRequest):
             return StatsResponse(stats=self.stats())
+        if isinstance(request, ClusterMetricsRequest):
+            return MetricsSnapshotResponse(
+                role="node",
+                source=self.node_id,
+                snapshot=self.metrics_snapshot(),
+            )
         if isinstance(request, NodeAdminRequest):
             if request.action == "interrupt":
                 self.interrupt()

@@ -92,6 +92,7 @@ class RepairScheduler:
         self.scans = 0
         self.cycles = 0
         self.preemptions = 0
+        self.last_first_failure: int | None = None
         self.totals: dict[str, int] = dict.fromkeys(_TOTAL_KEYS, 0)
         self.last_cycle: dict[str, int] = {}
 
@@ -122,6 +123,7 @@ class RepairScheduler:
             self._holders = await coord._inventory()
             if coord.ring.members:
                 ff = graph_first_failure(coord.graph)
+                self.last_first_failure = ff
                 for name in sorted(coord.manifests):
                     for record in coord.manifests[name].stripes:
                         queued += self._consider(name, record, ff)
@@ -129,6 +131,10 @@ class RepairScheduler:
         if queued:
             reg.counter("cluster.repair.queued").inc(queued)
         reg.gauge("cluster.repair.queue_depth").set(len(self._heap))
+        reg.gauge("cluster.repair.margin_min").set(float(self.margin_min))
+        reg.gauge("cluster.repair.at_risk_stripes").set(
+            float(self.at_risk_stripes)
+        )
         self.scans += 1
         return queued
 
@@ -217,6 +223,10 @@ class RepairScheduler:
         stats["spent_bytes"] = spent
         self.last_cycle = dict(stats)
         reg.gauge("cluster.repair.queue_depth").set(len(self._heap))
+        reg.gauge("cluster.repair.margin_min").set(float(self.margin_min))
+        reg.gauge("cluster.repair.at_risk_stripes").set(
+            float(self.at_risk_stripes)
+        )
         return stats
 
     async def _yield_to_reads(self) -> None:
@@ -280,9 +290,40 @@ class RepairScheduler:
     # Introspection (the ``cluster.repair_status`` op)
     # ------------------------------------------------------------------
 
+    @property
+    def healthy_margin(self) -> int:
+        """Margin of a stripe missing nothing: first-failure − 1."""
+        coord = self.coordinator
+        ff = self.last_first_failure
+        if ff is None:
+            ff = graph_first_failure(coord.graph)
+            self.last_first_failure = ff
+        return ff - 1
+
+    @property
+    def margin_min(self) -> int:
+        """Smallest margin across queued stripes (healthy when empty).
+
+        ``first_failure − 1 − missing`` per stripe: how many further
+        losses the guarantee certainly tolerates.  Zero or below means
+        a stripe is one erasure from (possibly) unrecoverable — the
+        durability signal the SLO engine alerts on.
+        """
+        if self._heap:
+            return min(entry.margin for entry in self._heap)
+        return self.healthy_margin
+
+    @property
+    def at_risk_stripes(self) -> int:
+        """Queued stripes whose margin has reached zero or below."""
+        return sum(1 for entry in self._heap if entry.margin <= 0)
+
     def status(self) -> dict[str, Any]:
         return {
             "queue_depth": len(self._heap),
+            "margin_min": self.margin_min,
+            "at_risk_stripes": self.at_risk_stripes,
+            "healthy_margin": self.healthy_margin,
             "bytes_per_cycle": self.bytes_per_cycle,
             "scans": self.scans,
             "cycles": self.cycles,

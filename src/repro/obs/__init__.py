@@ -21,7 +21,13 @@ storage devices, the profile cache, and the serving stack:
   time) for every run, stored beside cached profiles and emitted per
   service lifecycle;
 * :mod:`repro.obs.seeding` — the unified ``seed: int | Generator``
-  convention shared by every public simulation entry point.
+  convention shared by every public simulation entry point;
+* :class:`FleetScraper` / :class:`TimeSeriesStore` / :class:`SloEngine`
+  — the fleet telemetry pipeline: scrape every cluster/sites process
+  over the wire protocol, keep bounded windowed history (rates,
+  gauge ranges, mergeable quantiles), and run multi-window burn-rate
+  alerting with error budgets and a durability health score (backs
+  ``repro obs top`` and ``repro obs slo report|check``).
 
 Collection is off by default and costs nearly nothing when off (see
 :mod:`repro.obs.registry`).  Enable per run via ``repro ...
@@ -64,8 +70,23 @@ from .registry import (
     metrics_enabled,
     registry,
 )
+from .scrape import FleetScraper, LogicalClock, ScrapeTarget
 from .seeding import SeedLike, derive_seed, resolve_rng, spawn_seeds
 from .sink import JsonlSink, read_jsonl
+from .slo import (
+    BurnWindow,
+    Objective,
+    SloEngine,
+    SloSpec,
+    default_slo_spec,
+)
+from .timeseries import (
+    TimeSeriesStore,
+    load_timeline,
+    subtract_summary,
+    summary_quantile,
+)
+from .top import render_top
 from .trace import (
     Span,
     Tracer,
@@ -85,16 +106,24 @@ from .trace import (
 
 __all__ = [
     "BUCKET_GAMMA",
+    "BurnWindow",
     "Counter",
+    "FleetScraper",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "LogicalClock",
     "MetricsRegistry",
     "NullRegistry",
+    "Objective",
     "RunManifest",
+    "ScrapeTarget",
     "SeedLike",
+    "SloEngine",
+    "SloSpec",
     "Span",
     "SpanNode",
+    "TimeSeriesStore",
     "Tracer",
     "add_trace_event",
     "bucket_midpoint",
@@ -104,6 +133,7 @@ __all__ = [
     "context_seed",
     "current_context",
     "current_span",
+    "default_slo_spec",
     "derive_seed",
     "disable",
     "disable_tracing",
@@ -112,16 +142,20 @@ __all__ = [
     "format_phase_report",
     "format_tail",
     "load_events",
+    "load_timeline",
     "metrics_enabled",
     "phase_stats",
     "read_jsonl",
     "registry",
     "render_prometheus",
+    "render_top",
     "render_trace_tree",
     "resolve_rng",
     "span_records",
     "spawn_seeds",
     "start_span",
+    "subtract_summary",
+    "summary_quantile",
     "trace_capture",
     "trace_span",
     "tracer",

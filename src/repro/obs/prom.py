@@ -15,19 +15,49 @@ without adding a client-library dependency:
 Dotted metric names become underscore-separated (``serve.batch_size``
 → ``repro_serve_batch_size``).  The line-JSON TCP front end serves
 this via ``{"op": "metrics"}`` (see :mod:`repro.serve.frontend`).
+
+Dynamic-suffix families are folded into labels: the cluster and sites
+layers mint names like ``cluster.repair.bytes.node-1`` and
+``sites.wan.bytes.site-0`` (one name per node/site), which would mint
+one Prometheus *metric* per fleet member — a cardinality trap and
+unjoinable in PromQL.  :data:`LABELED_FAMILIES` maps such prefixes to
+a label name, so every member renders as one metric family with a
+``node=`` / ``site=`` / ``target=`` label instead.  A warn-once guard
+fires past :data:`MAX_SERIES` distinct series as a tripwire for new
+unlabelled dynamic names.
 """
 
 from __future__ import annotations
 
 import math
 import re
+import warnings
 from typing import Any, Mapping
 
 from .registry import bucket_upper_bound
 
-__all__ = ["render_prometheus"]
+__all__ = ["LABELED_FAMILIES", "MAX_SERIES", "render_prometheus"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+# family name (dotted) → label key for the dynamic suffix.  Longest
+# prefix wins, so "sites.wan.bytes" beats a hypothetical "sites.wan".
+LABELED_FAMILIES: dict[str, str] = {
+    "cluster.repair.bytes": "node",
+    "sites.wan.bytes": "site",
+    "up": "target",
+    "node.available": "node",
+    "node.partitioned": "node",
+    "node.slow_seconds": "node",
+    "node.outage_remaining": "node",
+    "node.outages_drawn": "node",
+    "node.blocks": "node",
+    "node.bytes_stored": "node",
+}
+
+MAX_SERIES = 1000
+
+_warned_cardinality = False
 
 
 def _metric_name(name: str, prefix: str) -> str:
@@ -35,6 +65,19 @@ def _metric_name(name: str, prefix: str) -> str:
     if name and name[0].isdigit():
         name = "_" + name
     return name
+
+
+def _split_labeled(name: str) -> tuple[str, str | None, str | None]:
+    """(family, label key, label value) for dynamic-suffix names.
+
+    ``cluster.repair.bytes.node-1`` → ``("cluster.repair.bytes",
+    "node", "node-1")``; names that are a family verbatim, or match no
+    family, come back unlabelled.
+    """
+    for family in sorted(LABELED_FAMILIES, key=len, reverse=True):
+        if name.startswith(family + "."):
+            return family, LABELED_FAMILIES[family], name[len(family) + 1:]
+    return name, None, None
 
 
 def _fmt(value: float) -> str:
@@ -47,6 +90,48 @@ def _fmt(value: float) -> str:
     if f.is_integer() and abs(f) < 1e15:
         return str(int(f))
     return repr(f)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _scalar_lines(
+    items: Mapping[str, Any],
+    prefix: str,
+    kind: str,
+    name_suffix: str = "",
+) -> tuple[list[str], int]:
+    """Render counters/gauges, folding labelled families together."""
+    plain: dict[str, float] = {}
+    labelled: dict[str, tuple[str, dict[str, float]]] = {}
+    for name, value in items.items():
+        family, label, member = _split_labeled(name)
+        if label is None:
+            plain[name] = value
+        else:
+            labelled.setdefault(family, (label, {}))[1][member] = value
+    lines: list[str] = []
+    series = 0
+    for name in sorted(set(plain) | set(labelled)):
+        metric = _metric_name(name, prefix) + name_suffix
+        lines.append(f"# TYPE {metric} {kind}")
+        if name in plain:
+            lines.append(f"{metric} {_fmt(float(plain[name]))}")
+            series += 1
+        if name in labelled:
+            label, members = labelled[name]
+            for member in sorted(members):
+                lines.append(
+                    f'{metric}{{{label}="{_escape_label(member)}"}} '
+                    f"{_fmt(float(members[member]))}"
+                )
+                series += 1
+    return lines, series
 
 
 def _histogram_lines(name: str, summary: Mapping[str, Any]) -> list[str]:
@@ -79,17 +164,28 @@ def render_prometheus(
     in ``metrics_summary`` events and service ``stats()`` responses).
     Unknown keys are ignored, so service stats dicts render directly.
     """
+    global _warned_cardinality
     lines: list[str] = []
-    for name, value in sorted(snapshot.get("counters", {}).items()):
-        metric = _metric_name(name, prefix) + "_total"
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_fmt(float(value))}")
-    for name, value in sorted(snapshot.get("gauges", {}).items()):
-        metric = _metric_name(name, prefix)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_fmt(float(value))}")
+    counter_lines, series = _scalar_lines(
+        snapshot.get("counters", {}), prefix, "counter", "_total"
+    )
+    lines.extend(counter_lines)
+    gauge_lines, gauge_series = _scalar_lines(
+        snapshot.get("gauges", {}), prefix, "gauge"
+    )
+    lines.extend(gauge_lines)
+    series += gauge_series
     for name, summary in sorted(snapshot.get("histograms", {}).items()):
-        lines.extend(
-            _histogram_lines(_metric_name(name, prefix), summary)
+        rendered = _histogram_lines(_metric_name(name, prefix), summary)
+        lines.extend(rendered)
+        series += len(rendered) - 1
+    if series > MAX_SERIES and not _warned_cardinality:
+        _warned_cardinality = True
+        warnings.warn(
+            f"rendering {series} Prometheus series (> {MAX_SERIES}); "
+            "a dynamic-suffix metric family probably needs an entry in "
+            "repro.obs.prom.LABELED_FAMILIES",
+            RuntimeWarning,
+            stacklevel=2,
         )
     return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,147 @@
+"""Curses-free terminal rendering of the fleet view (``repro obs top``).
+
+One pure function: :func:`render_top` turns a
+:class:`~repro.obs.timeseries.TimeSeriesStore` (plus an optional
+:class:`~repro.obs.slo.SloEngine`) into a plain-text frame — per-node
+health, read/repair throughput, WAN bytes, durability margins, burn
+rates.  No terminal control beyond what the CLI adds for live refresh
+(an ANSI clear between frames), so frames diff cleanly in tests, pipe
+into files, and render identically from a live scrape or a replayed
+timeline artifact — which is exactly the acceptance bar: ``repro obs
+top --once`` and ``repro obs slo report`` must agree because they are
+the same store and the same renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["format_bytes", "render_top"]
+
+_WINDOW = 300.0  # dashboard rates/quantiles over the last 5 minutes
+
+
+def format_bytes(n: float) -> str:
+    """1536 → '1.5 KB'; keeps dashboards scannable at any magnitude."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} TB"
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "—"
+    if value < 1.0:
+        return f"{value * 1000:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _target_line(tid: str, status: dict[str, Any]) -> str:
+    if status.get("up"):
+        health = "UP"
+    elif status.get("stale"):
+        health = f"DOWN (stale {status.get('age', 0):.0f}s)"
+    else:
+        health = "DOWN"
+    where = f"{status.get('host', '?')}:{status.get('port', '?')}"
+    line = (
+        f"  {tid:<14} {status.get('role', '?'):<12} {where:<22} {health}"
+    )
+    error = status.get("error")
+    if error:
+        line += f"  [{error}]"
+    return line
+
+
+def render_top(
+    store,
+    engine=None,
+    *,
+    window: float = _WINDOW,
+) -> str:
+    """Render one dashboard frame from the newest fleet sample."""
+    latest = store.latest()
+    if latest is None:
+        return "repro obs top — no samples yet\n"
+    now = latest["ts"]
+    gauges = latest["gauges"]
+    lines: list[str] = []
+    lines.append(
+        f"repro obs top — fleet @ t={now:.0f}s "
+        f"(sample {latest['index'] + 1}, window {window:.0f}s)"
+    )
+    up = gauges.get("fleet.targets.up", 0.0)
+    total = gauges.get("fleet.targets.total", 0.0)
+    lines.append(f"targets: {up:.0f}/{total:.0f} up")
+    for tid in sorted(latest["targets"]):
+        lines.append(_target_line(tid, latest["targets"][tid]))
+
+    lines.append("throughput")
+    reads = store.counter_rate("cluster.get.objects", window, now)
+    p99 = store.histogram_quantile(
+        "cluster.get.seconds", 0.99, window, now
+    )
+    p50 = store.histogram_quantile(
+        "cluster.get.seconds", 0.50, window, now
+    )
+    lines.append(
+        f"  reads {reads:8.2f}/s   read p50 {_fmt_seconds(p50):>8}   "
+        f"read p99 {_fmt_seconds(p99):>8}"
+    )
+    repair_rate = store.counter_rate("cluster.repair.bytes", window, now)
+    repair_total = latest["counters"].get("cluster.repair.bytes", 0)
+    lines.append(
+        f"  repair {format_bytes(repair_rate):>9}/s   "
+        f"total {format_bytes(repair_total):>9}"
+    )
+    wan_rate = store.counter_rate("sites.wan.bytes", window, now)
+    wan_total = latest["counters"].get("sites.wan.bytes", 0)
+    if wan_total or wan_rate:
+        lines.append(
+            f"  wan    {format_bytes(wan_rate):>9}/s   "
+            f"total {format_bytes(wan_total):>9}"
+        )
+
+    lines.append("durability")
+    margin = gauges.get("fleet.repair.margin_min")
+    at_risk = gauges.get("fleet.at_risk_stripes")
+    queue = gauges.get("fleet.repair.queue_depth")
+    if engine is not None:
+        durability = engine.durability(store)
+        score = durability.get("score")
+        score_text = f"{score:.2f}" if score is not None else "—"
+    else:
+        score_text = "—"
+    lines.append(
+        f"  margin min {margin if margin is not None else '—'}   "
+        f"at-risk stripes {at_risk if at_risk is not None else '—'}   "
+        f"repair queue {queue if queue is not None else '—'}   "
+        f"score {score_text}"
+    )
+
+    if engine is not None:
+        lines.append("slo burn rates")
+        status = engine.status(store, now)
+        for name, objective in status["objectives"].items():
+            for wname, w in objective["windows"].items():
+                flag = "FIRING" if w["firing"] else "ok"
+                lines.append(
+                    f"  {name:<16} {wname:<5} "
+                    f"short {w['burn_short']:8.2f}  "
+                    f"long {w['burn_long']:8.2f}  "
+                    f"/{w['threshold']:<5g} {flag}"
+                )
+        firing = status["firing"]
+        if firing:
+            names = ", ".join(
+                f"{f['objective']}[{f['window']}]" for f in firing
+            )
+            lines.append(f"ALERTS FIRING: {names}")
+        else:
+            lines.append("alerts: none firing")
+    return "\n".join(lines) + "\n"

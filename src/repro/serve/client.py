@@ -43,6 +43,7 @@ from .protocol import (
     ClusterGetRequest,
     ClusterJoinRequest,
     ClusterLeaveRequest,
+    ClusterMetricsRequest,
     ClusterPutRequest,
     ClusterRepairRequest,
     ClusterRepairStatusRequest,
@@ -53,6 +54,7 @@ from .protocol import (
     GetRequest,
     KeyListResponse,
     MetricsRequest,
+    MetricsSnapshotResponse,
     NodeAdminRequest,
     NodeStatsRequest,
     ObjectInfoResponse,
@@ -61,6 +63,7 @@ from .protocol import (
     Request,
     Response,
     SitesGetRequest,
+    SitesMetricsRequest,
     SitesPutRequest,
     SitesRepairRequest,
     SitesStatusRequest,
@@ -349,6 +352,11 @@ class ClusterClient(ProtocolClient):
         )
         return self._expect(response, AckResponse).info
 
+    def metrics_snapshot(self) -> MetricsSnapshotResponse:
+        """Structured registry snapshot (coordinator or node scrape)."""
+        response, _ = self.call(ClusterMetricsRequest())
+        return self._expect(response, MetricsSnapshotResponse)
+
 
 class SitesClient(ProtocolClient):
     """Typed client for a federation gateway (``sites.*`` ops)."""
@@ -374,3 +382,8 @@ class SitesClient(ProtocolClient):
     def repair(self, mode: str = "drain") -> dict[str, Any]:
         response, _ = self.call(SitesRepairRequest(mode=mode))
         return self._expect(response, AckResponse).info
+
+    def metrics_snapshot(self) -> MetricsSnapshotResponse:
+        """Structured registry snapshot (gateway scrape)."""
+        response, _ = self.call(SitesMetricsRequest())
+        return self._expect(response, MetricsSnapshotResponse)

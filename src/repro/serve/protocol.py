@@ -69,6 +69,8 @@ __all__ = [
     "PingRequest",
     "StatsRequest",
     "MetricsRequest",
+    "ClusterMetricsRequest",
+    "SitesMetricsRequest",
     "GetRequest",
     "BlockPutRequest",
     "BlockGetRequest",
@@ -94,6 +96,7 @@ __all__ = [
     "StripeBlocksResponse",
     "StatsResponse",
     "MetricsResponse",
+    "MetricsSnapshotResponse",
     "ObjectInfoResponse",
     "BlockDataResponse",
     "BlockMapResponse",
@@ -439,6 +442,25 @@ class StatsRequest(Request):
 @dataclass(frozen=True)
 class MetricsRequest(Request):
     op: ClassVar[str] = "metrics"
+
+
+@_request
+@dataclass(frozen=True)
+class ClusterMetricsRequest(Request):
+    """Raw registry snapshot from a cluster process (scrape plane).
+
+    Unlike the legacy ``metrics`` op (rendered Prometheus text, kept
+    for the frontend), this returns the structured snapshot so a
+    fleet scraper can merge counters/histograms across processes.
+    """
+
+    op: ClassVar[str] = "cluster.metrics"
+
+
+@_request
+@dataclass(frozen=True)
+class SitesMetricsRequest(Request):
+    op: ClassVar[str] = "sites.metrics"
 
 
 @_request
@@ -824,6 +846,17 @@ class StatsResponse(Response):
 class MetricsResponse(Response):
     kind: ClassVar[str] = "metrics"
     metrics: str = ""
+
+
+@_response
+@dataclass(frozen=True)
+class MetricsSnapshotResponse(Response):
+    """One process's registry snapshot, labelled for fleet merging."""
+
+    kind: ClassVar[str] = "metrics_snapshot"
+    role: str = ""
+    source: str = ""
+    snapshot: dict = None  # type: ignore[assignment]
 
 
 @_response

@@ -49,7 +49,7 @@ from ..serve.loadgen import LoadGenConfig, arrival_schedule
 from ..storage.blockstore import parse_block_key
 from .manifest import FederationManifest, assign_site_graphs
 from .witness import find_coupled_witness
-from ..cluster.driver import _Child
+from ..cluster.driver import _Child, _FleetTelemetry
 
 __all__ = ["SitesLoadConfig", "SitesLoadReport", "run_sites_loadgen"]
 
@@ -74,6 +74,9 @@ class SitesLoadConfig:
     repair_wan_budget: int | None = None
     work_dir: str | None = None  # manifest + WALs (default: temp dir)
     trace_dir: str | None = None
+    obs_dir: str | None = None  # fleet telemetry timeline lands here
+    scrape_interval: float = 60.0  # logical seconds per scrape
+    slo_spec: str | None = None  # JSON spec path (None = built-ins)
 
     def __post_init__(self) -> None:
         if self.sites < 2:
@@ -109,6 +112,7 @@ class SitesLoadReport:
     site_verified: dict[str, int]
     elapsed_seconds: float
     events: list[dict[str, Any]] = field(default_factory=list)
+    telemetry: dict[str, Any] | None = None
 
     @property
     def data_loss(self) -> bool:
@@ -134,6 +138,7 @@ class SitesLoadReport:
             "elapsed_seconds": self.elapsed_seconds,
             "events": self.events,
             "data_loss": self.data_loss,
+            "telemetry": self.telemetry,
         }
 
     def describe(self) -> str:
@@ -165,6 +170,18 @@ class SitesLoadReport:
                 "coupled decode: both sites failed alone, the "
                 f"federation served the read "
                 f"({self.coupled_demo.get('wan_bytes', 0)} WAN bytes)"
+            )
+        if self.telemetry:
+            fires = sum(
+                1
+                for a in self.telemetry.get("alerts", [])
+                if a.get("state") == "firing"
+            )
+            lines.append(
+                f"telemetry: {self.telemetry.get('samples', 0)} samples, "
+                f"{fires} alert(s) fired, "
+                f"{len(self.telemetry.get('firing', []))} still firing "
+                f"-> {self.telemetry.get('timeline', '?')}"
             )
         lines.append(
             f"verified {self.verified_objects}/{self.objects} objects "
@@ -327,6 +344,29 @@ def _spawn_gateway(
     return child
 
 
+def _fed_targets(gateway: _Child, sites: dict[str, "_Site"]) -> list:
+    """Scrape targets for a federation: gateway + every site process."""
+    from ..obs import ScrapeTarget
+
+    targets = [
+        ScrapeTarget("gateway", "gateway", gateway.host, gateway.port)
+    ]
+    for sid, site in sorted(sites.items()):
+        targets.append(
+            ScrapeTarget(
+                "coordinator",
+                f"{sid}-coordinator",
+                site.coordinator.host,
+                site.coordinator.port,
+            )
+        )
+        for node_id, child in sorted(site.nodes.items()):
+            targets.append(
+                ScrapeTarget("node", node_id, child.host, child.port)
+            )
+    return targets
+
+
 def _delete_witness_blocks(
     site: _Site, name: str, erased: set[int]
 ) -> None:
@@ -413,6 +453,7 @@ def run_sites_loadgen(
 
     gateway: _Child | None = None
     client: SitesClient | None = None
+    telemetry: _FleetTelemetry | None = None
     try:
         for site in sites.values():
             site.spawn()
@@ -431,6 +472,14 @@ def run_sites_loadgen(
             ),
         )
 
+        if config.obs_dir:
+            telemetry = _FleetTelemetry(
+                config.obs_dir,
+                _fed_targets(gateway, sites),
+                scrape_interval=config.scrape_interval,
+                slo_spec=config.slo_spec,
+            )
+
         digests: dict[str, str] = {}
         with trace_span("sites.loadgen.seed"):
             for i in range(config.objects):
@@ -439,6 +488,8 @@ def run_sites_loadgen(
                 info = client.put(name, payload)
                 digests[name] = info["sha256"]
         names = sorted(digests)
+        if telemetry is not None:
+            telemetry.scrape(note="baseline after seeding")
 
         def read_wan_bytes() -> int:
             return int(
@@ -478,6 +529,8 @@ def run_sites_loadgen(
         with trace_span("sites.loadgen.steady"):
             read_phase("steady", phase_seeds["steady"])
         report.wan["read_before"] = read_wan_bytes()
+        if telemetry is not None:
+            telemetry.scrape(note="steady phase complete")
 
         # Phase: full-site blackout; reads continue over the WAN.
         dark: _Site | None = None
@@ -486,6 +539,8 @@ def run_sites_loadgen(
             report.blackout_site = dark.site_id
             note("blackout", site=dark.site_id)
             dark.blackout()
+            if telemetry is not None:
+                telemetry.scrape(note=f"blackout {dark.site_id}")
             with trace_span(
                 "sites.loadgen.blackout", site=dark.site_id
             ):
@@ -493,10 +548,16 @@ def run_sites_loadgen(
             report.wan["read_during"] = (
                 read_wan_bytes() - report.wan["read_before"]
             )
+            if telemetry is not None:
+                telemetry.scrape(note="blackout reads complete")
 
             # Phase: heal — WAL recovery + empty nodes + WAN repair.
             note("recover", site=dark.site_id)
             dark.recover()
+            if telemetry is not None:
+                # Recovered nodes land on fresh ephemeral ports.
+                telemetry.retarget(_fed_targets(gateway, sites))
+                telemetry.scrape(note=f"recovered {dark.site_id}")
             with trace_span("sites.loadgen.repair"):
                 report.repair = client.repair("drain")
             wan_after_repair = read_wan_bytes()
@@ -505,6 +566,9 @@ def run_sites_loadgen(
             report.wan["read_after"] = (
                 read_wan_bytes() - wan_after_repair
             )
+            if telemetry is not None:
+                telemetry.scrape(note="healed reads complete")
+                telemetry.settle()
         else:
             report.wan["read_during"] = 0
             report.wan["read_after"] = 0
@@ -589,6 +653,9 @@ def run_sites_loadgen(
         report.wan["repair_bytes"] = status["wan"]["repair_bytes"]
         report.wan["replicate_bytes"] = status["wan"]["replicate_bytes"]
         report.wan["total_bytes"] = status["wan"]["total_bytes"]
+        if telemetry is not None:
+            telemetry.scrape(note="final verification sweep")
+            report.telemetry = telemetry.summary()
     finally:
         if client is not None:
             client.close()
@@ -596,6 +663,8 @@ def run_sites_loadgen(
             gateway.terminate()
         for site in sites.values():
             site.teardown()
+        if telemetry is not None:
+            telemetry.close()
         if own_work:
             shutil.rmtree(work_dir, ignore_errors=True)
 

@@ -62,6 +62,7 @@ from ..serve.protocol import (
     FetchStripeRequest,
     MetricsRequest,
     MetricsResponse,
+    MetricsSnapshotResponse,
     ObjectInfoResponse,
     PingRequest,
     PongResponse,
@@ -70,6 +71,7 @@ from ..serve.protocol import (
     Request,
     Response,
     SitesGetRequest,
+    SitesMetricsRequest,
     SitesPutRequest,
     SitesRepairRequest,
     SitesStatusRequest,
@@ -635,6 +637,37 @@ class FederationGateway:
     # Introspection
     # ------------------------------------------------------------------
 
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Registry snapshot plus gateway-synthesized fleet facts.
+
+        Purely local (no site RPCs): read-ladder outcomes become
+        counters and the WAN ledgers become gauges, so a scrape never
+        blocks behind a blacked-out site.
+        """
+        snap = registry().snapshot()
+        counters = snap.setdefault("counters", {})
+        for outcome, count in self.reads.items():
+            name = f"sites.reads.{outcome}"
+            counters[name] = max(counters.get(name, 0), count)
+        gauges = snap.setdefault("gauges", {})
+        gauges["sites.objects"] = float(len(self.objects))
+        gauges["sites.first_failure_floor"] = float(
+            self.manifest.first_failure_floor()
+        )
+        gauges["sites.members"] = float(len(self.manifest.sites))
+        counters["sites.wan.bytes"] = max(
+            counters.get("sites.wan.bytes", 0), self.wan_bytes
+        )
+        counters["sites.read.wan_bytes"] = max(
+            counters.get("sites.read.wan_bytes", 0),
+            self.read_wan_bytes,
+        )
+        counters["sites.repair.wan_bytes"] = max(
+            counters.get("sites.repair.wan_bytes", 0),
+            self.repair_wan_bytes,
+        )
+        return snap
+
     async def status(self) -> dict[str, Any]:
         sites: dict[str, Any] = {}
         for assignment in self.manifest.sites:
@@ -683,6 +716,12 @@ async def handle_request(
         if isinstance(request, MetricsRequest):
             return MetricsResponse(
                 metrics=render_prometheus(registry().snapshot())
+            )
+        if isinstance(request, SitesMetricsRequest):
+            return MetricsSnapshotResponse(
+                role="gateway",
+                source="gateway",
+                snapshot=gateway.metrics_snapshot(),
             )
         if isinstance(request, SitesPutRequest):
             with trace_span("sites.put", object=request.name):

@@ -133,3 +133,36 @@ class TestStorageNodeServer:
         reply = asyncio.run(run())
         assert reply["ok"] is True
         assert "spans" not in reply
+
+
+class TestMetricsPlane:
+    def test_metrics_snapshot_dispatch(self):
+        from repro.serve.protocol import (
+            ClusterMetricsRequest,
+            MetricsSnapshotResponse,
+        )
+
+        node = StorageNode("n7")
+        node.handle(BlockPutRequest(key="a/0/0", data=b"xyzw"))
+        response = node.handle(ClusterMetricsRequest())
+        assert isinstance(response, MetricsSnapshotResponse)
+        assert response.role == "node"
+        assert response.source == "n7"
+        gauges = response.snapshot["gauges"]
+        assert gauges["node.available"] == 1.0
+        assert gauges["node.blocks"] == 1.0
+        assert gauges["node.bytes_stored"] == 4.0
+        assert response.snapshot["counters"]["node.puts"] == 1
+
+    def test_metrics_served_from_the_control_plane(self):
+        # A transiently-unavailable node refuses data-plane ops but
+        # still reports itself — that is how the scraper tells a
+        # dark process from a merely interrupted device.
+        from repro.serve.protocol import ClusterMetricsRequest
+
+        node = StorageNode("n8")
+        node.interrupt()
+        with pytest.raises(TransientUnavailableError):
+            node.handle(BlockGetRequest(key="a/0/0"))
+        response = node.handle(ClusterMetricsRequest())
+        assert response.snapshot["gauges"]["node.available"] == 0.0

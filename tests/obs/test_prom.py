@@ -86,3 +86,90 @@ class TestRenderPrometheus:
         text = render_prometheus(snap)
         assert "repro_serve_completed_total 7" in text
         assert "running" not in text
+
+
+class TestLabeledFamilies:
+    def test_dynamic_suffix_folds_into_one_family(self):
+        snap = {
+            "counters": {
+                "cluster.repair.bytes": 300,
+                "cluster.repair.bytes.node-0": 100,
+                "cluster.repair.bytes.node-1": 200,
+            }
+        }
+        text = render_prometheus(snap)
+        # One TYPE header, plain total + one labelled sample per node —
+        # not three distinct metric families.
+        assert text.count("# TYPE repro_cluster_repair_bytes_total") == 1
+        assert "repro_cluster_repair_bytes_total 300" in text
+        assert (
+            'repro_cluster_repair_bytes_total{node="node-0"} 100' in text
+        )
+        assert (
+            'repro_cluster_repair_bytes_total{node="node-1"} 200' in text
+        )
+        assert "repro_cluster_repair_bytes_node_0" not in text
+
+    def test_site_and_target_labels(self):
+        snap = {
+            "counters": {"sites.wan.bytes.site-0": 7},
+            "gauges": {"up.coordinator": 1.0, "node.blocks.node-2": 5},
+        }
+        text = render_prometheus(snap)
+        assert 'repro_sites_wan_bytes_total{site="site-0"} 7' in text
+        assert 'repro_up{target="coordinator"} 1' in text
+        assert 'repro_node_blocks{node="node-2"} 5' in text
+
+    def test_longest_prefix_wins(self):
+        # "node.blocks" must match before any shorter prefix could.
+        snap = {"gauges": {"node.blocks.node-0": 1.0}}
+        text = render_prometheus(snap)
+        assert 'repro_node_blocks{node="node-0"} 1' in text
+
+    def test_label_values_escaped(self):
+        snap = {"gauges": {'up.we"ird': 1.0}}
+        text = render_prometheus(snap)
+        assert 'repro_up{target="we\\"ird"} 1' in text
+
+    def test_unlabelled_names_unchanged(self):
+        # The frontend's existing exposition must stay byte-identical.
+        snap = {"counters": {"serve.completed": 3}}
+        assert (
+            render_prometheus(snap)
+            == "# TYPE repro_serve_completed_total counter\n"
+            "repro_serve_completed_total 3\n"
+        )
+
+
+class TestCardinalityGuard:
+    def test_warns_once_past_max_series(self, monkeypatch):
+        import warnings
+
+        from repro.obs import prom
+
+        monkeypatch.setattr(prom, "_warned_cardinality", False)
+        snap = {
+            "gauges": {f"runaway.series.{i}": 1.0 for i in range(1100)}
+        }
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            render_prometheus(snap)
+            render_prometheus(snap)  # second render must stay silent
+        relevant = [
+            w for w in caught if "LABELED_FAMILIES" in str(w.message)
+        ]
+        assert len(relevant) == 1
+        assert issubclass(relevant[0].category, RuntimeWarning)
+
+    def test_no_warning_under_the_limit(self, monkeypatch):
+        import warnings
+
+        from repro.obs import prom
+
+        monkeypatch.setattr(prom, "_warned_cardinality", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            render_prometheus(snapshot_with_everything())
+        assert not [
+            w for w in caught if "LABELED_FAMILIES" in str(w.message)
+        ]

@@ -441,3 +441,113 @@ class TestQuantileHistograms:
         h.observe(2.0)
         assert h.count == 2
         assert sum(h.buckets.values()) == 1
+
+
+class TestMergeSummaryChains:
+    """Chained worker->parent->grandparent folds stay exact.
+
+    The scraper merges per-node summaries into a fleet view every
+    scrape, and the time-series store diffs those merged summaries —
+    so merge must behave like a proper monoid fold: associative,
+    order-independent, and no worse than the documented ~2.5% quantile
+    tolerance regardless of how many hops a summary took.
+    """
+
+    def shards(self, seed, n_shards=4, per_shard=500):
+        import numpy as np
+
+        from repro.obs.registry import Histogram
+
+        rng = np.random.default_rng(seed)
+        out = []
+        for i in range(n_shards):
+            h = Histogram(f"s{i}")
+            for v in rng.lognormal(mean=-1.0, sigma=1.2, size=per_shard):
+                h.observe(float(v))
+            out.append(h)
+        return out
+
+    def fold(self, summaries):
+        from repro.obs.registry import Histogram
+
+        m = Histogram("m")
+        for s in summaries:
+            m.merge_summary(s)
+        return m
+
+    def test_merge_is_associative(self):
+        # ((a+b)+c)+d  vs  a+((b+c)+d): identical summaries.
+        a, b, c, d = (h.summary() for h in self.shards(seed=7))
+        left = self.fold(
+            [self.fold([self.fold([a, b]).summary(), c]).summary(), d]
+        )
+        right = self.fold(
+            [a, self.fold([self.fold([b, c]).summary(), d]).summary()]
+        )
+        ls, rs = left.summary(), right.summary()
+        assert ls["buckets"] == rs["buckets"]
+        assert ls["count"] == rs["count"]
+        assert ls["total"] == pytest.approx(rs["total"])
+        assert ls["sq_total"] == pytest.approx(rs["sq_total"])
+        assert ls["min"] == rs["min"] and ls["max"] == rs["max"]
+
+    def test_merge_is_order_independent(self):
+        import itertools
+
+        summaries = [h.summary() for h in self.shards(seed=3, n_shards=3)]
+        folds = [
+            self.fold([summaries[i] for i in perm]).summary()
+            for perm in itertools.permutations(range(3))
+        ]
+        assert all(f["buckets"] == folds[0]["buckets"] for f in folds)
+        assert all(f["count"] == folds[0]["count"] for f in folds)
+
+    def test_chained_quantiles_within_documented_tolerance(self):
+        # A two-hop merge chain (node -> site -> fleet) must estimate
+        # quantiles within the single-histogram bound: relative error
+        # <= sqrt(BUCKET_GAMMA) - 1 (~2.47%), plus float slack.
+        import numpy as np
+
+        from repro.obs.registry import BUCKET_GAMMA
+
+        shards = self.shards(seed=11, n_shards=4, per_shard=1000)
+        site_a = self.fold([shards[0].summary(), shards[1].summary()])
+        site_b = self.fold([shards[2].summary(), shards[3].summary()])
+        fleet = self.fold([site_a.summary(), site_b.summary()])
+
+        # Buckets don't retain samples — regenerate the same stream
+        # to compute the true quantiles.
+        rng = np.random.default_rng(11)
+        raw = np.sort(
+            np.concatenate(
+                [
+                    rng.lognormal(mean=-1.0, sigma=1.2, size=1000)
+                    for _ in range(4)
+                ]
+            )
+        )
+        bound = BUCKET_GAMMA**0.5 - 1 + 1e-9
+        for q in (0.5, 0.9, 0.99):
+            true = float(np.quantile(raw, q))
+            est = fleet.quantile(q)
+            assert abs(est - true) / true <= bound
+
+    def test_chain_preserves_moments_exactly(self):
+        # count/total/sq_total are sums — a chain of merges must agree
+        # with observing every value into one histogram directly.
+        from repro.obs.registry import Histogram
+
+        shards = self.shards(seed=5, n_shards=3, per_shard=200)
+        whole = Histogram("w")
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            for v in rng.lognormal(mean=-1.0, sigma=1.2, size=200):
+                whole.observe(float(v))
+        chained = self.fold([shards[0].summary(), shards[1].summary()])
+        chained = self.fold([chained.summary(), shards[2].summary()])
+        assert chained.count == whole.count
+        assert chained.total == pytest.approx(whole.total)
+        assert chained.sq_total == pytest.approx(whole.sq_total)
+        assert chained.stddev == pytest.approx(whole.stddev)

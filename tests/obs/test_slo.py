@@ -1,0 +1,285 @@
+"""Tests for SLO burn-rate alerting and error budgets (repro.obs.slo)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BurnWindow,
+    Histogram,
+    Objective,
+    SloEngine,
+    SloSpec,
+    TimeSeriesStore,
+    default_slo_spec,
+)
+
+
+def view(ts, counters=None, gauges=None, histograms=None):
+    return {
+        "ts": ts,
+        "targets": {},
+        "merged": {
+            "counters": counters or {},
+            "gauges": gauges or {},
+            "histograms": histograms or {},
+        },
+    }
+
+
+def availability_samples(total=4.0, down=()):
+    """Sample gauges for a fleet where ``down`` indexes are dark."""
+
+    def gauges(i):
+        d = 1.0 if i in down else 0.0
+        return {
+            "fleet.targets.total": total,
+            "fleet.targets.down": d,
+        }
+
+    return gauges
+
+
+class TestValidation:
+    def test_burn_window_ordering(self):
+        with pytest.raises(ValueError, match="exceeds long"):
+            BurnWindow("w", 600.0, 300.0, 10.0)
+
+    def test_objective_kind(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            Objective(name="x", kind="magic", metric="m", bound=1.0)
+
+    def test_ratio_needs_bad_and_total(self):
+        with pytest.raises(ValueError, match="needs 'bad'"):
+            Objective(name="x", kind="ratio")
+
+    def test_gauge_needs_metric_and_bound(self):
+        with pytest.raises(ValueError, match="needs 'metric'"):
+            Objective(name="x", kind="gauge_above")
+
+    def test_spec_rejects_duplicates(self):
+        o = Objective(
+            name="x", kind="gauge_above", metric="m", bound=1.0
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            SloSpec(objectives=(o, o))
+
+
+class TestSpecSerialisation:
+    def test_default_spec_roundtrips(self):
+        spec = default_slo_spec()
+        again = SloSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(default_slo_spec().to_dict()))
+        assert SloSpec.load(path) == default_slo_spec()
+
+
+class TestBadFraction:
+    def test_ratio_kind(self):
+        store = TimeSeriesStore()
+        store.ingest(view(0.0, counters={"shed": 0, "req": 0}))
+        store.ingest(view(60.0, counters={"shed": 5, "req": 100}))
+        o = Objective(
+            name="shed", kind="ratio", bad="shed", total="req"
+        )
+        assert o.bad_fraction(store, 120.0) == pytest.approx(0.05)
+
+    def test_ratio_with_no_traffic_is_healthy(self):
+        store = TimeSeriesStore()
+        store.ingest(view(0.0))
+        o = Objective(
+            name="shed", kind="ratio", bad="shed", total="req"
+        )
+        assert o.bad_fraction(store, 60.0) == 0.0
+
+    def test_gauge_ratio_averages_over_samples(self):
+        store = TimeSeriesStore()
+        gauges = availability_samples(total=4.0, down={1})
+        for i in range(2):
+            store.ingest(view(float(i * 60), gauges=gauges(i)))
+        o = Objective(
+            name="avail",
+            kind="gauge_ratio",
+            bad="fleet.targets.down",
+            total="fleet.targets.total",
+        )
+        assert o.bad_fraction(store, 300.0) == pytest.approx(0.125)
+
+    def test_gauge_above_and_below(self):
+        store = TimeSeriesStore()
+        for i, margin in enumerate((3.0, 0.0, 3.0, 3.0)):
+            store.ingest(
+                view(float(i * 60), gauges={"margin": margin})
+            )
+        below = Objective(
+            name="m", kind="gauge_below", metric="margin", bound=1.0
+        )
+        assert below.bad_fraction(store, 300.0) == pytest.approx(0.25)
+        above = Objective(
+            name="a", kind="gauge_above", metric="margin", bound=2.0
+        )
+        assert above.bad_fraction(store, 300.0) == pytest.approx(0.75)
+
+    def test_quantile_above(self):
+        slow = Histogram("h")
+        for _ in range(100):
+            slow.observe(2.0)
+        store = TimeSeriesStore()
+        store.ingest(
+            view(0.0, histograms={"lat": slow.summary()})
+        )
+        o = Objective(
+            name="p99",
+            kind="quantile_above",
+            metric="lat",
+            bound=0.5,
+            quantile=0.99,
+        )
+        assert o.bad_fraction(store, 60.0) == 1.0
+
+    def test_rate_above(self):
+        store = TimeSeriesStore()
+        store.ingest(view(0.0, counters={"wan": 0}))
+        store.ingest(view(60.0, counters={"wan": 120_000_000}))
+        o = Objective(
+            name="wan", kind="rate_above", metric="wan", bound=1e6
+        )
+        assert o.bad_fraction(store, 120.0) == 1.0
+
+
+class TestBurnRateAlerting:
+    def engine_and_store(self):
+        spec = SloSpec(
+            objectives=(
+                Objective(
+                    name="availability",
+                    kind="gauge_ratio",
+                    bad="fleet.targets.down",
+                    total="fleet.targets.total",
+                    target=0.999,
+                    windows=(BurnWindow("fast", 300.0, 3600.0, 14.4),),
+                ),
+            )
+        )
+        return SloEngine(spec), TimeSeriesStore(resolution=60.0)
+
+    def drive(self, engine, store, down_at):
+        """Feed 60s-spaced samples; return ts -> transitions."""
+        transitions = {}
+        gauges = availability_samples(total=4.0, down=down_at)
+        for i in range(30):
+            ts = float((i + 1) * 60)
+            store.ingest(view(ts, gauges=gauges(i)))
+            got = engine.evaluate(store, ts)
+            if got:
+                transitions[ts] = got
+        return transitions
+
+    def test_fires_at_the_kill_sample_and_clears_after_drain(self):
+        engine, store = self.engine_and_store()
+        # Samples 0-9 healthy, 10-12 one target dark, then healed.
+        transitions = self.drive(engine, store, down_at={10, 11, 12})
+        fire_ts = min(transitions)
+        assert fire_ts == 660.0  # the first dark sample, ts (10+1)*60
+        assert transitions[fire_ts][0]["state"] == "firing"
+        # Clears once the 300s short window drains of dark samples:
+        # the last dark sample (ts 780) ages out exactly when the
+        # half-open window (now-300, now] starts at it — now = 1080.
+        clear_ts = max(transitions)
+        assert transitions[clear_ts][0]["state"] == "ok"
+        assert clear_ts == 1080.0
+        assert not engine.firing()
+
+    def test_alert_timing_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            engine, store = self.engine_and_store()
+            runs.append(self.drive(engine, store, down_at={5, 6}))
+        assert runs[0] == runs[1]
+
+    def test_single_blip_does_not_fire_when_long_window_disagrees(self):
+        spec = SloSpec(
+            objectives=(
+                Objective(
+                    name="availability",
+                    kind="gauge_ratio",
+                    bad="fleet.targets.down",
+                    total="fleet.targets.total",
+                    target=0.9,  # budget 0.1: burn 2.5 per dark sample
+                    windows=(BurnWindow("fast", 300.0, 3600.0, 2.0),),
+                ),
+            )
+        )
+        engine = SloEngine(spec)
+        store = TimeSeriesStore(resolution=60.0)
+        gauges = availability_samples(total=4.0, down={40})
+        fired = []
+        for i in range(42):
+            ts = float((i + 1) * 60)
+            store.ingest(view(ts, gauges=gauges(i)))
+            fired += engine.evaluate(store, ts)
+        # Short window burn: 2.5/5 samples = ... above threshold, but
+        # the long window (41 clean samples) stays under it.
+        assert fired == []
+
+    def test_replay_reproduces_live_transitions(self):
+        live_engine, store = self.engine_and_store()
+        live = self.drive(live_engine, store, down_at={10, 11})
+        flat_live = [t for ts in sorted(live) for t in live[ts]]
+        replay_engine = SloEngine(live_engine.spec)
+        replayed = replay_engine.replay(store)
+        assert replayed == flat_live
+
+
+class TestReporting:
+    def test_durability_score(self):
+        engine = SloEngine()
+        store = TimeSeriesStore()
+        store.ingest(
+            view(
+                0.0,
+                gauges={
+                    "fleet.repair.margin_min": 1.0,
+                    "fleet.at_risk_stripes": 0.0,
+                    "cluster.repair.healthy_margin": 3.0,
+                },
+            )
+        )
+        d = engine.durability(store)
+        assert d["score"] == pytest.approx(0.5)
+        assert d["margin_min"] == 1.0
+        assert d["at_risk_stripes"] == 0.0
+
+    def test_durability_without_gauges(self):
+        engine = SloEngine()
+        store = TimeSeriesStore()
+        store.ingest(view(0.0))
+        assert engine.durability(store)["score"] is None
+
+    def test_status_shape_and_budget_accounting(self):
+        engine = SloEngine()
+        store = TimeSeriesStore(resolution=60.0)
+        gauges = availability_samples(total=4.0, down={1, 2})
+        for i in range(4):
+            ts = float((i + 1) * 60)
+            store.ingest(view(ts, gauges=gauges(i)))
+            engine.evaluate(store, ts)
+        status = engine.status(store)
+        avail = status["objectives"]["availability"]
+        assert set(avail["windows"]) == {"fast", "slow"}
+        budget = avail["budget"]
+        # Two dark samples consumed bad-seconds from the budget.
+        assert budget["consumed_bad_seconds"] > 0
+        assert 0.0 <= budget["remaining_fraction"] < 1.0
+        assert status["samples"] == 4
+        for name in (
+            "read-p99",
+            "shed-rate",
+            "repair-margin",
+            "wan-read-rate",
+            "at-risk-stripes",
+        ):
+            assert name in status["objectives"]

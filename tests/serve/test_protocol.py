@@ -26,6 +26,7 @@ from repro.serve.protocol import (
     ClusterGetRequest,
     ClusterJoinRequest,
     ClusterLeaveRequest,
+    ClusterMetricsRequest,
     ClusterPutRequest,
     ClusterRepairRequest,
     ClusterRepairStatusRequest,
@@ -37,6 +38,7 @@ from repro.serve.protocol import (
     KeyListResponse,
     MetricsRequest,
     MetricsResponse,
+    MetricsSnapshotResponse,
     NodeAdminRequest,
     NodeStatsRequest,
     ObjectInfoResponse,
@@ -45,6 +47,7 @@ from repro.serve.protocol import (
     ProtocolError,
     RemoteError,
     SitesGetRequest,
+    SitesMetricsRequest,
     SitesPutRequest,
     SitesRepairRequest,
     SitesStatusRequest,
@@ -77,6 +80,8 @@ COVERED_REQUESTS = {
     PingRequest,
     StatsRequest,
     MetricsRequest,
+    ClusterMetricsRequest,
+    SitesMetricsRequest,
     GetRequest,
     BlockPutRequest,
     BlockGetRequest,
@@ -103,6 +108,7 @@ COVERED_RESPONSES = {
     PongResponse,
     StatsResponse,
     MetricsResponse,
+    MetricsSnapshotResponse,
     ObjectInfoResponse,
     BlockDataResponse,
     BlockMapResponse,
@@ -116,6 +122,8 @@ request_strategies = st.one_of(
     st.just(PingRequest()),
     st.just(StatsRequest()),
     st.just(MetricsRequest()),
+    st.just(ClusterMetricsRequest()),
+    st.just(SitesMetricsRequest()),
     st.builds(
         GetRequest,
         name=names,
@@ -178,6 +186,12 @@ response_strategies = st.one_of(
     st.just(PongResponse()),
     st.builds(StatsResponse, stats=json_dicts),
     st.builds(MetricsResponse, metrics=st.text(max_size=100)),
+    st.builds(
+        MetricsSnapshotResponse,
+        role=st.sampled_from(["coordinator", "node", "gateway"]),
+        source=names,
+        snapshot=json_dicts,
+    ),
     st.builds(
         ObjectInfoResponse,
         name=names,

@@ -554,6 +554,127 @@ class TestObsVerbs:
         assert main(["obs", "report", "/no/such/file.jsonl"]) == 1
         assert capsys.readouterr().err.startswith("error:")
 
+    @pytest.mark.parametrize("verb", ["tail", "report", "trace-tree"])
+    def test_missing_file_exits_1_for_every_verb(self, verb, capsys):
+        assert main(["obs", verb, "/no/such/file.jsonl"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    @pytest.mark.parametrize("verb", ["tail", "report", "trace-tree"])
+    def test_empty_file_exits_1(self, verb, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", verb, str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "empty" in err
+
+
+class TestFleetTimelineVerbs:
+    """obs top / slo / prom replay a persisted fleet timeline."""
+
+    def write_timeline(self, path, down_last=False):
+        import json as _json
+
+        records = []
+        for i in range(5):
+            down = 1.0 if (down_last and i == 4) else 0.0
+            records.append(
+                {
+                    "event": "fleet.sample",
+                    "index": i,
+                    "ts": float((i + 1) * 60),
+                    "targets": {
+                        "coordinator": {
+                            "role": "coordinator",
+                            "host": "127.0.0.1",
+                            "port": 9000,
+                            "up": True,
+                            "stale": False,
+                            "age": 0.0,
+                            "error": None,
+                        },
+                        "node-0": {
+                            "role": "node",
+                            "host": "127.0.0.1",
+                            "port": 9001,
+                            "up": not down,
+                            "stale": bool(down),
+                            "age": 60.0 * down,
+                            "error": "refused" if down else None,
+                        },
+                    },
+                    "counters": {
+                        "cluster.get.objects": 50 + 10 * i,
+                        "cluster.repair.bytes": 4096,
+                    },
+                    "gauges": {
+                        "fleet.targets.total": 2.0,
+                        "fleet.targets.up": 2.0 - down,
+                        "fleet.targets.down": down,
+                        "fleet.repair.margin_min": 3.0,
+                        "fleet.at_risk_stripes": 0.0,
+                        "cluster.repair.healthy_margin": 3.0,
+                    },
+                    "histograms": {},
+                }
+            )
+        path.write_text(
+            "".join(_json.dumps(r) + "\n" for r in records)
+        )
+        return str(path)
+
+    def test_top_once_renders_the_fleet(self, tmp_path, capsys):
+        timeline = self.write_timeline(tmp_path / "t.jsonl")
+        assert main(["obs", "top", timeline, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "targets: 2/2 up" in out
+        assert "coordinator" in out and "node-0" in out
+        assert "alerts: none firing" in out
+
+    def test_slo_report_prints_status_json(self, tmp_path, capsys):
+        import json as _json
+
+        timeline = self.write_timeline(tmp_path / "t.jsonl")
+        assert main(["obs", "slo", "report", timeline]) == 0
+        out = capsys.readouterr().out
+        status = _json.loads(out[out.index("{") :])
+        assert "availability" in status["objectives"]
+        assert status["samples"] == 5
+
+    def test_slo_check_exit_codes(self, tmp_path, capsys):
+        healthy = self.write_timeline(tmp_path / "ok.jsonl")
+        assert main(["obs", "slo", "check", healthy]) == 0
+        assert "slo check: ok" in capsys.readouterr().out
+        dark = self.write_timeline(
+            tmp_path / "bad.jsonl", down_last=True
+        )
+        assert main(["obs", "slo", "check", dark]) == 1
+        captured = capsys.readouterr()
+        assert "FIRING availability[fast]" in captured.out
+        assert "FIRING availability[slow]" in captured.out
+        assert "2 alert(s) firing" in captured.err
+
+    def test_prom_renders_latest_sample(self, tmp_path, capsys):
+        timeline = self.write_timeline(tmp_path / "t.jsonl")
+        assert main(["obs", "prom", timeline]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_cluster_get_objects_total counter" in out
+        assert "repro_fleet_targets_up 2" in out
+
+    def test_missing_timeline_exits_1(self, capsys):
+        assert main(["obs", "top", "/no/such/t.jsonl", "--once"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+        assert main(["obs", "slo", "check", "/no/such/t.jsonl"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_empty_timeline_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", "top", str(path), "--once"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "empty" in err
+
 
 class TestSitesVerbs:
     """Exit-code contract for the federation verbs (cheap paths only;
